@@ -1,0 +1,340 @@
+package randpriv_test
+
+// The benchmark harness regenerates every figure of the paper's
+// evaluation section and prints the series it reports, plus the ablation
+// benches called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute RMSE values depend on the synthetic substrate; EXPERIMENTS.md
+// records the paper-vs-measured comparison of the shapes.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/experiment"
+	"randpriv/internal/mat"
+	"randpriv/internal/randomize"
+	"randpriv/internal/recon"
+	"randpriv/internal/stat"
+	"randpriv/internal/synth"
+)
+
+// benchCfg is the paper-scale configuration: n=1000 records, σ=5 noise,
+// per-attribute variance ≈300 (keeps UDR at the paper's ~4.8 level).
+func benchCfg() experiment.Config {
+	return experiment.Config{N: 1000, Sigma2: 25, Seed: 2005}
+}
+
+// BenchmarkFigure1 regenerates Figure 1: RMSE vs number of attributes
+// with p=5 principal components fixed.
+func BenchmarkFigure1(b *testing.B) {
+	var fig *experiment.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiment.Experiment1(benchCfg(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\n%s\n", fig)
+}
+
+// BenchmarkFigure2 regenerates Figure 2: RMSE vs number of principal
+// components with m=100 attributes fixed.
+func BenchmarkFigure2(b *testing.B) {
+	var fig *experiment.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiment.Experiment2(benchCfg(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\n%s\n", fig)
+}
+
+// BenchmarkFigure3 regenerates Figure 3: RMSE vs the eigenvalue of the
+// non-principal components (m=100, first 20 eigenvalues at 400).
+func BenchmarkFigure3(b *testing.B) {
+	var fig *experiment.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiment.Experiment3(benchCfg(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\n%s\n", fig)
+}
+
+// BenchmarkFigure4 regenerates Figure 4: RMSE vs correlation
+// dissimilarity under the improved randomization scheme (m=100, 50
+// principal components; the * row is independent noise).
+func BenchmarkFigure4(b *testing.B) {
+	var fig *experiment.Figure4
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiment.Experiment4(benchCfg(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\n%s\n", fig)
+}
+
+// BenchmarkUtility runs the §8.1 mining-utility comparison (extension
+// experiment U1 in DESIGN.md).
+func BenchmarkUtility(b *testing.B) {
+	var res *experiment.UtilityResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.UtilityExperiment(benchCfg(), 20, rand.New(rand.NewSource(2005)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\n%s\n\n", res)
+}
+
+// BenchmarkAblationSelection compares PCA-DR component-selection policies
+// (ablation A1 in DESIGN.md): the paper's largest-gap rule, a fixed
+// oracle count, and a 95% energy threshold.
+func BenchmarkAblationSelection(b *testing.B) {
+	rng := rand.New(rand.NewSource(2005))
+	spec := synth.Spectrum{M: 50, P: 5, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := synth.Generate(1000, vals, nil, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const sigma2 = 25.0
+	pert, err := randomize.NewAdditiveGaussian(math.Sqrt(sigma2)).Perturb(ds.X, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	policies := []*recon.PCADR{
+		{Sigma2: sigma2, Select: recon.SelectGap},
+		{Sigma2: sigma2, Select: recon.SelectFixed, P: 5},
+		{Sigma2: sigma2, Select: recon.SelectEnergy, EnergyFrac: 0.95},
+	}
+	results := make([]string, len(policies))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k, p := range policies {
+			xhat, info, err := p.ReconstructWithInfo(pert.Y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[k] = fmt.Sprintf("  %-8s p=%-3d RMSE %.4f",
+				p.Select, info.Components, stat.RMSE(xhat, ds.X))
+		}
+	}
+	b.StopTimer()
+	fmt.Println("\nablation A1 — PCA-DR component selection (m=50, true p=5, σ²=25):")
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	fmt.Println()
+}
+
+// BenchmarkAblationNoiseFilter verifies Theorem 5.2 numerically (ablation
+// A2): the noise energy surviving a rank-p projection is σ²·p/m.
+func BenchmarkAblationNoiseFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(2005))
+	const (
+		n      = 4000
+		m      = 20
+		sigma2 = 25.0
+	)
+	noise := mat.Zeros(n, m)
+	for i := 0; i < n; i++ {
+		row := noise.RawRow(i)
+		for j := range row {
+			row[j] = math.Sqrt(sigma2) * rng.NormFloat64()
+		}
+	}
+	q := mat.RandomOrthogonal(m, rng)
+	zero := mat.Zeros(n, m)
+	type rowOut struct {
+		p                   int
+		measured, predicted float64
+	}
+	var rows []rowOut
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, p := range []int{1, 5, 10, 15, 20} {
+			qhat := q.Slice(0, m, 0, p)
+			proj := mat.Mul(mat.Mul(noise, qhat), mat.Transpose(qhat))
+			rows = append(rows, rowOut{p, stat.MSE(proj, zero), sigma2 * float64(p) / float64(m)})
+		}
+	}
+	b.StopTimer()
+	fmt.Println("\nablation A2 — Theorem 5.2 (δ² = σ²·p/m at σ²=25, m=20):")
+	for _, r := range rows {
+		fmt.Printf("  p=%-3d measured %.4f  predicted %.4f\n", r.p, r.measured, r.predicted)
+	}
+	fmt.Println()
+}
+
+// BenchmarkAblationOracle compares oracle-vs-estimated covariance for the
+// spectral attacks (design choice 2 in DESIGN.md, §5.3 of the paper).
+func BenchmarkAblationOracle(b *testing.B) {
+	var res *experiment.OracleAblation
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.AblationOracle(benchCfg(), 50, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\nablation — oracle vs estimated covariance (m=50, p=5):\n%s\n", res)
+}
+
+// BenchmarkNoiseSweep runs the extension sweep of RMSE vs noise level.
+func BenchmarkNoiseSweep(b *testing.B) {
+	var fig *experiment.Figure
+	var err error
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		fig, err = experiment.NoiseSweep(cfg, 30, 5, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\n%s\n", fig)
+}
+
+// BenchmarkPartialDisclosure runs the §3 partial-value-disclosure sweep
+// (extension experiment): undisclosed-attribute RMSE as side-channel
+// knowledge grows, in the high-noise regime where the channel matters.
+func BenchmarkPartialDisclosure(b *testing.B) {
+	var fig *experiment.PartialFigure
+	var err error
+	cfg := benchCfg()
+	cfg.Sigma2 = 400
+	for i := 0; i < b.N; i++ {
+		fig, err = experiment.PartialDisclosureSweep(cfg, 10, []int{0, 1, 2, 3, 4, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\n%s\n", fig)
+}
+
+// BenchmarkAttackBEDR measures the cost of one BE-DR reconstruction at
+// paper scale (n=1000, m=100).
+func BenchmarkAttackBEDR(b *testing.B) {
+	ds, pert := benchData(b, 100, 10)
+	attack := recon.NewBEDR(25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.Reconstruct(pert.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = ds
+}
+
+// BenchmarkAttackPCADR measures one PCA-DR reconstruction at paper scale.
+func BenchmarkAttackPCADR(b *testing.B) {
+	_, pert := benchData(b, 100, 10)
+	attack := recon.NewPCADR(25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.Reconstruct(pert.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttackSF measures one spectral-filtering reconstruction.
+func BenchmarkAttackSF(b *testing.B) {
+	_, pert := benchData(b, 100, 10)
+	attack := recon.NewSF(25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.Reconstruct(pert.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttackUDR measures one UDR reconstruction at reduced width
+// (UDR is per-attribute, so total cost scales linearly in m).
+func BenchmarkAttackUDR(b *testing.B) {
+	_, pert := benchData(b, 10, 3)
+	attack := recon.NewUDR(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.Reconstruct(pert.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttackTemporalBEDR measures the combined-channel Kalman/RTS
+// attack (n=1000 time steps, m=10 attributes).
+func BenchmarkAttackTemporalBEDR(b *testing.B) {
+	_, pert := benchData(b, 10, 3)
+	attack := recon.NewTemporalBEDR(25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.Reconstruct(pert.Y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEigenSym measures the Jacobi eigendecomposition at m=100 — the
+// kernel every spectral attack relies on.
+func BenchmarkEigenSym(b *testing.B) {
+	rng := rand.New(rand.NewSource(2005))
+	spec := synth.Spectrum{M: 100, P: 10, Principal: 400, Tail: 4}
+	vals, _ := spec.Values()
+	cov, err := synth.CovarianceFromSpectrum(vals, mat.RandomOrthogonal(100, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.EigenSym(cov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchData generates a standard disguised data set for attack benches.
+func benchData(b *testing.B, m, p int) (*synth.Dataset, *randomize.Perturbed) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2005))
+	spec := synth.Spectrum{M: m, P: p, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := synth.Generate(1000, vals, nil, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pert, err := randomize.NewAdditiveGaussian(5).Perturb(ds.X, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, pert
+}

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"randpriv/internal/core"
+	"randpriv/internal/dataset"
+	"randpriv/internal/experiment"
+	"randpriv/internal/mat"
+	"randpriv/internal/randomize"
+	"randpriv/internal/stat"
+	"randpriv/internal/synth"
+	"randpriv/internal/tseries"
+)
+
+// loadTable reads a CSV table from path.
+func loadTable(path string) (*dataset.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}
+
+// saveTable writes a CSV table to path (stdout when path is "-").
+func saveTable(t *dataset.Table, path string) error {
+	if path == "-" {
+		return t.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	n := fs.Int("n", 1000, "number of records")
+	m := fs.Int("m", 20, "number of attributes")
+	p := fs.Int("p", 3, "number of principal components")
+	principal := fs.Float64("principal", 400, "principal eigenvalue")
+	tail := fs.Float64("tail", 4, "non-principal eigenvalue")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "-", "output CSV path ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := synth.Spectrum{M: *m, P: *p, Principal: *principal, Tail: *tail}
+	vals, err := spec.Values()
+	if err != nil {
+		return err
+	}
+	ds, err := synth.Generate(*n, vals, nil, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	tbl, err := dataset.New(nil, ds.X)
+	if err != nil {
+		return err
+	}
+	return saveTable(tbl, *out)
+}
+
+func runPerturb(args []string) error {
+	fs := flag.NewFlagSet("perturb", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV path (required)")
+	out := fs.String("out", "-", "output CSV path ('-' for stdout)")
+	sigma := fs.Float64("sigma", 5, "noise standard deviation")
+	correlated := fs.Bool("correlated", false, "use the improved correlated-noise scheme")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("perturb: -in is required")
+	}
+	tbl, err := loadTable(*in)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var scheme randomize.Scheme
+	if *correlated {
+		cov := stat.CovarianceMatrix(tbl.Data())
+		c, err := randomize.NewCorrelatedLike(cov, *sigma**sigma)
+		if err != nil {
+			return err
+		}
+		scheme = c
+	} else {
+		scheme = randomize.NewAdditiveGaussian(*sigma)
+	}
+	pert, err := scheme.Perturb(tbl.Data(), rng)
+	if err != nil {
+		return err
+	}
+	outTbl, err := dataset.New(tbl.Names(), pert.Y)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "perturbed with %s\n", scheme.Describe())
+	return saveTable(outTbl, *out)
+}
+
+func runAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	originalPath := fs.String("original", "", "ground-truth CSV path (required)")
+	disguisedPath := fs.String("disguised", "", "disguised CSV path (required)")
+	sigma := fs.Float64("sigma", 5, "noise standard deviation assumed by the attacks")
+	correlated := fs.Bool("correlated", false, "attack assuming correlated noise shaped like the disguised data")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *originalPath == "" || *disguisedPath == "" {
+		return fmt.Errorf("attack: -original and -disguised are required")
+	}
+	orig, err := loadTable(*originalPath)
+	if err != nil {
+		return err
+	}
+	disg, err := loadTable(*disguisedPath)
+	if err != nil {
+		return err
+	}
+	sigma2 := *sigma * *sigma
+	attacks := core.StandardAttacks(sigma2)
+	desc := fmt.Sprintf("additive noise, σ=%.4g (assumed)", *sigma)
+	if *correlated {
+		// Without the publisher's Σr, the best adversary model is the
+		// disguised data's own correlation shape at the stated energy.
+		covY := stat.CovarianceMatrix(disg.Data())
+		scale := sigma2 * float64(covY.Rows()) / mat.Trace(covY)
+		noiseCov := mat.Scale(scale, covY)
+		attacks = core.CorrelatedNoiseAttacks(noiseCov, nil)
+		desc = fmt.Sprintf("correlated noise, avg σ²=%.4g (assumed, shape from disguised data)", sigma2)
+	}
+	report, err := core.Evaluate(orig.Data(), disg.Data(), desc, attacks)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+// parseSweep splits a comma-separated list of numbers.
+func parseSweep(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, field := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sweep value %q: %w", field, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func toInts(vals []float64) []int {
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func runExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	id := fs.Int("id", 1, "figure number to regenerate (1-4)")
+	n := fs.Int("n", 1000, "records per sweep point")
+	sigma := fs.Float64("sigma", 5, "noise standard deviation")
+	seed := fs.Int64("seed", 2005, "random seed")
+	skipUDR := fs.Bool("skip-udr", false, "skip the UDR series (much faster at m=100)")
+	csvPath := fs.String("csv", "", "also write the figure as CSV to this path")
+	sweep := fs.String("sweep", "", "comma-separated sweep values overriding the paper defaults (m for fig 1, p for fig 2, tail λ for fig 3, path t for fig 4)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sweepVals, err := parseSweep(*sweep)
+	if err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	cfg := experiment.Config{N: *n, Sigma2: *sigma * *sigma, Seed: *seed, SkipUDR: *skipUDR}
+
+	writeCSV := func(fig *experiment.Figure) error {
+		if *csvPath == "" {
+			return nil
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fig.WriteCSV(f)
+	}
+
+	switch *id {
+	case 1:
+		fig, err := experiment.Experiment1(cfg, toInts(sweepVals))
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig)
+		return writeCSV(fig)
+	case 2:
+		fig, err := experiment.Experiment2(cfg, toInts(sweepVals))
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig)
+		return writeCSV(fig)
+	case 3:
+		fig, err := experiment.Experiment3(cfg, sweepVals)
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig)
+		return writeCSV(fig)
+	case 4:
+		fig, err := experiment.Experiment4(cfg, sweepVals)
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig)
+		if *csvPath != "" {
+			return fmt.Errorf("experiment: -csv is not supported for figure 4 (two x columns); copy the text output")
+		}
+		return nil
+	default:
+		return fmt.Errorf("experiment: -id must be 1-4, got %d", *id)
+	}
+}
+
+// runSmooth applies the sample-dependency (time-series) attack to every
+// column of a disguised CSV and writes the smoothed reconstruction.
+func runSmooth(args []string) error {
+	fs := flag.NewFlagSet("smooth", flag.ExitOnError)
+	in := fs.String("in", "", "disguised CSV path (required); rows are time steps")
+	out := fs.String("out", "-", "output CSV path ('-' for stdout)")
+	sigma := fs.Float64("sigma", 5, "noise standard deviation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("smooth: -in is required")
+	}
+	tbl, err := loadTable(*in)
+	if err != nil {
+		return err
+	}
+	n, m := tbl.Dims()
+	sigma2 := *sigma * *sigma
+	result := mat.Zeros(n, m)
+	for j, name := range tbl.Names() {
+		col, err := tbl.Column(name)
+		if err != nil {
+			return err
+		}
+		smoothed, model, err := tseries.Reconstruct(col, sigma2)
+		if err != nil {
+			return fmt.Errorf("smooth: column %q: %w", name, err)
+		}
+		result.SetCol(j, smoothed)
+		fmt.Fprintf(os.Stderr, "column %-12s AR(1): φ=%.3f innovation=%.3f mean=%.3f\n",
+			name, model.Phi, model.Q, model.C)
+	}
+	outTbl, err := dataset.New(tbl.Names(), result)
+	if err != nil {
+		return err
+	}
+	return saveTable(outTbl, *out)
+}
+
+func runUtility(args []string) error {
+	fs := flag.NewFlagSet("utility", flag.ExitOnError)
+	n := fs.Int("n", 2000, "number of records")
+	m := fs.Int("m", 20, "number of attributes")
+	sigma := fs.Float64("sigma", 5, "noise standard deviation")
+	seed := fs.Int64("seed", 2005, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiment.Config{N: *n, Sigma2: *sigma * *sigma, Seed: *seed}
+	res, err := experiment.UtilityExperiment(cfg, *m, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}

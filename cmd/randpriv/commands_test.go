@@ -1,0 +1,203 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"randpriv/internal/dataset"
+)
+
+func tempPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), name)
+}
+
+func TestGenPerturbAttackPipeline(t *testing.T) {
+	data := tempPath(t, "data.csv")
+	disg := tempPath(t, "disg.csv")
+
+	if err := runGen([]string{"-n", "300", "-m", "8", "-p", "2", "-seed", "3", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	tbl, err := loadTable(data)
+	if err != nil {
+		t.Fatalf("loadTable: %v", err)
+	}
+	if n, m := tbl.Dims(); n != 300 || m != 8 {
+		t.Fatalf("generated dims %dx%d, want 300x8", n, m)
+	}
+
+	if err := runPerturb([]string{"-in", data, "-sigma", "5", "-seed", "4", "-out", disg}); err != nil {
+		t.Fatalf("perturb: %v", err)
+	}
+	dTbl, err := loadTable(disg)
+	if err != nil {
+		t.Fatalf("loadTable disguised: %v", err)
+	}
+	if n, m := dTbl.Dims(); n != 300 || m != 8 {
+		t.Fatalf("disguised dims %dx%d, want 300x8", n, m)
+	}
+	// The disguised data must differ from the original.
+	if tbl.Data().EqualApprox(dTbl.Data(), 1e-9) {
+		t.Fatal("perturb produced identical data")
+	}
+
+	if err := runAttack([]string{"-original", data, "-disguised", disg, "-sigma", "5"}); err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+}
+
+func TestPerturbCorrelatedFlag(t *testing.T) {
+	data := tempPath(t, "data.csv")
+	disg := tempPath(t, "disg.csv")
+	if err := runGen([]string{"-n", "200", "-m", "6", "-p", "2", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := runPerturb([]string{"-in", data, "-sigma", "5", "-correlated", "-out", disg}); err != nil {
+		t.Fatalf("perturb -correlated: %v", err)
+	}
+	if err := runAttack([]string{"-original", data, "-disguised", disg, "-sigma", "5", "-correlated"}); err != nil {
+		t.Fatalf("attack -correlated: %v", err)
+	}
+}
+
+func TestPerturbRequiresInput(t *testing.T) {
+	if err := runPerturb([]string{"-sigma", "5"}); err == nil {
+		t.Fatal("perturb without -in must error")
+	}
+}
+
+func TestAttackRequiresPaths(t *testing.T) {
+	if err := runAttack([]string{"-sigma", "5"}); err == nil {
+		t.Fatal("attack without paths must error")
+	}
+}
+
+func TestAttackMissingFile(t *testing.T) {
+	missing := tempPath(t, "nope.csv")
+	if err := runAttack([]string{"-original", missing, "-disguised", missing}); err == nil {
+		t.Fatal("attack on missing files must error")
+	}
+}
+
+func TestRunExperimentSmall(t *testing.T) {
+	csvOut := tempPath(t, "fig.csv")
+	// Figure 4 at small n is the fastest full sweep; figure 1-3 default
+	// sweeps go to m=100, so use figure 4 for the CLI smoke test.
+	if err := runExperiment([]string{"-id", "4", "-n", "120", "-skip-udr"}); err != nil {
+		t.Fatalf("experiment 4: %v", err)
+	}
+	_ = csvOut
+}
+
+func TestRunExperimentBadID(t *testing.T) {
+	if err := runExperiment([]string{"-id", "9"}); err == nil {
+		t.Fatal("id=9 must error")
+	}
+}
+
+func TestRunExperimentFigure4CSVUnsupported(t *testing.T) {
+	if err := runExperiment([]string{"-id", "4", "-n", "120", "-csv", tempPath(t, "x.csv")}); err == nil {
+		t.Fatal("figure 4 with -csv must error")
+	}
+}
+
+func TestRunExperimentCustomSweeps(t *testing.T) {
+	// Tiny custom sweeps keep figures 1-3 fast enough for tests.
+	for _, args := range [][]string{
+		{"-id", "1", "-n", "150", "-skip-udr", "-sweep", "5,10"},
+		{"-id", "2", "-n", "150", "-skip-udr", "-sweep", "2,5"},
+		{"-id", "3", "-n", "150", "-skip-udr", "-sweep", "1,25"},
+	} {
+		if err := runExperiment(args); err != nil {
+			t.Fatalf("experiment %v: %v", args, err)
+		}
+	}
+}
+
+func TestRunExperimentCSVOutput(t *testing.T) {
+	out := tempPath(t, "fig1.csv")
+	if err := runExperiment([]string{"-id", "1", "-n", "120", "-skip-udr", "-sweep", "5,10", "-csv", out}); err != nil {
+		t.Fatalf("experiment with csv: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read csv: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3", len(lines))
+	}
+}
+
+func TestRunExperimentBadSweep(t *testing.T) {
+	if err := runExperiment([]string{"-id", "1", "-sweep", "5,banana"}); err == nil {
+		t.Fatal("non-numeric sweep must error")
+	}
+}
+
+func TestRunSmooth(t *testing.T) {
+	// Build a small serially-dependent CSV.
+	in := tempPath(t, "series.csv")
+	out := tempPath(t, "smoothed.csv")
+	var b strings.Builder
+	b.WriteString("load\n")
+	v := 0.0
+	for i := 0; i < 200; i++ {
+		v = 0.9*v + float64((i*37)%11)/11 - 0.5 // deterministic pseudo-noise
+		fmt.Fprintf(&b, "%g\n", 10+v)
+	}
+	if err := os.WriteFile(in, []byte(b.String()), 0o644); err != nil {
+		t.Fatalf("write input: %v", err)
+	}
+	if err := runSmooth([]string{"-in", in, "-sigma", "0.3", "-out", out}); err != nil {
+		t.Fatalf("smooth: %v", err)
+	}
+	tbl, err := loadTable(out)
+	if err != nil {
+		t.Fatalf("load output: %v", err)
+	}
+	if n, m := tbl.Dims(); n != 200 || m != 1 {
+		t.Fatalf("output dims %dx%d, want 200x1", n, m)
+	}
+}
+
+func TestRunSmoothRequiresInput(t *testing.T) {
+	if err := runSmooth(nil); err == nil {
+		t.Fatal("smooth without -in must error")
+	}
+}
+
+func TestRunUtility(t *testing.T) {
+	if err := runUtility([]string{"-n", "300", "-m", "6"}); err != nil {
+		t.Fatalf("utility: %v", err)
+	}
+}
+
+func TestSaveTableStdout(t *testing.T) {
+	tbl, err := dataset.ReadCSV(strings.NewReader("a\n1\n2\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	// Redirect stdout to a pipe to keep test output clean.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	saveErr := saveTable(tbl, "-")
+	w.Close()
+	os.Stdout = old
+	if saveErr != nil {
+		t.Fatalf("saveTable: %v", saveErr)
+	}
+	buf := make([]byte, 64)
+	n, _ := r.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "a\n1\n2\n") {
+		t.Errorf("stdout content = %q", string(buf[:n]))
+	}
+}

@@ -1,0 +1,9 @@
+// Package randpriv is a Go reproduction of "Deriving Private Information
+// from Randomized Data" (Huang, Du & Chen, SIGMOD 2005): reconstruction
+// attacks on additively randomized data (UDR, PCA-DR, BE-DR, spectral
+// filtering) and the correlated-noise defense, together with the full
+// experimental harness that regenerates the paper's Figures 1–4.
+//
+// The implementation lives under internal/; see README.md for the layout
+// and cmd/randpriv for the CLI.
+package randpriv

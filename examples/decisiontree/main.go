@@ -1,0 +1,109 @@
+// Decision tree example: Du & Zhan's privacy-preserving decision tree
+// building (reference [7]) — every record is distorted bit-by-bit with
+// Warner randomized response before leaving its owner, and the miner
+// still learns (nearly) the true tree by inverting the distortion in the
+// split statistics.
+//
+// Run with: go run ./examples/decisiontree
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"randpriv/internal/dtree"
+)
+
+// Feature layout: 0=fever, 1=cough, 2=fatigue, 3=travel; class = infected.
+var featureNames = []string{"fever", "cough", "fatigue", "travel"}
+
+// patients synthesizes n boolean health records whose class follows
+// infected = fever ∧ (cough ∨ travel), with 3% label noise.
+func patients(n int, rng *rand.Rand) [][]bool {
+	rows := make([][]bool, n)
+	for i := range rows {
+		fever := rng.Float64() < 0.4
+		cough := rng.Float64() < 0.5
+		fatigue := rng.Float64() < 0.5
+		travel := rng.Float64() < 0.25
+		infected := fever && (cough || travel)
+		if rng.Float64() < 0.03 {
+			infected = !infected
+		}
+		rows[i] = []bool{fever, cough, fatigue, travel, infected}
+	}
+	return rows
+}
+
+func describe(n *dtree.Node, indent string) {
+	if n.Leaf {
+		fmt.Printf("%s→ infected=%t\n", indent, n.Class)
+		return
+	}
+	fmt.Printf("%s%s?\n", indent, featureNames[n.Feature])
+	fmt.Printf("%s yes:\n", indent)
+	describe(n.True, indent+"  ")
+	fmt.Printf("%s no:\n", indent)
+	describe(n.False, indent+"  ")
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+	rows := patients(60000, rng)
+
+	// Every record owner reports each bit truthfully only 85% of the time.
+	const p = 0.85
+	distorted := dtree.RRDistort(rows, p, rng)
+	rr, err := dtree.NewRREstimator(distorted, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := dtree.Build(rr, dtree.Config{MaxDepth: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score the distorted-data tree against noise-free truth.
+	test := patients(10000, rng)
+	var ok int
+	for _, row := range test {
+		pred, err := tree.Predict(row[:4])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pred == row[4] {
+			ok++
+		}
+	}
+
+	fmt.Printf("Tree learned from 15%%-randomized records (no truthful record seen):\n\n")
+	describe(tree.Root(), "  ")
+
+	cleanEst, err := dtree.NewExactEstimator(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleanTree, err := dtree.Build(cleanEst, dtree.Config{MaxDepth: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\naccuracy on clean test data: %.3f (clean-data tree: %.3f)\n",
+		float64(ok)/float64(len(test)), treeAccuracy(cleanTree, test))
+	fmt.Println("\nThe aggregate decision structure survives per-record randomization —")
+	fmt.Println("the categorical analogue of reconstructing a distribution from noisy values.")
+}
+
+func treeAccuracy(t *dtree.Tree, test [][]bool) float64 {
+	var ok int
+	for _, row := range test {
+		pred, err := t.Predict(row[:4])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pred == row[4] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(test))
+}

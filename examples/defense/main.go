@@ -1,0 +1,76 @@
+// Defense example: the paper's improved randomization (§8). The same
+// data set is disguised twice at identical noise energy — once with
+// independent noise, once with noise whose correlation mimics the data —
+// and both are attacked. The correlated noise starves the PCA/Bayes
+// attacks of spectral separation, so the surviving privacy is much
+// higher.
+//
+// Run with: go run ./examples/defense
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"randpriv/internal/core"
+	"randpriv/internal/randomize"
+	"randpriv/internal/stat"
+	"randpriv/internal/synth"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	spec := synth.Spectrum{M: 30, P: 5, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := synth.Generate(1500, vals, nil, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const sigma2 = 25.0
+
+	// Scheme A: classic i.i.d. noise.
+	iid := randomize.NewAdditiveGaussian(math.Sqrt(sigma2))
+	reportIID, err := core.AssessPrivacy(ds.X, iid, core.StandardAttacks(sigma2), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scheme B: improved — noise covariance proportional to the data's,
+	// same per-attribute energy.
+	corr, err := randomize.NewCorrelatedLike(ds.Cov, sigma2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pert, err := corr.Perturb(ds.X, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The adversary gets full knowledge of Σr (worst case for the
+	// defender) and still loses accuracy.
+	attacksB := core.CorrelatedNoiseAttacks(corr.NoiseCovariance(), nil)
+	reportCorr, err := core.Evaluate(ds.X, pert.Y, corr.Describe(), attacksB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Scheme A: independent noise ===")
+	fmt.Print(reportIID)
+	fmt.Println("\n=== Scheme B: correlated noise (improved scheme, §8) ===")
+	fmt.Print(reportCorr)
+
+	dis := stat.CorrelationDissimilarity(ds.X, pert.R)
+	fmt.Printf("\nCorrelation dissimilarity Dis(X,R) of scheme B: %.4f (≈0 means shape-matched)\n", dis)
+
+	a := reportIID.MostDangerous()
+	b := reportCorr.MostDangerous()
+	fmt.Printf("\nBest attack against scheme A: %-7s RMSE %.3f\n", a.Attack, a.RMSE)
+	fmt.Printf("Best attack against scheme B: %-7s RMSE %.3f\n", b.Attack, b.RMSE)
+	fmt.Printf("Privacy retained: %.0f%% more reconstruction error at the same noise energy.\n",
+		100*(b.RMSE-a.RMSE)/a.RMSE)
+}

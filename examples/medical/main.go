@@ -1,0 +1,82 @@
+// Medical example: a synthetic patient-vitals table whose attributes are
+// physiologically correlated (the paper's motivating scenario — §1, §3).
+// A hospital publishes the table with additive noise; the example shows
+// how the correlation lets an adversary reconstruct individual columns
+// far more accurately than the noise level promises, and prints the
+// per-attribute leakage so the most exposed attributes are visible.
+//
+// Run with: go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"randpriv/internal/core"
+	"randpriv/internal/dataset"
+	"randpriv/internal/mat"
+	"randpriv/internal/randomize"
+	"randpriv/internal/stat"
+)
+
+// buildPatients synthesizes n records of correlated vitals: a latent
+// "metabolic health" factor drives weight, blood pressure, glucose and
+// cholesterol together, with attribute-specific variation on top.
+func buildPatients(n int, rng *rand.Rand) *dataset.Table {
+	names := []string{"age", "weight_kg", "systolic_bp", "glucose", "cholesterol", "bmi"}
+	data := mat.Zeros(n, len(names))
+	for i := 0; i < n; i++ {
+		latent := rng.NormFloat64() // shared health factor
+		age := 50 + 15*rng.NormFloat64()
+		weight := 78 + 12*latent + 4*rng.NormFloat64()
+		bp := 125 + 14*latent + 0.15*(age-50) + 4*rng.NormFloat64()
+		glucose := 100 + 18*latent + 5*rng.NormFloat64()
+		chol := 195 + 22*latent + 6*rng.NormFloat64()
+		bmi := 26 + 3.5*latent + 1.2*rng.NormFloat64()
+		data.SetRow(i, []float64{age, weight, bp, glucose, chol, bmi})
+	}
+	tbl, err := dataset.New(names, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tbl
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	patients := buildPatients(2000, rng)
+
+	fmt.Println("Synthetic patient table (correlated vitals):")
+	for _, s := range patients.Summarize() {
+		fmt.Printf("  %-12s mean %8.2f  sd %7.2f  [%7.2f … %7.2f]\n",
+			s.Name, s.Mean, s.StdDev, s.Min, s.Max)
+	}
+
+	// The hospital adds sd=8 noise to every attribute before publishing.
+	const sigma = 8.0
+	scheme := randomize.NewAdditiveGaussian(sigma)
+	pert, err := scheme.Perturb(patients.Data(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := core.Evaluate(patients.Data(), pert.Y, scheme.Describe(), core.StandardAttacks(sigma*sigma))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", report)
+
+	// Per-attribute leakage under the strongest attack.
+	top := report.MostDangerous()
+	fmt.Printf("Per-attribute reconstruction error of the %s attack (noise sd = %.0f):\n", top.Attack, sigma)
+	names := patients.Names()
+	vars := stat.ColumnVariances(patients.Data())
+	for j, name := range names {
+		fmt.Printf("  %-12s RMSE %6.2f  (%.0f%% of the added noise survives; attribute sd %.1f)\n",
+			name, top.ColumnRMSE[j], 100*top.ColumnRMSE[j]/sigma, math.Sqrt(vars[j]))
+	}
+	fmt.Println("\nCorrelated attributes (weight, bp, glucose, cholesterol, bmi) leak the")
+	fmt.Println("most: the attack exploits their shared structure to strip the noise.")
+}

@@ -1,0 +1,61 @@
+// Mining example: the other half of the PPDM bargain. Disguised data is
+// only useful if aggregate mining still works on it (§8.1). This example
+// (1) trains a naive Bayes classifier and runs k-means on original,
+// i.i.d.-disguised and correlated-disguised data, and (2) demonstrates
+// Warner's randomized response for a categorical attribute, recovering an
+// aggregate proportion from fully randomized answers.
+//
+// Run with: go run ./examples/mining
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"randpriv/internal/experiment"
+	"randpriv/internal/randomize"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(17))
+
+	// Part 1: classification and clustering utility under both schemes.
+	cfg := experiment.Config{N: 3000, Sigma2: 25, Seed: 17}
+	res, err := experiment.UtilityExperiment(cfg, 20, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Mining utility on disguised data ===")
+	fmt.Println(res)
+	fmt.Println()
+	fmt.Println("Both schemes keep the aggregate structure minable — the improved")
+	fmt.Println("scheme buys its extra privacy without giving up utility.")
+
+	// Part 2: Warner's randomized response on a sensitive boolean.
+	fmt.Println("\n=== Randomized response (Warner 1965) ===")
+	w, err := randomize.NewWarner(0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const truePrevalence = 0.12 // e.g. fraction with a sensitive condition
+	n := 50000
+	truth := make([]bool, n)
+	for i := range truth {
+		truth[i] = rng.Float64() < truePrevalence
+	}
+	observed := w.Perturb(truth, rng)
+
+	var rawRate float64
+	for _, v := range observed {
+		if v {
+			rawRate++
+		}
+	}
+	rawRate /= float64(n)
+
+	est := w.EstimateProportion(observed)
+	fmt.Printf("true prevalence:        %.4f\n", truePrevalence)
+	fmt.Printf("observed (randomized):  %.4f  — individually deniable\n", rawRate)
+	fmt.Printf("recovered estimate:     %.4f  — aggregate still accurate\n", est)
+}

@@ -1,0 +1,36 @@
+// Partial disclosure example: the paper's third disclosure channel (§3).
+// The adversary already knows a few attributes of every record through
+// side channels — "knowing that the patient Alice has diabetes and heart
+// problems, we might be able to estimate the other information about
+// her" — and conditions the Bayes attack on them. The example sweeps the
+// number of disclosed attributes and shows privacy of the *remaining*
+// attributes collapsing.
+//
+// Run with: go run ./examples/partial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"randpriv/internal/experiment"
+)
+
+func main() {
+	// Heavy noise (σ=20) on a narrow table: the regime where the
+	// disguised values alone cannot pin down the shared structure, so
+	// every side-channel disclosure visibly erodes the rest.
+	cfg := experiment.Config{N: 2000, Sigma2: 400, Seed: 8}
+	fig, err := experiment.PartialDisclosureSweep(cfg, 10, []int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fig)
+
+	first, last := fig.Points[0], fig.Points[len(fig.Points)-1]
+	fmt.Printf("\nWith %d of 10 attributes leaked, reconstruction error on the still-secret\n", last.Known)
+	fmt.Printf("attributes drops from %.2f to %.2f — %.0f%% of the remaining privacy gone,\n",
+		first.RMSE, last.RMSE, 100*(1-last.RMSE/first.RMSE))
+	fmt.Println("even though those attributes were never disclosed and remain randomized.")
+	fmt.Println("Correlation turns every side-channel leak into a leak of everything else.")
+}

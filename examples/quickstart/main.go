@@ -1,0 +1,50 @@
+// Quickstart: generate a correlated data set, disguise it with additive
+// random noise, and measure how much of it the paper's reconstruction
+// attacks recover.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"randpriv/internal/core"
+	"randpriv/internal/randomize"
+	"randpriv/internal/synth"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// 1. A data set of 1000 records over 20 attributes whose variance is
+	// concentrated on 3 principal directions — i.e. highly correlated,
+	// exactly the kind of data the paper shows randomization fails on.
+	spec := synth.Spectrum{M: 20, P: 3, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := synth.Generate(1000, vals, nil, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Disguise it the classic way: independent N(0, 25) noise per entry.
+	const sigma = 5.0
+	scheme := randomize.NewAdditiveGaussian(sigma)
+
+	// 3. Attack the disguised data with the full suite and report.
+	report, err := core.AssessPrivacy(ds.X, scheme, core.StandardAttacks(sigma*sigma), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+
+	top := report.MostDangerous()
+	fmt.Printf("\nThe %s attack reconstructed the data to within RMSE %.2f —\n", top.Attack, top.RMSE)
+	fmt.Printf("%.0f%% closer than the noise floor of %.2f. On correlated data,\n",
+		-100*top.GainVsNDR, report.NDRBaseline)
+	fmt.Println("additive randomization preserves far less privacy than the noise level suggests.")
+}

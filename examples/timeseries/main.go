@@ -1,0 +1,63 @@
+// Time-series example: the paper's second disclosure channel (§3,
+// "Sample Dependency"). A sensor owner publishes a randomized reading
+// stream; because consecutive samples are serially dependent, an
+// adversary can estimate the dependency *from the disguised stream
+// itself* and smooth most of the noise away — no cross-attribute
+// correlation needed.
+//
+// Run with: go run ./examples/timeseries
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"randpriv/internal/tseries"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// A slowly varying "daily load" signal: strongly persistent AR(1).
+	truth := tseries.AR1{Phi: 0.97, Q: 1.5, C: 120}
+	n := 4000
+	x := make([]float64, n)
+	prev := math.Sqrt(truth.MarginalVariance()) * rng.NormFloat64()
+	for t := 0; t < n; t++ {
+		prev = truth.Phi*prev + math.Sqrt(truth.Q)*rng.NormFloat64()
+		x[t] = truth.C + prev
+	}
+
+	// Publish with additive noise of sd 6 (variance 36).
+	sigma := 6.0
+	y := make([]float64, n)
+	for t := range y {
+		y[t] = x[t] + sigma*rng.NormFloat64()
+	}
+
+	// The attack: estimate the AR(1) structure from the disguised stream
+	// and run the Kalman/RTS smoother.
+	xhat, model, err := tseries.Reconstruct(y, sigma*sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mse := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return s / float64(len(a))
+	}
+
+	fmt.Printf("true model:      φ=%.3f  innovation var=%.2f  mean=%.1f\n", truth.Phi, truth.Q, truth.C)
+	fmt.Printf("estimated model: φ=%.3f  innovation var=%.2f  mean=%.1f\n", model.Phi, model.Q, model.C)
+	fmt.Printf("\nnoise added (NDR floor):   RMSE %.3f\n", math.Sqrt(mse(y, x)))
+	fmt.Printf("after smoothing attack:    RMSE %.3f\n", math.Sqrt(mse(xhat, x)))
+	fmt.Printf("noise removed:             %.0f%%\n", 100*(1-mse(xhat, x)/mse(y, x)))
+	fmt.Println("\nSerial dependency is as dangerous as attribute correlation: the")
+	fmt.Println("randomization's promised privacy shrinks to a fraction of the noise.")
+}

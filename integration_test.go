@@ -1,0 +1,230 @@
+package randpriv_test
+
+// End-to-end integration tests spanning the whole pipeline: synthetic
+// generation → randomization → attack → report, plus the cross-module
+// consistency properties that only show up when everything is wired
+// together.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/core"
+	"randpriv/internal/dataset"
+	"randpriv/internal/experiment"
+	"randpriv/internal/randomize"
+	"randpriv/internal/recon"
+	"randpriv/internal/stat"
+	"randpriv/internal/synth"
+	"randpriv/internal/tseries"
+)
+
+// TestFullPipelineOrdering is the headline integration check: on highly
+// correlated data the attack hierarchy of the paper must hold end to end:
+// BE-DR ≤ PCA-DR ≤ SF < UDR < NDR (RMSE).
+func TestFullPipelineOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := synth.Spectrum{M: 30, P: 4, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := synth.Generate(1500, vals, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigma2 = 25.0
+	scheme := randomize.NewAdditiveGaussian(math.Sqrt(sigma2))
+	report, err := core.AssessPrivacy(ds.X, scheme, core.StandardAttacks(sigma2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := map[string]float64{}
+	for _, r := range report.Results {
+		if r.Err != nil {
+			t.Fatalf("attack %s failed: %v", r.Attack, r.Err)
+		}
+		rmse[r.Attack] = r.RMSE
+	}
+	if !(rmse["BE-DR"] <= rmse["PCA-DR"]*1.03) {
+		t.Errorf("BE-DR %v should not trail PCA-DR %v", rmse["BE-DR"], rmse["PCA-DR"])
+	}
+	if !(rmse["PCA-DR"] < rmse["SF"]) {
+		t.Errorf("PCA-DR %v should beat SF %v in this regime", rmse["PCA-DR"], rmse["SF"])
+	}
+	if !(rmse["SF"] < rmse["UDR"]) {
+		t.Errorf("SF %v should beat UDR %v on correlated data", rmse["SF"], rmse["UDR"])
+	}
+	if !(rmse["UDR"] < report.NDRBaseline) {
+		t.Errorf("UDR %v should beat the NDR floor %v", rmse["UDR"], report.NDRBaseline)
+	}
+}
+
+// TestDefenseEndToEnd verifies the paper's bottom line across modules:
+// switching from i.i.d. to shape-matched correlated noise (same energy)
+// must strictly increase the best attack's RMSE.
+func TestDefenseEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := synth.Spectrum{M: 24, P: 6, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := synth.Generate(1200, vals, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigma2 = 25.0
+
+	iid := randomize.NewAdditiveGaussian(math.Sqrt(sigma2))
+	repIID, err := core.AssessPrivacy(ds.X, iid, core.StandardAttacks(sigma2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corr, err := randomize.NewCorrelatedLike(ds.Cov, sigma2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := corr.Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repCorr, err := core.Evaluate(ds.X, pert.Y, corr.Describe(),
+		core.CorrelatedNoiseAttacks(corr.NoiseCovariance(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := repIID.MostDangerous(), repCorr.MostDangerous()
+	if a == nil || b == nil {
+		t.Fatal("missing attack results")
+	}
+	if b.RMSE <= a.RMSE*1.2 {
+		t.Errorf("defense too weak: best attack RMSE %v (iid) vs %v (correlated)", a.RMSE, b.RMSE)
+	}
+	// Same noise energy on both sides.
+	if math.Abs(corr.AverageVariance()-sigma2) > 1e-9 {
+		t.Errorf("correlated scheme energy %v, want %v", corr.AverageVariance(), sigma2)
+	}
+}
+
+// TestCSVRoundTripThroughAttack pushes generated data through the dataset
+// layer (encode + decode) and verifies the attack result is unchanged —
+// guarding against precision loss in the I/O path.
+func TestCSVRoundTripThroughAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := synth.Spectrum{M: 6, P: 2, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := synth.Generate(400, vals, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigma2 = 25.0
+	pert, err := randomize.NewAdditiveGaussian(5).Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tbl, err := dataset.New(nil, pert.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	attack := recon.NewBEDR(sigma2)
+	direct, err := attack.Reconstruct(pert.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCSV, err := attack.Reconstruct(back.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.EqualApprox(viaCSV, 1e-9) {
+		t.Error("CSV round trip changed the reconstruction")
+	}
+}
+
+// TestFigureDeterminism: the experiment harness must print identical
+// series for identical configs.
+func TestFigureDeterminism(t *testing.T) {
+	cfg := experiment.Config{N: 200, Sigma2: 25, Seed: 42, SkipUDR: true}
+	a, err := experiment.Experiment1(cfg, []int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiment.Experiment1(cfg, []int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Experiment1 not deterministic under a fixed seed")
+	}
+}
+
+// TestCrossChannelAttacks: the two disclosure channels of §3 — attribute
+// correlation (BE-DR) and serial dependency (Kalman smoothing) — must
+// both, independently, beat the NDR floor on their respective structures.
+func TestCrossChannelAttacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+
+	// Channel 1: attribute correlation without serial structure.
+	spec := synth.Spectrum{M: 10, P: 2, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := synth.Generate(800, vals, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := randomize.NewAdditiveGaussian(5).Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := recon.NewBEDR(25).Reconstruct(pert.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.RMSE(xhat, ds.X) >= stat.RMSE(pert.Y, ds.X) {
+		t.Error("correlation channel attack failed to beat NDR")
+	}
+
+	// Channel 2: serial dependency in a single attribute.
+	n := 3000
+	x := make([]float64, n)
+	prev := 0.0
+	for i := range x {
+		prev = 0.95*prev + rng.NormFloat64()
+		x[i] = prev
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = x[i] + 2*rng.NormFloat64()
+	}
+	sm, _, err := tseries.Reconstruct(y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mseS, mseN float64
+	for i := range x {
+		mseS += (sm[i] - x[i]) * (sm[i] - x[i])
+		mseN += (y[i] - x[i]) * (y[i] - x[i])
+	}
+	if mseS >= mseN {
+		t.Error("serial channel attack failed to beat NDR")
+	}
+}

@@ -1,0 +1,229 @@
+package asr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/dist"
+)
+
+func TestReconstructEmptyInput(t *testing.T) {
+	_, err := Reconstruct(nil, dist.NewNormal(0, 1), Options{})
+	if !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestReconstructIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	noise := dist.NewNormal(0, 1)
+	y := make([]float64, 2000)
+	for i := range y {
+		y[i] = rng.NormFloat64()*2 + noise.Rand(rng)
+	}
+	d, err := Reconstruct(y, noise, Options{Bins: 80})
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	var acc float64
+	for _, f := range d.F {
+		acc += f
+	}
+	acc *= d.Width
+	if math.Abs(acc-1) > 1e-9 {
+		t.Errorf("∫f = %v, want 1", acc)
+	}
+}
+
+// For Gaussian X and Gaussian noise, the reconstructed density must match
+// the true X density (mean and variance recovered).
+func TestReconstructRecoversGaussianMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trueX := dist.NewNormal(3, 2)
+	noise := dist.NewNormal(0, 1)
+	n := 4000
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = trueX.Rand(rng) + noise.Rand(rng)
+	}
+	d, err := Reconstruct(y, noise, Options{Bins: 120, MaxIter: 200})
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	if got := d.Mean(); math.Abs(got-3) > 0.2 {
+		t.Errorf("reconstructed mean = %v, want ≈3", got)
+	}
+	// Variance must be close to Var(X)=4, NOT Var(Y)=5: the whole point
+	// of the procedure is deconvolving the noise.
+	if got := d.Variance(); math.Abs(got-4) > 0.6 {
+		t.Errorf("reconstructed variance = %v, want ≈4 (Var(Y)=5)", got)
+	}
+}
+
+// Bimodal X: the reconstruction must recover two modes that the disguised
+// data has smeared together.
+func TestReconstructRecoversBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	noise := dist.NewNormal(0, 1)
+	n := 6000
+	y := make([]float64, n)
+	for i := range y {
+		x := -4.0
+		if rng.Float64() < 0.5 {
+			x = 4.0
+		}
+		y[i] = x + noise.Rand(rng)
+	}
+	d, err := Reconstruct(y, noise, Options{Bins: 160, MaxIter: 300})
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	// Density near each mode must greatly exceed density at the midpoint.
+	mid := d.At(0)
+	left, right := d.At(-4), d.At(4)
+	if left < 4*mid || right < 4*mid {
+		t.Errorf("modes not separated: f(-4)=%v f(0)=%v f(4)=%v", left, mid, right)
+	}
+}
+
+func TestPosteriorMeanGaussianMatchesClosedForm(t *testing.T) {
+	// With X ~ N(mu, s²) and R ~ N(0, σ²) the posterior mean is the
+	// Wiener shrinkage mu + s²/(s²+σ²)·(y−mu). Feed the true Gaussian
+	// density through the grid machinery and compare.
+	mu, s, sigma := 1.0, 2.0, 1.0
+	noise := dist.NewNormal(0, sigma)
+	bins := 4000
+	lo, hi := mu-10*s, mu+10*s
+	width := (hi - lo) / float64(bins)
+	grid := make([]float64, bins)
+	f := make([]float64, bins)
+	trueX := dist.NewNormal(mu, s)
+	for i := range grid {
+		grid[i] = lo + (float64(i)+0.5)*width
+		f[i] = trueX.PDF(grid[i])
+	}
+	d := &Density{Grid: grid, F: f, Width: width}
+	shrink := s * s / (s*s + sigma*sigma)
+	for _, y := range []float64{-2, 0, 1, 3, 5} {
+		got := d.PosteriorMean(y, noise)
+		want := mu + shrink*(y-mu)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("PosteriorMean(%v) = %v, want %v", y, got, want)
+		}
+	}
+}
+
+func TestPosteriorMeanFallsBackToY(t *testing.T) {
+	d := &Density{Grid: []float64{0, 1}, F: []float64{0.5, 0.5}, Width: 1}
+	noise := dist.NewNormal(0, 0.1)
+	// y so far from the grid that the posterior mass underflows to zero.
+	y := 1e6
+	if got := d.PosteriorMean(y, noise); got != y {
+		t.Errorf("PosteriorMean far outside support = %v, want fallback %v", got, y)
+	}
+}
+
+func TestPosteriorMeansLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	noise := dist.NewNormal(0, 1)
+	y := make([]float64, 500)
+	for i := range y {
+		y[i] = rng.NormFloat64() + noise.Rand(rng)
+	}
+	d, err := Reconstruct(y, noise, Options{Bins: 60})
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	out := d.PosteriorMeans(y, noise)
+	if len(out) != len(y) {
+		t.Fatalf("PosteriorMeans length = %d, want %d", len(out), len(y))
+	}
+}
+
+// UDR must beat NDR: posterior-mean estimates have lower MSE than the raw
+// disguised values (this is Theorem 4.1 in action).
+func TestPosteriorMeanBeatsNDR(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trueX := dist.NewNormal(0, 1.5)
+	noise := dist.NewNormal(0, 1.5)
+	n := 3000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range y {
+		x[i] = trueX.Rand(rng)
+		y[i] = x[i] + noise.Rand(rng)
+	}
+	d, err := Reconstruct(y, noise, Options{Bins: 120, MaxIter: 200})
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	est := d.PosteriorMeans(y, noise)
+	var mseUDR, mseNDR float64
+	for i := range x {
+		mseUDR += (est[i] - x[i]) * (est[i] - x[i])
+		mseNDR += (y[i] - x[i]) * (y[i] - x[i])
+	}
+	if mseUDR >= mseNDR {
+		t.Errorf("UDR MSE %v not better than NDR MSE %v", mseUDR/float64(n), mseNDR/float64(n))
+	}
+	// For equal-variance Gaussians the optimal shrinkage halves the MSE.
+	ratio := mseUDR / mseNDR
+	if ratio > 0.62 {
+		t.Errorf("UDR/NDR MSE ratio = %v, want ≈0.5", ratio)
+	}
+}
+
+func TestAtOutsideGrid(t *testing.T) {
+	d := &Density{Grid: []float64{0.5, 1.5}, F: []float64{0.5, 0.5}, Width: 1}
+	if d.At(-10) != 0 || d.At(10) != 0 {
+		t.Error("At outside the grid must be 0")
+	}
+	if d.At(0.5) != 0.5 {
+		t.Errorf("At(0.5) = %v, want 0.5", d.At(0.5))
+	}
+}
+
+func TestAtEmptyDensity(t *testing.T) {
+	d := &Density{}
+	if d.At(0) != 0 {
+		t.Error("At on empty density must be 0")
+	}
+	if d.Mean() != 0 || d.Variance() != 0 {
+		t.Error("moments of empty density must be 0")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Bins != 100 || o.MaxIter != 100 || o.Tol != 1e-4 || o.Pad != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	d := &Density{Grid: []float64{0}, F: []float64{1}, Width: 1}
+	if d.String() == "" {
+		t.Error("String must be non-empty")
+	}
+}
+
+func TestReconstructConvergenceFlag(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	noise := dist.NewNormal(0, 1)
+	y := make([]float64, 1000)
+	for i := range y {
+		y[i] = rng.NormFloat64() + noise.Rand(rng)
+	}
+	d, err := Reconstruct(y, noise, Options{Bins: 50, MaxIter: 500, Tol: 1e-3})
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	if !d.Converged {
+		t.Error("expected convergence within 500 iterations at Tol=1e-3")
+	}
+	if d.Iterations <= 0 || d.Iterations > 500 {
+		t.Errorf("Iterations = %d out of range", d.Iterations)
+	}
+}

@@ -1,0 +1,261 @@
+// Package assoc implements association rule mining over boolean
+// transaction data: the Apriori algorithm, rule generation, and the
+// MASK-style support reconstruction of Rizvi & Haritsa (reference [21] of
+// Huang et al.) that mines itemsets from randomized-response-distorted
+// transactions. Together with package randomize's Warner scheme this is
+// the categorical counterpart of the paper's additive-noise pipeline, and
+// it powers the association example.
+package assoc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Itemset is a frequent itemset with its (estimated) support.
+type Itemset struct {
+	// Items are the item indices, ascending.
+	Items []int
+	// Support is the fraction of transactions containing every item.
+	Support float64
+}
+
+// Rule is an association rule X ⇒ Y with its quality measures.
+type Rule struct {
+	Antecedent []int
+	Consequent []int
+	Support    float64 // support of X ∪ Y
+	Confidence float64 // support(X ∪ Y) / support(X)
+}
+
+// String renders the rule compactly.
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %.3f, conf %.3f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// SupportCounter abstracts how itemset support is measured, so plain
+// counting (clean data) and MASK reconstruction (distorted data) share
+// the Apriori driver.
+type SupportCounter interface {
+	// Support returns the (estimated) support of the itemset in [0,1].
+	Support(items []int) float64
+	// Items returns the number of distinct items.
+	Items() int
+}
+
+// exactCounter counts supports directly on clean transactions.
+type exactCounter struct {
+	tx    [][]bool
+	items int
+}
+
+// NewExactCounter wraps clean transactions. All rows must have equal
+// length ≥ 1.
+func NewExactCounter(tx [][]bool) (SupportCounter, error) {
+	if len(tx) == 0 || len(tx[0]) == 0 {
+		return nil, fmt.Errorf("assoc: empty transaction set")
+	}
+	width := len(tx[0])
+	for i, row := range tx {
+		if len(row) != width {
+			return nil, fmt.Errorf("assoc: transaction %d has %d items, want %d", i, len(row), width)
+		}
+	}
+	return &exactCounter{tx: tx, items: width}, nil
+}
+
+func (c *exactCounter) Items() int { return c.items }
+
+func (c *exactCounter) Support(items []int) float64 {
+	if len(c.tx) == 0 {
+		return 0
+	}
+	var count int
+outer:
+	for _, row := range c.tx {
+		for _, it := range items {
+			if !row[it] {
+				continue outer
+			}
+		}
+		count++
+	}
+	return float64(count) / float64(len(c.tx))
+}
+
+// Apriori mines all frequent itemsets with support ≥ minSupport, up to
+// maxLen items per set (0 means unbounded). Results are sorted by length
+// then lexicographically.
+func Apriori(counter SupportCounter, minSupport float64, maxLen int) ([]Itemset, error) {
+	if counter == nil {
+		return nil, fmt.Errorf("assoc: nil support counter")
+	}
+	if minSupport <= 0 || minSupport > 1 {
+		return nil, fmt.Errorf("assoc: minSupport %v outside (0,1]", minSupport)
+	}
+	m := counter.Items()
+	if maxLen <= 0 || maxLen > m {
+		maxLen = m
+	}
+
+	var result []Itemset
+
+	// L1.
+	var current [][]int
+	for i := 0; i < m; i++ {
+		if s := counter.Support([]int{i}); s >= minSupport {
+			result = append(result, Itemset{Items: []int{i}, Support: s})
+			current = append(current, []int{i})
+		}
+	}
+
+	for k := 2; k <= maxLen && len(current) > 1; k++ {
+		candidates := generateCandidates(current)
+		var next [][]int
+		for _, cand := range candidates {
+			if !allSubsetsFrequent(cand, current) {
+				continue
+			}
+			if s := counter.Support(cand); s >= minSupport {
+				result = append(result, Itemset{Items: cand, Support: s})
+				next = append(next, cand)
+			}
+		}
+		current = next
+	}
+
+	sort.Slice(result, func(i, j int) bool {
+		a, b := result[i].Items, result[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return result, nil
+}
+
+// generateCandidates joins frequent (k−1)-itemsets sharing a (k−2)-prefix.
+func generateCandidates(frequent [][]int) [][]int {
+	var out [][]int
+	for i := 0; i < len(frequent); i++ {
+		for j := i + 1; j < len(frequent); j++ {
+			a, b := frequent[i], frequent[j]
+			k := len(a)
+			match := true
+			for x := 0; x < k-1; x++ {
+				if a[x] != b[x] {
+					match = false
+					break
+				}
+			}
+			if !match || a[k-1] >= b[k-1] {
+				continue
+			}
+			cand := make([]int, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// allSubsetsFrequent applies the Apriori pruning rule: every (k−1)-subset
+// of a candidate must itself be frequent.
+func allSubsetsFrequent(cand []int, frequent [][]int) bool {
+	sub := make([]int, len(cand)-1)
+	for drop := range cand {
+		sub = sub[:0]
+		for i, v := range cand {
+			if i != drop {
+				sub = append(sub, v)
+			}
+		}
+		if !containsSet(frequent, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsSet(sets [][]int, want []int) bool {
+outer:
+	for _, s := range sets {
+		if len(s) != len(want) {
+			continue
+		}
+		for i := range s {
+			if s[i] != want[i] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Rules derives all association rules with confidence ≥ minConfidence
+// from the frequent itemsets (single-consequent rules, the classic
+// Agrawal–Srikant form).
+func Rules(itemsets []Itemset, minConfidence float64) ([]Rule, error) {
+	if minConfidence <= 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("assoc: minConfidence %v outside (0,1]", minConfidence)
+	}
+	// Index supports for antecedent lookups.
+	support := make(map[string]float64, len(itemsets))
+	for _, is := range itemsets {
+		support[setKey(is.Items)] = is.Support
+	}
+	var out []Rule
+	for _, is := range itemsets {
+		if len(is.Items) < 2 {
+			continue
+		}
+		for drop := range is.Items {
+			ante := make([]int, 0, len(is.Items)-1)
+			for i, v := range is.Items {
+				if i != drop {
+					ante = append(ante, v)
+				}
+			}
+			anteSup, ok := support[setKey(ante)]
+			if !ok || anteSup <= 0 {
+				continue
+			}
+			conf := is.Support / anteSup
+			if conf > 1 {
+				// Reconstructed supports carry estimation noise that can
+				// push the ratio past 1; confidence is a probability.
+				conf = 1
+			}
+			if conf >= minConfidence {
+				out = append(out, Rule{
+					Antecedent: ante,
+					Consequent: []int{is.Items[drop]},
+					Support:    is.Support,
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Support > out[j].Support
+	})
+	return out, nil
+}
+
+func setKey(items []int) string {
+	b := make([]byte, 0, len(items)*3)
+	for _, v := range items {
+		b = append(b, byte(v), byte(v>>8), ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,310 @@
+package assoc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tinyBasket is a classic worked example: items 0=bread, 1=milk,
+// 2=butter, 3=beer.
+func tinyBasket() [][]bool {
+	return [][]bool{
+		{true, true, true, false},
+		{true, true, false, false},
+		{true, false, true, false},
+		{true, true, true, false},
+		{false, false, false, true},
+		{true, true, false, false},
+		{false, true, false, true},
+		{true, true, true, false},
+	}
+}
+
+func findSet(sets []Itemset, items ...int) *Itemset {
+	for i := range sets {
+		if len(sets[i].Items) != len(items) {
+			continue
+		}
+		match := true
+		for j := range items {
+			if sets[i].Items[j] != items[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return &sets[i]
+		}
+	}
+	return nil
+}
+
+func TestNewExactCounterValidation(t *testing.T) {
+	if _, err := NewExactCounter(nil); err == nil {
+		t.Error("empty transactions must error")
+	}
+	if _, err := NewExactCounter([][]bool{{true}, {true, false}}); err == nil {
+		t.Error("ragged transactions must error")
+	}
+}
+
+func TestAprioriKnownSupports(t *testing.T) {
+	counter, err := NewExactCounter(tinyBasket())
+	if err != nil {
+		t.Fatalf("NewExactCounter: %v", err)
+	}
+	sets, err := Apriori(counter, 0.3, 0)
+	if err != nil {
+		t.Fatalf("Apriori: %v", err)
+	}
+	// bread: 6/8, milk: 6/8, butter: 4/8, {bread,milk}: 5/8.
+	if s := findSet(sets, 0); s == nil || math.Abs(s.Support-0.75) > 1e-12 {
+		t.Errorf("support(bread) = %+v, want 0.75", s)
+	}
+	if s := findSet(sets, 0, 1); s == nil || math.Abs(s.Support-0.625) > 1e-12 {
+		t.Errorf("support(bread,milk) = %+v, want 0.625", s)
+	}
+	// beer (2/8=0.25) is below minSupport.
+	if findSet(sets, 3) != nil {
+		t.Error("beer should not be frequent at 0.3")
+	}
+	// {bread,milk,butter}: 3/8 = 0.375 frequent.
+	if s := findSet(sets, 0, 1, 2); s == nil || math.Abs(s.Support-0.375) > 1e-12 {
+		t.Errorf("support(bread,milk,butter) = %+v, want 0.375", s)
+	}
+}
+
+func TestAprioriValidation(t *testing.T) {
+	counter, _ := NewExactCounter(tinyBasket())
+	if _, err := Apriori(nil, 0.5, 0); err == nil {
+		t.Error("nil counter must error")
+	}
+	if _, err := Apriori(counter, 0, 0); err == nil {
+		t.Error("minSupport=0 must error")
+	}
+	if _, err := Apriori(counter, 1.5, 0); err == nil {
+		t.Error("minSupport>1 must error")
+	}
+}
+
+func TestAprioriMaxLen(t *testing.T) {
+	counter, _ := NewExactCounter(tinyBasket())
+	sets, err := Apriori(counter, 0.3, 1)
+	if err != nil {
+		t.Fatalf("Apriori: %v", err)
+	}
+	for _, s := range sets {
+		if len(s.Items) > 1 {
+			t.Fatalf("maxLen=1 produced %v", s.Items)
+		}
+	}
+}
+
+func TestAprioriAntiMonotone(t *testing.T) {
+	// Property: every subset of a frequent itemset is frequent with
+	// support at least as large.
+	counter, _ := NewExactCounter(tinyBasket())
+	sets, err := Apriori(counter, 0.25, 0)
+	if err != nil {
+		t.Fatalf("Apriori: %v", err)
+	}
+	for _, s := range sets {
+		if len(s.Items) < 2 {
+			continue
+		}
+		for drop := range s.Items {
+			sub := make([]int, 0, len(s.Items)-1)
+			for i, v := range s.Items {
+				if i != drop {
+					sub = append(sub, v)
+				}
+			}
+			parent := findSet(sets, sub...)
+			if parent == nil {
+				t.Fatalf("subset %v of frequent %v missing", sub, s.Items)
+			}
+			if parent.Support < s.Support-1e-12 {
+				t.Fatalf("support(%v)=%v < support(%v)=%v violates anti-monotonicity",
+					sub, parent.Support, s.Items, s.Support)
+			}
+		}
+	}
+}
+
+func TestRulesKnownConfidence(t *testing.T) {
+	counter, _ := NewExactCounter(tinyBasket())
+	sets, err := Apriori(counter, 0.3, 0)
+	if err != nil {
+		t.Fatalf("Apriori: %v", err)
+	}
+	rules, err := Rules(sets, 0.7)
+	if err != nil {
+		t.Fatalf("Rules: %v", err)
+	}
+	// bread ⇒ milk: 0.625/0.75 = 0.833…
+	var found bool
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == 0 &&
+			len(r.Consequent) == 1 && r.Consequent[0] == 1 {
+			found = true
+			if math.Abs(r.Confidence-5.0/6) > 1e-12 {
+				t.Errorf("conf(bread⇒milk) = %v, want 5/6", r.Confidence)
+			}
+			if r.String() == "" {
+				t.Error("rule String must be non-empty")
+			}
+		}
+	}
+	if !found {
+		t.Error("rule bread⇒milk missing")
+	}
+	// Sorted by confidence descending.
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].Confidence < rules[i].Confidence {
+			t.Error("rules not sorted by confidence")
+		}
+	}
+}
+
+func TestRulesValidation(t *testing.T) {
+	if _, err := Rules(nil, 0); err == nil {
+		t.Error("minConfidence=0 must error")
+	}
+	if _, err := Rules(nil, 2); err == nil {
+		t.Error("minConfidence>1 must error")
+	}
+}
+
+func TestNewMASKValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, 0.5, -1} {
+		if _, err := NewMASK(p); err == nil {
+			t.Errorf("NewMASK(%v) must error", p)
+		}
+	}
+}
+
+func TestMaskCounterValidation(t *testing.T) {
+	m, _ := NewMASK(0.9)
+	if _, err := NewMaskCounter(nil, m); err == nil {
+		t.Error("empty transactions must error")
+	}
+	if _, err := NewMaskCounter([][]bool{{true}}, MASK{P: 0.5}); err == nil {
+		t.Error("invalid MASK parameters must error")
+	}
+	if _, err := NewMaskCounter([][]bool{{true}, {true, false}}, m); err == nil {
+		t.Error("ragged transactions must error")
+	}
+}
+
+// MASK support reconstruction must recover the true supports from heavily
+// distorted data.
+func TestMaskSupportReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 60000
+	tx := make([][]bool, n)
+	// Items: 0 with support 0.6; 1 = 0 with prob 0.8 (correlated);
+	// 2 independent with support 0.3.
+	for i := range tx {
+		a := rng.Float64() < 0.6
+		b := a
+		if rng.Float64() > 0.8 {
+			b = !b
+		}
+		c := rng.Float64() < 0.3
+		tx[i] = []bool{a, b, c}
+	}
+	m, _ := NewMASK(0.85)
+	distorted := m.Distort(tx, rng)
+
+	clean, _ := NewExactCounter(tx)
+	masked, err := NewMaskCounter(distorted, m)
+	if err != nil {
+		t.Fatalf("NewMaskCounter: %v", err)
+	}
+	for _, items := range [][]int{{0}, {1}, {2}, {0, 1}, {0, 2}, {0, 1, 2}} {
+		want := clean.Support(items)
+		got := masked.Support(items)
+		if math.Abs(got-want) > 0.025 {
+			t.Errorf("itemset %v: reconstructed %v, true %v", items, got, want)
+		}
+	}
+}
+
+// Mining on distorted data must find the same frequent itemsets as clean
+// mining at a comfortable support margin.
+func TestAprioriOnMaskedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 40000
+	tx := make([][]bool, n)
+	for i := range tx {
+		base := rng.Float64() < 0.5
+		tx[i] = []bool{
+			base,
+			base != (rng.Float64() < 0.1),
+			rng.Float64() < 0.15,
+			base != (rng.Float64() < 0.2),
+		}
+	}
+	m, _ := NewMASK(0.9)
+	distorted := m.Distort(tx, rng)
+
+	clean, _ := NewExactCounter(tx)
+	masked, _ := NewMaskCounter(distorted, m)
+	const minSup = 0.3
+	want, err := Apriori(clean, minSup, 3)
+	if err != nil {
+		t.Fatalf("clean Apriori: %v", err)
+	}
+	got, err := Apriori(masked, minSup, 3)
+	if err != nil {
+		t.Fatalf("masked Apriori: %v", err)
+	}
+	// Compare the frequent sets ignoring borderline cases near minSup.
+	for _, w := range want {
+		if w.Support < minSup+0.05 {
+			continue
+		}
+		g := findSet(got, w.Items...)
+		if g == nil {
+			t.Errorf("frequent set %v (sup %v) missing from masked mining", w.Items, w.Support)
+			continue
+		}
+		if math.Abs(g.Support-w.Support) > 0.03 {
+			t.Errorf("set %v: masked support %v, clean %v", w.Items, g.Support, w.Support)
+		}
+	}
+}
+
+func TestMaskSupportClampsAndBounds(t *testing.T) {
+	m, _ := NewMASK(0.9)
+	counter, err := NewMaskCounter([][]bool{{false, false}, {false, false}}, m)
+	if err != nil {
+		t.Fatalf("NewMaskCounter: %v", err)
+	}
+	// All-false observations: raw estimate can go negative; must clamp.
+	if got := counter.Support([]int{0}); got != 0 {
+		t.Errorf("clamped support = %v, want 0", got)
+	}
+	if got := counter.Support(nil); got != 0 {
+		t.Errorf("empty itemset support = %v, want 0", got)
+	}
+	wide := make([]int, MaxReconstructedItemset+1)
+	if got := counter.Support(wide); got != 0 {
+		t.Errorf("over-wide itemset support = %v, want 0", got)
+	}
+}
+
+func TestDistortPreservesShape(t *testing.T) {
+	m, _ := NewMASK(0.7)
+	rng := rand.New(rand.NewSource(3))
+	tx := [][]bool{{true, false}, {false, true}, {true, true}}
+	out := m.Distort(tx, rng)
+	if len(out) != 3 || len(out[0]) != 2 {
+		t.Fatalf("shape changed: %v", out)
+	}
+	// Input untouched.
+	if !tx[0][0] || tx[0][1] {
+		t.Error("Distort mutated its input")
+	}
+}

@@ -1,0 +1,128 @@
+package assoc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MASK is the Rizvi–Haritsa scheme for privacy-preserving association
+// rule mining: every item bit of every transaction is reported truthfully
+// with probability P and flipped with probability 1−P (per-item Warner
+// randomized response). Supports are then reconstructed from the
+// distorted database by inverting the distortion operator.
+//
+// For a k-itemset, the distribution over the 2^k observed bit patterns o
+// relates to the true distribution t by o = M^{⊗k}·t where
+// M = [[p, 1−p], [1−p, p]]; applying (M⁻¹)^{⊗k} to the observed pattern
+// counts recovers the true support as the all-ones entry.
+type MASK struct {
+	// P is the per-bit truth probability, in (0,1) and ≠ 0.5.
+	P float64
+}
+
+// NewMASK validates p.
+func NewMASK(p float64) (MASK, error) {
+	if p <= 0 || p >= 1 || p == 0.5 {
+		return MASK{}, fmt.Errorf("assoc: MASK p = %v, must be in (0,1) and ≠ 0.5", p)
+	}
+	return MASK{P: p}, nil
+}
+
+// Distort flips each bit independently with probability 1−P.
+func (m MASK) Distort(tx [][]bool, rng *rand.Rand) [][]bool {
+	out := make([][]bool, len(tx))
+	for i, row := range tx {
+		dst := make([]bool, len(row))
+		for j, v := range row {
+			if rng.Float64() < m.P {
+				dst[j] = v
+			} else {
+				dst[j] = !v
+			}
+		}
+		out[i] = dst
+	}
+	return out
+}
+
+// maskCounter implements SupportCounter over distorted transactions by
+// inverting the distortion tensor per queried itemset.
+type maskCounter struct {
+	tx    [][]bool
+	items int
+	m     MASK
+	// maxK bounds the itemset width (pattern counting is 2^k).
+	maxK int
+}
+
+// MaxReconstructedItemset bounds the itemset width MASK reconstruction
+// accepts: 2^k pattern cells must stay small and the variance of the
+// estimator grows as (2p−1)^{−2k}.
+const MaxReconstructedItemset = 12
+
+// NewMaskCounter wraps a distorted transaction set for support
+// reconstruction under the given MASK parameters.
+func NewMaskCounter(distorted [][]bool, m MASK) (SupportCounter, error) {
+	if len(distorted) == 0 || len(distorted[0]) == 0 {
+		return nil, fmt.Errorf("assoc: empty transaction set")
+	}
+	if _, err := NewMASK(m.P); err != nil {
+		return nil, err
+	}
+	width := len(distorted[0])
+	for i, row := range distorted {
+		if len(row) != width {
+			return nil, fmt.Errorf("assoc: transaction %d has %d items, want %d", i, len(row), width)
+		}
+	}
+	return &maskCounter{tx: distorted, items: width, m: m, maxK: MaxReconstructedItemset}, nil
+}
+
+func (c *maskCounter) Items() int { return c.items }
+
+// Support reconstructs the true support of the itemset from distorted
+// pattern counts. Estimates are clamped to [0,1].
+func (c *maskCounter) Support(items []int) float64 {
+	k := len(items)
+	if k == 0 || k > c.maxK {
+		return 0
+	}
+	// Count observed bit patterns over the queried items.
+	counts := make([]float64, 1<<k)
+	for _, row := range c.tx {
+		idx := 0
+		for b, it := range items {
+			if row[it] {
+				idx |= 1 << b
+			}
+		}
+		counts[idx]++
+	}
+	n := float64(len(c.tx))
+	for i := range counts {
+		counts[i] /= n
+	}
+	// Apply (M⁻¹)^{⊗k} one bit at a time. M⁻¹ = 1/(2p−1)·[[p, p−1],[p−1, p]].
+	p := c.m.P
+	d := 2*p - 1
+	a, b := p/d, (p-1)/d
+	for bit := 0; bit < k; bit++ {
+		stride := 1 << bit
+		for base := 0; base < len(counts); base++ {
+			if base&stride != 0 {
+				continue
+			}
+			lo, hi := counts[base], counts[base|stride]
+			counts[base] = a*lo + b*hi
+			counts[base|stride] = b*lo + a*hi
+		}
+	}
+	est := counts[len(counts)-1] // the all-ones pattern = joint support
+	if est < 0 {
+		return 0
+	}
+	if est > 1 {
+		return 1
+	}
+	return est
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/randomize"
+	"randpriv/internal/recon"
+	"randpriv/internal/synth"
+)
+
+func makeData(t *testing.T, seed int64) *synth.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	spec := synth.Spectrum{M: 10, P: 2, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatalf("spectrum: %v", err)
+	}
+	ds, err := synth.Generate(600, vals, nil, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return ds
+}
+
+func TestAssessPrivacyRanksAttacks(t *testing.T) {
+	ds := makeData(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	sigma2 := 16.0
+	scheme := randomize.NewAdditiveGaussian(4)
+	report, err := AssessPrivacy(ds.X, scheme, StandardAttacks(sigma2), rng)
+	if err != nil {
+		t.Fatalf("AssessPrivacy: %v", err)
+	}
+	if len(report.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(report.Results))
+	}
+	// Sorted ascending by RMSE.
+	for i := 1; i < len(report.Results); i++ {
+		if report.Results[i-1].RMSE > report.Results[i].RMSE {
+			t.Error("results not sorted by RMSE")
+		}
+	}
+	// On highly correlated data BE-DR must rank first (paper's headline).
+	if top := report.MostDangerous(); top == nil || top.Attack != "BE-DR" {
+		t.Errorf("most dangerous attack = %+v, want BE-DR", top)
+	}
+	// Every correlation attack must beat the NDR baseline here.
+	for _, r := range report.Results {
+		if r.Err != nil {
+			t.Errorf("attack %s failed: %v", r.Attack, r.Err)
+			continue
+		}
+		if r.Attack != "UDR" && r.RMSE >= report.NDRBaseline {
+			t.Errorf("attack %s RMSE %v did not beat NDR %v", r.Attack, r.RMSE, report.NDRBaseline)
+		}
+		if len(r.ColumnRMSE) != 10 {
+			t.Errorf("attack %s per-column breakdown has %d entries", r.Attack, len(r.ColumnRMSE))
+		}
+	}
+}
+
+func TestEvaluateShapeMismatch(t *testing.T) {
+	if _, err := Evaluate(mat.Zeros(2, 2), mat.Zeros(3, 2), "x", nil); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestEvaluateFailedAttackSinksToBottom(t *testing.T) {
+	ds := makeData(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	pert, err := randomize.NewAdditiveGaussian(4).Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatalf("perturb: %v", err)
+	}
+	attacks := []recon.Reconstructor{
+		recon.NewPCADR(16),
+		recon.NewPCADR(-1), // invalid: fails at Reconstruct
+	}
+	report, err := Evaluate(ds.X, pert.Y, "test", attacks)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	last := report.Results[len(report.Results)-1]
+	if last.Err == nil {
+		t.Error("failed attack must sort last")
+	}
+	if report.MostDangerous() == nil {
+		t.Error("MostDangerous must skip failures and find PCA-DR")
+	}
+	// String must render both success and failure rows.
+	s := report.String()
+	if !strings.Contains(s, "PCA-DR") || !strings.Contains(s, "NDR baseline") {
+		t.Errorf("report rendering incomplete:\n%s", s)
+	}
+}
+
+func TestMostDangerousAllFailed(t *testing.T) {
+	report := &PrivacyReport{Results: []AttackResult{{Attack: "x", Err: errFake}}}
+	if report.MostDangerous() != nil {
+		t.Error("MostDangerous must be nil when every attack failed")
+	}
+}
+
+var errFake = errTest("fake")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestCorrelatedNoiseAttacks(t *testing.T) {
+	ds := makeData(t, 5)
+	rng := rand.New(rand.NewSource(6))
+	scheme, err := randomize.NewCorrelatedLike(ds.Cov, 16)
+	if err != nil {
+		t.Fatalf("NewCorrelatedLike: %v", err)
+	}
+	attacks := CorrelatedNoiseAttacks(scheme.NoiseCovariance(), nil)
+	if len(attacks) != 3 {
+		t.Fatalf("attacks = %d, want 3", len(attacks))
+	}
+	report, err := AssessPrivacy(ds.X, scheme, attacks, rng)
+	if err != nil {
+		t.Fatalf("AssessPrivacy: %v", err)
+	}
+	for _, r := range report.Results {
+		if r.Err != nil {
+			t.Errorf("attack %s failed: %v", r.Attack, r.Err)
+		}
+	}
+}
+
+func TestRunAttackPropagatesError(t *testing.T) {
+	y := mat.Zeros(2, 2)
+	res, err := RunAttack(y, y, recon.NewPCADR(-5))
+	if err == nil {
+		t.Fatal("invalid attack must error")
+	}
+	if res.Err == nil || res.Attack != "PCA-DR" {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestStandardAttacksDegenerateSigma(t *testing.T) {
+	// σ²<=0 still returns a suite; the attacks themselves report errors.
+	attacks := StandardAttacks(0)
+	if len(attacks) != 4 {
+		t.Fatalf("attacks = %d, want 4", len(attacks))
+	}
+	y := mat.Zeros(3, 2)
+	if _, err := attacks[2].Reconstruct(y); err == nil {
+		t.Error("PCA-DR with σ²=0 must error at Reconstruct")
+	}
+}

@@ -1,0 +1,180 @@
+// Package dataset provides a small tabular abstraction — named numeric
+// columns over a dense matrix — together with CSV encode/decode, summary
+// statistics and splitting utilities. It is the I/O layer the CLI and the
+// examples use to move original/disguised data sets around.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stat"
+)
+
+// Table is an n×m numeric data set with named attributes.
+type Table struct {
+	names []string
+	data  *mat.Dense
+}
+
+// New builds a table over data with the given attribute names. A nil
+// names slice generates names a0, a1, ….
+func New(names []string, data *mat.Dense) (*Table, error) {
+	_, m := data.Dims()
+	if names == nil {
+		names = make([]string, m)
+		for j := range names {
+			names[j] = fmt.Sprintf("a%d", j)
+		}
+	}
+	if len(names) != m {
+		return nil, fmt.Errorf("dataset: %d names for %d columns", len(names), m)
+	}
+	seen := make(map[string]bool, m)
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("dataset: empty attribute name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", n)
+		}
+		seen[n] = true
+	}
+	return &Table{names: append([]string(nil), names...), data: data}, nil
+}
+
+// Names returns a copy of the attribute names.
+func (t *Table) Names() []string { return append([]string(nil), t.names...) }
+
+// Data returns the underlying matrix (not a copy; treat as read-only).
+func (t *Table) Data() *mat.Dense { return t.data }
+
+// Dims returns rows and columns.
+func (t *Table) Dims() (n, m int) { return t.data.Dims() }
+
+// Column returns a copy of the named column's values.
+func (t *Table) Column(name string) ([]float64, error) {
+	for j, n := range t.names {
+		if n == name {
+			return t.data.Col(j), nil
+		}
+	}
+	return nil, fmt.Errorf("dataset: no attribute %q", name)
+}
+
+// WriteCSV writes the table with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.names); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	n, m := t.data.Dims()
+	row := make([]string, m)
+	for i := 0; i < n; i++ {
+		raw := t.data.RawRow(i)
+		for j, v := range raw {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table with a header row of attribute names.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	m := len(header)
+	var rows [][]float64
+	for lineNo := 2; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		if len(rec) != m {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", lineNo, len(rec), m)
+		}
+		row := make([]float64, m)
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %q: %w", lineNo, header[j], err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return New(header, mat.Zeros(0, m))
+	}
+	return New(header, mat.NewFromRows(rows))
+}
+
+// Summary describes one attribute of a table.
+type Summary struct {
+	Name             string
+	Mean, StdDev     float64
+	Min, Median, Max float64
+}
+
+// Summarize computes per-attribute summaries.
+func (t *Table) Summarize() []Summary {
+	_, m := t.data.Dims()
+	out := make([]Summary, m)
+	for j := 0; j < m; j++ {
+		col := t.data.Col(j)
+		out[j] = Summary{
+			Name:   t.names[j],
+			Mean:   stat.Mean(col),
+			StdDev: stat.StdDev(col),
+			Min:    stat.Quantile(col, 0),
+			Median: stat.Quantile(col, 0.5),
+			Max:    stat.Quantile(col, 1),
+		}
+	}
+	return out
+}
+
+// Split partitions the rows into two tables: the first gets frac of the
+// rows (rounded down, at least 0), shuffled by rng. It is used by the
+// mining example for train/test evaluation.
+func (t *Table) Split(frac float64, rng *rand.Rand) (*Table, *Table, error) {
+	if frac < 0 || frac > 1 {
+		return nil, nil, fmt.Errorf("dataset: split fraction %v outside [0,1]", frac)
+	}
+	n, m := t.data.Dims()
+	idx := rng.Perm(n)
+	cut := int(frac * float64(n))
+	first := mat.Zeros(cut, m)
+	second := mat.Zeros(n-cut, m)
+	for i, src := range idx {
+		if i < cut {
+			first.SetRow(i, t.data.Row(src))
+		} else {
+			second.SetRow(i-cut, t.data.Row(src))
+		}
+	}
+	a, err := New(t.names, first)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := New(t.names, second)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}

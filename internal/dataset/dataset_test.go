@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"randpriv/internal/mat"
+)
+
+func TestNewGeneratesNames(t *testing.T) {
+	tb, err := New(nil, mat.Zeros(2, 3))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	names := tb.Names()
+	if len(names) != 3 || names[0] != "a0" || names[2] != "a2" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{"x"}, mat.Zeros(1, 2)); err == nil {
+		t.Error("name count mismatch must error")
+	}
+	if _, err := New([]string{"x", "x"}, mat.Zeros(1, 2)); err == nil {
+		t.Error("duplicate names must error")
+	}
+	if _, err := New([]string{"", "y"}, mat.Zeros(1, 2)); err == nil {
+		t.Error("empty name must error")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tb, _ := New([]string{"x", "y"}, mat.NewFromRows([][]float64{{1, 2}, {3, 4}}))
+	col, err := tb.Column("y")
+	if err != nil {
+		t.Fatalf("Column: %v", err)
+	}
+	if col[0] != 2 || col[1] != 4 {
+		t.Errorf("Column(y) = %v", col)
+	}
+	if _, err := tb.Column("z"); err == nil {
+		t.Error("unknown column must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb, _ := New([]string{"age", "income"}, mat.NewFromRows([][]float64{
+		{34, 51000.5},
+		{58, 72000},
+		{-1.25, 0},
+	}))
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got := back.Names(); got[0] != "age" || got[1] != "income" {
+		t.Errorf("Names = %v", got)
+	}
+	if !back.Data().EqualApprox(tb.Data(), 1e-12) {
+		t.Error("round-trip data mismatch")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,foo\n")); err == nil {
+		t.Error("non-numeric field must error")
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if n, m := tb.Dims(); n != 0 || m != 2 {
+		t.Errorf("Dims = %d,%d, want 0,2", n, m)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tb, _ := New([]string{"v"}, mat.NewFromRows([][]float64{{1}, {2}, {3}, {4}, {5}}))
+	s := tb.Summarize()
+	if len(s) != 1 {
+		t.Fatalf("summaries = %d, want 1", len(s))
+	}
+	if s[0].Name != "v" || s[0].Mean != 3 || s[0].Median != 3 || s[0].Min != 1 || s[0].Max != 5 {
+		t.Errorf("Summary = %+v", s[0])
+	}
+}
+
+func TestSplit(t *testing.T) {
+	tb, _ := New(nil, mat.NewFromRows([][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}}))
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := tb.Split(0.7, rng)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	nTrain, _ := train.Dims()
+	nTest, _ := test.Dims()
+	if nTrain != 7 || nTest != 3 {
+		t.Errorf("split sizes %d/%d, want 7/3", nTrain, nTest)
+	}
+	// Every original value appears exactly once across the two halves.
+	seen := map[float64]int{}
+	for i := 0; i < nTrain; i++ {
+		seen[train.Data().At(i, 0)]++
+	}
+	for i := 0; i < nTest; i++ {
+		seen[test.Data().At(i, 0)]++
+	}
+	for v := 1.0; v <= 10; v++ {
+		if seen[v] != 1 {
+			t.Errorf("value %v appears %d times", v, seen[v])
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	tb, _ := New(nil, mat.Zeros(4, 1))
+	if _, _, err := tb.Split(-0.1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative fraction must error")
+	}
+	if _, _, err := tb.Split(1.1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("fraction > 1 must error")
+	}
+}

@@ -1,0 +1,205 @@
+// Package dtree implements privacy-preserving decision tree building in
+// the style of Du & Zhan (reference [7] of Huang et al.): an ID3 tree
+// over boolean attributes whose split statistics are estimated from
+// randomized-response-distorted data. The same inverse-distortion
+// machinery that reconstructs itemset supports (package assoc) recovers
+// the class-conditional counts information gain needs, so the miner
+// never sees a truthful record yet learns (approximately) the true tree.
+package dtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Literal is a condition "column Col has value Val".
+type Literal struct {
+	Col int
+	Val bool
+}
+
+// Estimator supplies (estimated) probabilities of literal conjunctions
+// over the data set — truthfully for clean data, reconstructed for
+// distorted data.
+type Estimator interface {
+	// Prob returns the estimated probability that a random record
+	// satisfies every literal. An empty conjunction has probability 1.
+	Prob(cond []Literal) float64
+	// Columns returns the number of boolean columns (features + class).
+	Columns() int
+}
+
+// Config controls tree induction.
+type Config struct {
+	// MaxDepth bounds the tree depth (default 4).
+	MaxDepth int
+	// MinProb stops splitting nodes whose reach probability is below
+	// this mass (default 0.01) — estimated counts below it are noise.
+	MinProb float64
+	// MinGain stops splitting when the best information gain is below
+	// this threshold (default 1e-4).
+	MinGain float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.MinProb <= 0 {
+		c.MinProb = 0.01
+	}
+	if c.MinGain <= 0 {
+		c.MinGain = 1e-4
+	}
+	return c
+}
+
+// Node is a decision tree node: either a split on a feature or a leaf
+// with a class prediction.
+type Node struct {
+	// Leaf marks terminal nodes.
+	Leaf bool
+	// Class is the prediction at a leaf.
+	Class bool
+	// Feature is the split column for internal nodes.
+	Feature int
+	// True and False are the subtrees for feature = true / false.
+	True, False *Node
+}
+
+// Tree is a trained classifier over boolean features.
+type Tree struct {
+	root     *Node
+	features int
+}
+
+// Root returns the tree's root node, for inspection and rendering.
+func (t *Tree) Root() *Node { return t.root }
+
+// Predict classifies one feature vector.
+func (t *Tree) Predict(features []bool) (bool, error) {
+	if len(features) != t.features {
+		return false, fmt.Errorf("dtree: feature length %d, want %d", len(features), t.features)
+	}
+	n := t.root
+	for !n.Leaf {
+		if features[n.Feature] {
+			n = n.True
+		} else {
+			n = n.False
+		}
+	}
+	return n.Class, nil
+}
+
+// Depth returns the tree depth (a lone leaf has depth 0).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *Node) int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	dt, df := depth(n.True), depth(n.False)
+	if dt > df {
+		return dt + 1
+	}
+	return df + 1
+}
+
+// Build induces an ID3 tree from the estimator. The class is the LAST
+// column of the estimator; the remaining columns are features.
+func Build(est Estimator, cfg Config) (*Tree, error) {
+	if est == nil {
+		return nil, fmt.Errorf("dtree: nil estimator")
+	}
+	cols := est.Columns()
+	if cols < 2 {
+		return nil, fmt.Errorf("dtree: need at least one feature and a class, got %d columns", cols)
+	}
+	cfg = cfg.withDefaults()
+	features := cols - 1
+	used := make([]bool, features)
+	root := grow(est, cfg, nil, used, 0, features)
+	return &Tree{root: root, features: features}, nil
+}
+
+// grow recursively builds the subtree under the given path condition.
+func grow(est Estimator, cfg Config, path []Literal, used []bool, d, features int) *Node {
+	classCol := features
+	reach := est.Prob(path)
+	posProb := est.Prob(append(append([]Literal{}, path...), Literal{classCol, true}))
+	majority := posProb*2 >= reach
+
+	if d >= cfg.MaxDepth || reach < cfg.MinProb {
+		return &Node{Leaf: true, Class: majority}
+	}
+	baseEntropy := entropy(safeDiv(posProb, reach))
+	if baseEntropy == 0 {
+		return &Node{Leaf: true, Class: majority}
+	}
+
+	bestFeat, bestGain := -1, 0.0
+	for f := 0; f < features; f++ {
+		if used[f] {
+			continue
+		}
+		gain := baseEntropy - condEntropy(est, path, f, classCol, reach)
+		if gain > bestGain {
+			bestGain = gain
+			bestFeat = f
+		}
+	}
+	if bestFeat < 0 || bestGain < cfg.MinGain {
+		return &Node{Leaf: true, Class: majority}
+	}
+
+	used[bestFeat] = true
+	tPath := append(append([]Literal{}, path...), Literal{bestFeat, true})
+	fPath := append(append([]Literal{}, path...), Literal{bestFeat, false})
+	node := &Node{
+		Feature: bestFeat,
+		True:    grow(est, cfg, tPath, used, d+1, features),
+		False:   grow(est, cfg, fPath, used, d+1, features),
+	}
+	used[bestFeat] = false
+	return node
+}
+
+// condEntropy is the expected class entropy after splitting on feature f
+// under the path condition, weighted by branch mass.
+func condEntropy(est Estimator, path []Literal, f, classCol int, reach float64) float64 {
+	var total float64
+	for _, val := range []bool{true, false} {
+		branch := append(append([]Literal{}, path...), Literal{f, val})
+		branchProb := est.Prob(branch)
+		if branchProb <= 0 {
+			continue
+		}
+		pos := est.Prob(append(append([]Literal{}, branch...), Literal{classCol, true}))
+		h := entropy(safeDiv(pos, branchProb))
+		total += safeDiv(branchProb, reach) * h
+	}
+	return total
+}
+
+// entropy is the binary entropy of probability p, clamped into [0,1].
+func entropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	v := a / b
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,225 @@
+package dtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rulesData generates records whose class follows a noisy two-level rule:
+// class = f0 ∧ (f1 ∨ f2), with label noise rate eps; extra features are
+// irrelevant.
+func rulesData(n int, features int, eps float64, rng *rand.Rand) [][]bool {
+	rows := make([][]bool, n)
+	for i := range rows {
+		row := make([]bool, features+1)
+		for j := 0; j < features; j++ {
+			row[j] = rng.Float64() < 0.5
+		}
+		class := row[0] && (row[1] || row[2])
+		if rng.Float64() < eps {
+			class = !class
+		}
+		row[features] = class
+		rows[i] = row
+	}
+	return rows
+}
+
+func accuracy(t *testing.T, tree *Tree, rows [][]bool) float64 {
+	t.Helper()
+	var ok int
+	features := len(rows[0]) - 1
+	for _, row := range rows {
+		pred, err := tree.Predict(row[:features])
+		if err != nil {
+			t.Fatalf("Predict: %v", err)
+		}
+		if pred == row[features] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(rows))
+}
+
+func TestExactEstimatorValidation(t *testing.T) {
+	if _, err := NewExactEstimator(nil); err == nil {
+		t.Error("empty records must error")
+	}
+	if _, err := NewExactEstimator([][]bool{{true}}); err == nil {
+		t.Error("single column must error")
+	}
+	if _, err := NewExactEstimator([][]bool{{true, false}, {true}}); err == nil {
+		t.Error("ragged records must error")
+	}
+}
+
+func TestExactEstimatorProb(t *testing.T) {
+	rows := [][]bool{
+		{true, true},
+		{true, false},
+		{false, true},
+		{false, false},
+	}
+	e, err := NewExactEstimator(rows)
+	if err != nil {
+		t.Fatalf("NewExactEstimator: %v", err)
+	}
+	if got := e.Prob(nil); got != 1 {
+		t.Errorf("Prob(nil) = %v, want 1", got)
+	}
+	if got := e.Prob([]Literal{{0, true}}); got != 0.5 {
+		t.Errorf("Prob(f0) = %v, want 0.5", got)
+	}
+	if got := e.Prob([]Literal{{0, true}, {1, true}}); got != 0.25 {
+		t.Errorf("Prob(f0∧f1) = %v, want 0.25", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Config{}); err == nil {
+		t.Error("nil estimator must error")
+	}
+}
+
+func TestTreeLearnsRuleOnCleanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := rulesData(5000, 6, 0.02, rng)
+	est, err := NewExactEstimator(rows)
+	if err != nil {
+		t.Fatalf("NewExactEstimator: %v", err)
+	}
+	tree, err := Build(est, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	test := rulesData(3000, 6, 0, rng) // noise-free test labels
+	if acc := accuracy(t, tree, test); acc < 0.95 {
+		t.Errorf("clean-data tree accuracy = %v, want > 0.95", acc)
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("rule needs depth ≥ 2, got %d", tree.Depth())
+	}
+}
+
+func TestTreePredictLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := rulesData(200, 4, 0, rng)
+	est, _ := NewExactEstimator(rows)
+	tree, err := Build(est, Config{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := tree.Predict([]bool{true}); err == nil {
+		t.Error("feature length mismatch must error")
+	}
+}
+
+func TestRREstimatorValidation(t *testing.T) {
+	rows := [][]bool{{true, false}}
+	for _, p := range []float64{0, 1, 0.5} {
+		if _, err := NewRREstimator(rows, p); err == nil {
+			t.Errorf("p=%v must error", p)
+		}
+	}
+	if _, err := NewRREstimator(nil, 0.9); err == nil {
+		t.Error("empty records must error")
+	}
+	if _, err := NewRREstimator([][]bool{{true, false}, {true}}, 0.9); err == nil {
+		t.Error("ragged records must error")
+	}
+}
+
+func TestRREstimatorRecoversProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := rulesData(60000, 4, 0, rng)
+	clean, _ := NewExactEstimator(rows)
+	distorted := RRDistort(rows, 0.85, rng)
+	rr, err := NewRREstimator(distorted, 0.85)
+	if err != nil {
+		t.Fatalf("NewRREstimator: %v", err)
+	}
+	queries := [][]Literal{
+		{{0, true}},
+		{{4, true}},
+		{{0, true}, {4, true}},
+		{{0, false}, {1, true}, {4, false}},
+		{{0, true}, {1, true}, {2, false}, {4, true}},
+	}
+	for _, q := range queries {
+		want := clean.Prob(q)
+		got := rr.Prob(q)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("query %v: reconstructed %v, true %v", q, got, want)
+		}
+	}
+}
+
+func TestRREstimatorEdgeCases(t *testing.T) {
+	rows := [][]bool{{true, true}, {false, false}}
+	rr, err := NewRREstimator(rows, 0.9)
+	if err != nil {
+		t.Fatalf("NewRREstimator: %v", err)
+	}
+	if got := rr.Prob(nil); got != 1 {
+		t.Errorf("empty conjunction = %v, want 1", got)
+	}
+	// Contradictory literals.
+	if got := rr.Prob([]Literal{{0, true}, {0, false}}); got != 0 {
+		t.Errorf("contradiction = %v, want 0", got)
+	}
+	// Redundant literals collapse.
+	a := rr.Prob([]Literal{{0, true}})
+	b := rr.Prob([]Literal{{0, true}, {0, true}})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("redundant literal changed estimate: %v vs %v", a, b)
+	}
+	// Over-wide conjunctions refuse.
+	wide := make([]Literal, MaxConjunction+1)
+	for i := range wide {
+		wide[i] = Literal{Col: i % 2, Val: true}
+	}
+	if got := rr.Prob(wide); got != 0 {
+		t.Errorf("over-wide conjunction = %v, want 0", got)
+	}
+}
+
+// The Du–Zhan headline: a tree built from distorted data must approach
+// the clean tree's accuracy.
+func TestTreeFromDistortedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := rulesData(60000, 5, 0.02, rng)
+
+	clean, _ := NewExactEstimator(rows)
+	cleanTree, err := Build(clean, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatalf("clean Build: %v", err)
+	}
+
+	distorted := RRDistort(rows, 0.85, rng)
+	rr, err := NewRREstimator(distorted, 0.85)
+	if err != nil {
+		t.Fatalf("NewRREstimator: %v", err)
+	}
+	rrTree, err := Build(rr, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatalf("rr Build: %v", err)
+	}
+
+	test := rulesData(5000, 5, 0, rng)
+	accClean := accuracy(t, cleanTree, test)
+	accRR := accuracy(t, rrTree, test)
+	if accRR < accClean-0.05 {
+		t.Errorf("distorted-data tree accuracy %v too far below clean %v", accRR, accClean)
+	}
+	if accRR < 0.9 {
+		t.Errorf("distorted-data tree accuracy = %v, want > 0.9", accRR)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxDepth != 4 || c.MinProb != 0.01 || c.MinGain != 1e-4 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

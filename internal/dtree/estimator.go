@@ -1,0 +1,183 @@
+package dtree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ExactEstimator counts literal conjunctions directly on clean records.
+// Each record is features followed by the class bit.
+type ExactEstimator struct {
+	rows [][]bool
+	cols int
+}
+
+// NewExactEstimator validates the record matrix.
+func NewExactEstimator(rows [][]bool) (*ExactEstimator, error) {
+	if len(rows) == 0 || len(rows[0]) < 2 {
+		return nil, fmt.Errorf("dtree: need records with ≥ 2 columns")
+	}
+	cols := len(rows[0])
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("dtree: record %d has %d columns, want %d", i, len(r), cols)
+		}
+	}
+	return &ExactEstimator{rows: rows, cols: cols}, nil
+}
+
+// Columns implements Estimator.
+func (e *ExactEstimator) Columns() int { return e.cols }
+
+// Prob implements Estimator.
+func (e *ExactEstimator) Prob(cond []Literal) float64 {
+	var count int
+outer:
+	for _, row := range e.rows {
+		for _, l := range cond {
+			if row[l.Col] != l.Val {
+				continue outer
+			}
+		}
+		count++
+	}
+	return float64(count) / float64(len(e.rows))
+}
+
+// RRDistort applies Warner randomized response to every bit of every
+// record (features and class alike) with truth probability p.
+func RRDistort(rows [][]bool, p float64, rng *rand.Rand) [][]bool {
+	out := make([][]bool, len(rows))
+	for i, row := range rows {
+		dst := make([]bool, len(row))
+		for j, v := range row {
+			if rng.Float64() < p {
+				dst[j] = v
+			} else {
+				dst[j] = !v
+			}
+		}
+		out[i] = dst
+	}
+	return out
+}
+
+// RREstimator reconstructs literal-conjunction probabilities from
+// randomized-response-distorted records, using the tensor inverse of the
+// per-bit distortion matrix — the Du–Zhan counting procedure.
+type RREstimator struct {
+	rows [][]bool
+	cols int
+	p    float64
+	// maxWidth caps the conjunction width (2^k cells; variance grows as
+	// (2p−1)^{−2k}).
+	maxWidth int
+}
+
+// MaxConjunction is the widest literal conjunction RREstimator accepts.
+const MaxConjunction = 12
+
+// NewRREstimator wraps distorted records produced with truth
+// probability p.
+func NewRREstimator(distorted [][]bool, p float64) (*RREstimator, error) {
+	if p <= 0 || p >= 1 || p == 0.5 {
+		return nil, fmt.Errorf("dtree: truth probability %v must be in (0,1) and ≠ 0.5", p)
+	}
+	if len(distorted) == 0 || len(distorted[0]) < 2 {
+		return nil, fmt.Errorf("dtree: need records with ≥ 2 columns")
+	}
+	cols := len(distorted[0])
+	for i, r := range distorted {
+		if len(r) != cols {
+			return nil, fmt.Errorf("dtree: record %d has %d columns, want %d", i, len(r), cols)
+		}
+	}
+	return &RREstimator{rows: distorted, cols: cols, p: p, maxWidth: MaxConjunction}, nil
+}
+
+// Columns implements Estimator.
+func (e *RREstimator) Columns() int { return e.cols }
+
+// Prob implements Estimator. Estimates are clamped to [0,1].
+func (e *RREstimator) Prob(cond []Literal) float64 {
+	k := len(cond)
+	if k == 0 {
+		return 1
+	}
+	if k > e.maxWidth {
+		return 0
+	}
+	// Duplicate columns in the conjunction: contradictory literals have
+	// probability 0; redundant ones collapse.
+	seen := map[int]bool{}
+	uniq := cond[:0:0]
+	for _, l := range cond {
+		if val, dup := seenVal(seen, uniq, l.Col); dup {
+			if val != l.Val {
+				return 0
+			}
+			continue
+		}
+		seen[l.Col] = true
+		uniq = append(uniq, l)
+	}
+	k = len(uniq)
+
+	// Observed joint distribution over the queried columns.
+	counts := make([]float64, 1<<k)
+	for _, row := range e.rows {
+		idx := 0
+		for b, l := range uniq {
+			if row[l.Col] {
+				idx |= 1 << b
+			}
+		}
+		counts[idx]++
+	}
+	n := float64(len(e.rows))
+	for i := range counts {
+		counts[i] /= n
+	}
+	// Invert the distortion: (M⁻¹)^{⊗k}, M⁻¹ = 1/(2p−1)·[[p, p−1],[p−1, p]].
+	d := 2*e.p - 1
+	a, b := e.p/d, (e.p-1)/d
+	for bit := 0; bit < k; bit++ {
+		stride := 1 << bit
+		for base := 0; base < len(counts); base++ {
+			if base&stride != 0 {
+				continue
+			}
+			lo, hi := counts[base], counts[base|stride]
+			counts[base] = a*lo + b*hi
+			counts[base|stride] = b*lo + a*hi
+		}
+	}
+	// Pick the cell matching the literal values.
+	idx := 0
+	for b, l := range uniq {
+		if l.Val {
+			idx |= 1 << b
+		}
+	}
+	v := counts[idx]
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// seenVal reports whether col already appears in uniq and its value.
+func seenVal(seen map[int]bool, uniq []Literal, col int) (val, dup bool) {
+	if !seen[col] {
+		return false, false
+	}
+	for _, l := range uniq {
+		if l.Col == col {
+			return l.Val, true
+		}
+	}
+	return false, false
+}

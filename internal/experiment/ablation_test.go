@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationOracle(t *testing.T) {
+	cfg := smallCfg()
+	cfg.N = 800
+	res, err := AblationOracle(cfg, 12, 3)
+	if err != nil {
+		t.Fatalf("AblationOracle: %v", err)
+	}
+	for _, name := range []string{"PCA-DR", "BE-DR"} {
+		or, ok := res.Oracle[name]
+		if !ok || or <= 0 {
+			t.Fatalf("missing oracle result for %s", name)
+		}
+		es, ok := res.Estimated[name]
+		if !ok || es <= 0 {
+			t.Fatalf("missing estimated result for %s", name)
+		}
+		// §5.3: estimated covariance costs only a minor accuracy penalty.
+		if es > or*1.25 {
+			t.Errorf("%s: estimated %v much worse than oracle %v", name, es, or)
+		}
+		// The oracle should never be (materially) worse.
+		if or > es*1.1 {
+			t.Errorf("%s: oracle %v worse than estimated %v", name, or, es)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "PCA-DR") || !strings.Contains(s, "oracle") {
+		t.Errorf("String incomplete:\n%s", s)
+	}
+}
+
+func TestNoiseSweepShapes(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SkipUDR = true
+	fig, err := NoiseSweep(cfg, 12, 3, []float64{2, 6, 12})
+	if err != nil {
+		t.Fatalf("NoiseSweep: %v", err)
+	}
+	if len(fig.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(fig.Points))
+	}
+	// Every attack's error must grow with the noise level.
+	for _, name := range fig.Series {
+		vals := fig.SeriesValues(name)
+		if !Monotone(vals, +1, 0.05) {
+			t.Errorf("%s error not increasing with σ: %v", name, vals)
+		}
+	}
+	// At every noise level BE-DR must stay below σ (the NDR floor).
+	be := fig.SeriesValues("BE-DR")
+	for i, sigma := range []float64{2, 6, 12} {
+		if be[i] >= sigma {
+			t.Errorf("σ=%v: BE-DR %v did not beat the NDR floor", sigma, be[i])
+		}
+	}
+}
+
+func TestNoiseSweepValidation(t *testing.T) {
+	if _, err := NoiseSweep(smallCfg(), 8, 2, []float64{0}); err == nil {
+		t.Fatal("σ=0 must error")
+	}
+}

@@ -1,0 +1,238 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps sweeps fast: fewer records and a coarse UDR grid.
+func smallCfg() Config {
+	return Config{
+		N:           400,
+		Sigma2:      25,
+		AvgVariance: 300,
+		Tail:        4,
+		Seed:        7,
+	}
+}
+
+func TestExperiment1Shapes(t *testing.T) {
+	cfg := smallCfg()
+	// BE-DR's full-covariance estimate needs a healthy record/attribute
+	// ratio at m=60; the paper's setup has the same property.
+	cfg.N = 1200
+	fig, err := Experiment1(cfg, []int{5, 20, 60})
+	if err != nil {
+		t.Fatalf("Experiment1: %v", err)
+	}
+	if len(fig.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(fig.Points))
+	}
+	// Correlation-aware attacks must improve (error drops) as m grows
+	// with p fixed — Figure 1's core claim.
+	for _, name := range []string{"PCA-DR", "BE-DR", "SF"} {
+		vals := fig.SeriesValues(name)
+		if len(vals) != 3 {
+			t.Fatalf("series %s has %d points", name, len(vals))
+		}
+		if vals[len(vals)-1] >= vals[0] {
+			t.Errorf("%s error should fall with m: %v", name, vals)
+		}
+	}
+	// UDR must stay (roughly) flat thanks to the Eq. 12 budget.
+	udr := fig.SeriesValues("UDR")
+	if spread(udr) > 0.15*udr[0] {
+		t.Errorf("UDR series not flat: %v", udr)
+	}
+	// BE-DR dominates everywhere (paper's consistent finding); allow a
+	// small finite-sample tolerance on the comparison.
+	be := fig.SeriesValues("BE-DR")
+	for i, v := range fig.SeriesValues("PCA-DR") {
+		if be[i] > v*1.03 {
+			t.Errorf("point %d: BE-DR %v worse than PCA-DR %v", i, be[i], v)
+		}
+	}
+}
+
+func TestExperiment1RejectsSmallM(t *testing.T) {
+	if _, err := Experiment1(smallCfg(), []int{3}); err == nil {
+		t.Fatal("m < p must error")
+	}
+}
+
+func TestExperiment2Shapes(t *testing.T) {
+	cfg := smallCfg()
+	fig, err := experiment2At(cfg, 40, []int{2, 10, 30})
+	if err != nil {
+		t.Fatalf("experiment2: %v", err)
+	}
+	// Errors must rise with p (correlation falls) for the
+	// correlation-aware attacks.
+	for _, name := range []string{"PCA-DR", "BE-DR"} {
+		vals := fig.SeriesValues(name)
+		if vals[len(vals)-1] <= vals[0] {
+			t.Errorf("%s error should rise with p: %v", name, vals)
+		}
+	}
+	// At high p, BE-DR approaches the UDR level (within 25%).
+	be := fig.SeriesValues("BE-DR")
+	udr := fig.SeriesValues("UDR")
+	last := len(be) - 1
+	if be[last] > udr[last]*1.25 {
+		t.Errorf("BE-DR %v should approach UDR %v at high p", be[last], udr[last])
+	}
+}
+
+func TestExperiment2RejectsBadP(t *testing.T) {
+	if _, err := experiment2At(smallCfg(), 10, []int{0}); err == nil {
+		t.Fatal("p=0 must error")
+	}
+	if _, err := experiment2At(smallCfg(), 10, []int{11}); err == nil {
+		t.Fatal("p>m must error")
+	}
+}
+
+func TestExperiment3Shapes(t *testing.T) {
+	cfg := smallCfg()
+	fig, err := experiment3At(cfg, 30, 6, 400, []float64{1, 25, 50})
+	if err != nil {
+		t.Fatalf("experiment3: %v", err)
+	}
+	// PCA-based schemes degrade as the tail eigenvalues grow.
+	for _, name := range []string{"PCA-DR", "SF"} {
+		vals := fig.SeriesValues(name)
+		if vals[len(vals)-1] <= vals[0] {
+			t.Errorf("%s error should rise with tail eigenvalue: %v", name, vals)
+		}
+	}
+	// Figure 3's crossover: at large tails the PCA-based schemes fall
+	// behind UDR, while BE-DR never does (materially).
+	udr := fig.SeriesValues("UDR")
+	pca := fig.SeriesValues("PCA-DR")
+	be := fig.SeriesValues("BE-DR")
+	last := len(udr) - 1
+	if pca[last] <= udr[last] {
+		t.Errorf("at tail=50, PCA-DR %v should exceed UDR %v (crossover)", pca[last], udr[last])
+	}
+	if be[last] > udr[last]*1.1 {
+		t.Errorf("BE-DR %v must not materially exceed UDR %v", be[last], udr[last])
+	}
+}
+
+func TestExperiment4Shapes(t *testing.T) {
+	cfg := smallCfg()
+	fig, err := experiment4At(cfg, 20, 10, []float64{0, 0.5, 1, 1.5, 2})
+	if err != nil {
+		t.Fatalf("experiment4: %v", err)
+	}
+	if fig.IndependentIndex != 2 {
+		t.Errorf("IndependentIndex = %d, want 2", fig.IndependentIndex)
+	}
+	// Dissimilarity must increase along the path.
+	var dis []float64
+	for _, p := range fig.Points {
+		dis = append(dis, p.Dissimilarity)
+	}
+	if !Monotone(dis, +1, 0.1) {
+		t.Errorf("dissimilarity not increasing: %v", dis)
+	}
+	// Privacy claim: similar noise (t=0) yields the highest BE-DR error;
+	// the anti-shaped end (t=2) yields the lowest.
+	be := fig.SeriesValues("BE-DR")
+	if be[0] <= be[len(be)-1] {
+		t.Errorf("BE-DR error should fall along the path: %v", be)
+	}
+	pca := fig.SeriesValues("PCA-DR")
+	if pca[0] <= pca[len(pca)-1] {
+		t.Errorf("PCA-DR error should fall along the path: %v", pca)
+	}
+	// The correlated defense at t=0 must beat independent noise at t=1.
+	if be[0] <= be[2] {
+		t.Errorf("correlated noise (%v) must preserve more privacy than iid (%v)", be[0], be[2])
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig, err := Experiment1(smallCfg(), []int{5, 10})
+	if err != nil {
+		t.Fatalf("Experiment1: %v", err)
+	}
+	s := fig.String()
+	if !strings.Contains(s, "figure1") || !strings.Contains(s, "BE-DR") {
+		t.Errorf("String() incomplete:\n%s", s)
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Errorf("CSV lines = %d, want 3 (header + 2 points)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "m,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestFigure4Rendering(t *testing.T) {
+	cfg := smallCfg()
+	fig, err := experiment4At(cfg, 10, 5, []float64{0, 1})
+	if err != nil {
+		t.Fatalf("experiment4: %v", err)
+	}
+	s := fig.String()
+	if !strings.Contains(s, "figure4") || !strings.Contains(s, "Dis(X,R)") {
+		t.Errorf("String() incomplete:\n%s", s)
+	}
+	// The t=1 row is marked as the independent-noise vertical line.
+	if !strings.Contains(s, "*") {
+		t.Error("independent-noise marker missing")
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	if !Monotone([]float64{1, 2, 3}, +1, 0) {
+		t.Error("increasing series must pass dir=+1")
+	}
+	if Monotone([]float64{3, 1, 2}, -1, 0) {
+		t.Error("non-monotone series must fail at slack=0")
+	}
+	if !Monotone([]float64{3, 1, 1.05}, -1, 0.05) {
+		t.Error("small bounce within slack must pass")
+	}
+	if !Monotone([]float64{1}, +1, 0) || !Monotone(nil, -1, 0) {
+		t.Error("degenerate series must pass")
+	}
+}
+
+func TestSkipUDR(t *testing.T) {
+	cfg := smallCfg()
+	cfg.SkipUDR = true
+	fig, err := Experiment1(cfg, []int{5, 10})
+	if err != nil {
+		t.Fatalf("Experiment1: %v", err)
+	}
+	if len(fig.SeriesValues("UDR")) != 0 {
+		t.Error("SkipUDR must drop the UDR series")
+	}
+	if len(fig.SeriesValues("BE-DR")) != 2 {
+		t.Error("other series must remain")
+	}
+}
+
+func spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPartialDisclosureSweep(t *testing.T) {
+	cfg := smallCfg()
+	cfg.N = 800
+	// High noise relative to the attribute count is the regime where
+	// side-channel knowledge matters: with many attributes or little
+	// noise, the disguised copies already pin the shared factors and
+	// exact disclosure adds nothing.
+	cfg.Sigma2 = 400
+	fig, err := PartialDisclosureSweep(cfg, 12, []int{0, 2, 4, 6})
+	if err != nil {
+		t.Fatalf("PartialDisclosureSweep: %v", err)
+	}
+	if len(fig.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(fig.Points))
+	}
+	// k=0 must equal the BE-DR baseline.
+	if d := fig.Points[0].RMSE - fig.Points[0].BaselineRMSE; d > 1e-9 || d < -1e-9 {
+		t.Errorf("k=0 RMSE %v != baseline %v", fig.Points[0].RMSE, fig.Points[0].BaselineRMSE)
+	}
+	// More disclosure must not hurt, and k=6 must strictly help.
+	var vals []float64
+	for _, p := range fig.Points {
+		vals = append(vals, p.RMSE)
+	}
+	// Allow small finite-sample creep: conditioning on more attributes
+	// amplifies estimated-covariance noise slightly.
+	if !Monotone(vals, -1, 0.1) {
+		t.Errorf("RMSE not decreasing in disclosure: %v", vals)
+	}
+	if vals[3] >= vals[0]*0.98 {
+		t.Errorf("6 disclosed attributes should materially help: %v vs %v", vals[3], vals[0])
+	}
+	if s := fig.String(); !strings.Contains(s, "#known") {
+		t.Errorf("String incomplete:\n%s", s)
+	}
+}
+
+func TestPartialDisclosureSweepValidation(t *testing.T) {
+	if _, err := PartialDisclosureSweep(smallCfg(), 3, nil); err == nil {
+		t.Error("m<4 must error")
+	}
+	if _, err := PartialDisclosureSweep(smallCfg(), 12, []int{7}); err == nil {
+		t.Error("k beyond m/2 must error")
+	}
+	if _, err := PartialDisclosureSweep(smallCfg(), 12, []int{-1}); err == nil {
+		t.Error("negative k must error")
+	}
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestUtilityExperiment(t *testing.T) {
+	cfg := smallCfg()
+	cfg.N = 800
+	res, err := UtilityExperiment(cfg, 10, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("UtilityExperiment: %v", err)
+	}
+	// Clean-data training on well-separated classes must classify well.
+	if res.AccuracyOriginal < 0.9 {
+		t.Errorf("original accuracy = %v, want > 0.9", res.AccuracyOriginal)
+	}
+	// §8.1's claim: both disguised variants stay usable for mining —
+	// accuracy within 10 points of the clean model.
+	if res.AccuracyIID < res.AccuracyOriginal-0.1 {
+		t.Errorf("iid accuracy %v too far below original %v", res.AccuracyIID, res.AccuracyOriginal)
+	}
+	if res.AccuracyCorrelated < res.AccuracyOriginal-0.1 {
+		t.Errorf("correlated accuracy %v too far below original %v", res.AccuracyCorrelated, res.AccuracyOriginal)
+	}
+	// Centroid drift exists but stays bounded relative to the class
+	// separation (~1.5·sqrt(300) ≈ 26).
+	if res.CentroidDriftIID <= 0 || res.CentroidDriftCorrelated <= 0 {
+		t.Error("disguising must move centroids at least slightly")
+	}
+	if res.CentroidDriftIID > 10 || res.CentroidDriftCorrelated > 10 {
+		t.Errorf("centroid drift too large: iid %v, corr %v",
+			res.CentroidDriftIID, res.CentroidDriftCorrelated)
+	}
+	if s := res.String(); !strings.Contains(s, "naive Bayes") {
+		t.Errorf("String incomplete: %s", s)
+	}
+}
+
+func TestUtilityExperimentValidation(t *testing.T) {
+	if _, err := UtilityExperiment(smallCfg(), 1, nil); err == nil {
+		t.Fatal("m=1 must error")
+	}
+}
+
+func TestUtilityExperimentNilRNG(t *testing.T) {
+	cfg := smallCfg()
+	cfg.N = 200
+	if _, err := UtilityExperiment(cfg, 4, nil); err != nil {
+		t.Fatalf("nil rng must use the seed default: %v", err)
+	}
+}

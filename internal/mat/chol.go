@@ -1,0 +1,134 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when Cholesky factorization fails
+// because the input is not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L·Lᵀ.
+type Cholesky struct {
+	l *Dense
+}
+
+// FactorizeCholesky computes the Cholesky factorization of symmetric
+// positive definite a. Only the lower triangle of a is read.
+func FactorizeCholesky(a *Dense) (*Cholesky, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	l := Zeros(n, n)
+	ld := l.data
+	for j := 0; j < n; j++ {
+		var diag float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			diag -= ld[j*n+k] * ld[j*n+k]
+		}
+		if diag <= 0 || math.IsNaN(diag) {
+			return nil, ErrNotPositiveDefinite
+		}
+		dj := math.Sqrt(diag)
+		ld[j*n+j] = dj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= ld[i*n+k] * ld[j*n+k]
+			}
+			ld[i*n+j] = s / dj
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// LMulVec returns L·x, used for sampling multivariate normals.
+func (c *Cholesky) LMulVec(x []float64) []float64 {
+	n := c.l.rows
+	if len(x) != n {
+		panic(fmt.Sprintf("mat: LMulVec length %d, want %d", len(x), n))
+	}
+	out := make([]float64, n)
+	ld := c.l.data
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j <= i; j++ {
+			s += ld[i*n+j] * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SolveVec solves A·x = b using the factorization (forward then back
+// substitution).
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	n := c.l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: Cholesky SolveVec rhs length %d, want %d", len(b), n)
+	}
+	ld := c.l.data
+	y := make([]float64, n)
+	// L·y = b
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= ld[i*n+j] * y[j]
+		}
+		piv := ld[i*n+i]
+		if piv == 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		y[i] = s / piv
+	}
+	// Lᵀ·x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= ld[j*n+i] * x[j]
+		}
+		x[i] = s / ld[i*n+i]
+	}
+	return x, nil
+}
+
+// LogDet returns log(det(A)) = 2·Σ log L[i][i].
+func (c *Cholesky) LogDet() float64 {
+	n := c.l.rows
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Log(c.l.data[i*n+i])
+	}
+	return 2 * s
+}
+
+// InverseSPD returns the inverse of a symmetric positive definite matrix
+// via its Cholesky factorization. It falls back to LU if the matrix is not
+// numerically positive definite (e.g. a sample covariance with a tiny
+// negative eigenvalue after the Theorem 5.1 diagonal correction).
+func InverseSPD(a *Dense) (*Dense, error) {
+	ch, err := FactorizeCholesky(a)
+	if err != nil {
+		return Inverse(a)
+	}
+	n := a.rows
+	out := Zeros(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := ch.SolveVec(e)
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, col)
+		e[j] = 0
+	}
+	return out, nil
+}

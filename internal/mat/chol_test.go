@@ -1,0 +1,136 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD returns a random symmetric positive definite n×n matrix.
+func randomSPD(n int, rng *rand.Rand) *Dense {
+	a := randomMatrix(n, n, rng)
+	spd := Mul(Transpose(a), a)
+	// Shift the spectrum away from zero so Cholesky is well-conditioned.
+	return AddScaledIdentity(spd, 0.5)
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] → L = [[2,0],[1,sqrt(2)]]
+	a := New(2, 2, []float64{4, 2, 2, 3})
+	ch, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatalf("FactorizeCholesky: %v", err)
+	}
+	l := ch.L()
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt2) > 1e-12 || l.At(0, 1) != 0 {
+		t.Errorf("L = %v", l)
+	}
+}
+
+// Property: L·Lᵀ reconstructs A.
+func TestCholeskyReconstructProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randomSPD(n, rng)
+		ch, err := FactorizeCholesky(a)
+		if err != nil {
+			return false
+		}
+		l := ch.L()
+		return Mul(l, Transpose(l)).EqualApprox(a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := New(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	_, err := FactorizeCholesky(a)
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := FactorizeCholesky(Zeros(2, 3)); err == nil {
+		t.Fatal("Cholesky of non-square matrix must error")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSPD(6, rng)
+	ch, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatalf("FactorizeCholesky: %v", err)
+	}
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := ch.SolveVec(b)
+	if err != nil {
+		t.Fatalf("SolveVec: %v", err)
+	}
+	ax := MulVec(a, x)
+	for i := range ax {
+		if math.Abs(ax[i]-b[i]) > 1e-9 {
+			t.Fatalf("residual[%d] = %v", i, ax[i]-b[i])
+		}
+	}
+}
+
+func TestCholeskyLMulVec(t *testing.T) {
+	a := New(2, 2, []float64{4, 2, 2, 3})
+	ch, _ := FactorizeCholesky(a)
+	got := ch.LMulVec([]float64{1, 1})
+	l := ch.L()
+	want := MulVec(l, []float64{1, 1})
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-14 {
+			t.Errorf("LMulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPD(5, rng)
+	ch, err := FactorizeCholesky(a)
+	if err != nil {
+		t.Fatalf("FactorizeCholesky: %v", err)
+	}
+	want := math.Log(Det(a))
+	if got := ch.LogDet(); math.Abs(got-want) > 1e-8 {
+		t.Errorf("LogDet = %v, want %v", got, want)
+	}
+}
+
+func TestInverseSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomSPD(7, rng)
+	inv, err := InverseSPD(a)
+	if err != nil {
+		t.Fatalf("InverseSPD: %v", err)
+	}
+	if !Mul(a, inv).EqualApprox(Identity(7), 1e-8) {
+		t.Error("A·A⁻¹ != I for InverseSPD")
+	}
+}
+
+func TestInverseSPDFallsBackToLU(t *testing.T) {
+	// Symmetric but indefinite: Cholesky fails, LU fallback must succeed.
+	a := New(2, 2, []float64{1, 2, 2, 1})
+	inv, err := InverseSPD(a)
+	if err != nil {
+		t.Fatalf("InverseSPD fallback: %v", err)
+	}
+	if !Mul(a, inv).EqualApprox(Identity(2), 1e-10) {
+		t.Error("fallback inverse incorrect")
+	}
+}

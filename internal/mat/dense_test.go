@@ -1,0 +1,233 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims = (%d,%d), want (2,3)", r, c)
+	}
+	if got := m.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %v, want 1", got)
+	}
+	if got := m.At(1, 2); got != 6 {
+		t.Errorf("At(1,2) = %v, want 6", got)
+	}
+	m.Set(1, 0, -7)
+	if got := m.At(1, 0); got != -7 {
+		t.Errorf("after Set, At(1,0) = %v, want -7", got)
+	}
+}
+
+func TestNewNilDataAllocates(t *testing.T) {
+	m := New(3, 2, nil)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("New(3,2,nil) not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with mismatched data length did not panic")
+		}
+	}()
+	New(2, 2, []float64{1, 2, 3})
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := Zeros(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if got := id.At(i, j); got != want {
+				t.Errorf("Identity(4)[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag([]float64{2, 5, -1})
+	if d.Rows() != 3 || d.Cols() != 3 {
+		t.Fatalf("Diag dims = %dx%d, want 3x3", d.Rows(), d.Cols())
+	}
+	if d.At(1, 1) != 5 || d.At(0, 1) != 0 || d.At(2, 2) != -1 {
+		t.Errorf("Diag entries wrong: %v", d)
+	}
+}
+
+func TestNewFromRows(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims %dx%d, want 3x2", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestNewFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged NewFromRows did not panic")
+		}
+	}()
+	NewFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := New(2, 2, []float64{1, 2, 3, 4})
+	r := m.Row(0)
+	r[0] = 100
+	if m.At(0, 0) != 1 {
+		t.Error("Row must return a copy")
+	}
+	c := m.Col(1)
+	c[0] = 100
+	if m.At(0, 1) != 2 {
+		t.Error("Col must return a copy")
+	}
+}
+
+func TestRawRowAliases(t *testing.T) {
+	m := New(2, 2, []float64{1, 2, 3, 4})
+	m.RawRow(1)[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Error("RawRow must alias storage")
+	}
+}
+
+func TestSetRowSetCol(t *testing.T) {
+	m := Zeros(2, 3)
+	m.SetRow(1, []float64{7, 8, 9})
+	if m.At(1, 2) != 9 {
+		t.Errorf("SetRow failed: %v", m)
+	}
+	m.SetCol(0, []float64{4, 5})
+	if m.At(0, 0) != 4 || m.At(1, 0) != 5 {
+		t.Errorf("SetCol failed: %v", m)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := New(1, 2, []float64{1, 2})
+	b := New(1, 2, []float64{1 + 1e-12, 2 - 1e-12})
+	if !a.EqualApprox(b, 1e-9) {
+		t.Error("EqualApprox(1e-9) should accept 1e-12 perturbations")
+	}
+	if a.EqualApprox(b, 1e-15) {
+		t.Error("EqualApprox(1e-15) should reject 1e-12 perturbations")
+	}
+	c := New(2, 1, []float64{1, 2})
+	if a.EqualApprox(c, 1) {
+		t.Error("EqualApprox must reject shape mismatches")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := New(2, 2, []float64{1, 3, 3, 2})
+	if !s.IsSymmetric(0) {
+		t.Error("symmetric matrix reported as asymmetric")
+	}
+	a := New(2, 2, []float64{1, 3, 4, 2})
+	if a.IsSymmetric(0.5) {
+		t.Error("asymmetric matrix reported as symmetric")
+	}
+	r := Zeros(2, 3)
+	if r.IsSymmetric(1) {
+		t.Error("non-square matrix cannot be symmetric")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	m := New(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	s := m.Slice(1, 3, 0, 2)
+	want := New(2, 2, []float64{4, 5, 7, 8})
+	if !s.Equal(want) {
+		t.Errorf("Slice = %v, want %v", s, want)
+	}
+	// Copies, not views.
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 4 {
+		t.Error("Slice must copy")
+	}
+}
+
+func TestColsSlice(t *testing.T) {
+	m := New(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	s := m.ColsSlice(2)
+	want := New(2, 2, []float64{1, 2, 4, 5})
+	if !s.Equal(want) {
+		t.Errorf("ColsSlice = %v, want %v", s, want)
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	big := Zeros(20, 20)
+	if s := big.String(); len(s) == 0 {
+		t.Error("String() returned empty")
+	}
+	if s := Zeros(0, 0).String(); len(s) == 0 {
+		t.Error("String() of empty matrix returned empty")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := New(2, 2, []float64{-5, 2, 3, 4})
+	if got := MaxAbs(m); got != 5 {
+		t.Errorf("MaxAbs = %v, want 5", got)
+	}
+	if got := MaxAbs(Zeros(0, 0)); got != 0 {
+		t.Errorf("MaxAbs(empty) = %v, want 0", got)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := New(2, 2, []float64{1, 9, 9, 3})
+	if got := Trace(m); got != 4 {
+		t.Errorf("Trace = %v, want 4", got)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	x := []float64{1e308, 1e308}
+	got := Norm2(x)
+	want := 1e308 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Norm2 overflow-safe path: got %v, want %v", got, want)
+	}
+}

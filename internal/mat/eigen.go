@@ -1,0 +1,191 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix A = Q·Λ·Qᵀ.
+// Values are sorted in descending order and Vectors' column k is the unit
+// eigenvector for Values[k].
+type Eigen struct {
+	// Values are the eigenvalues, largest first.
+	Values []float64
+	// Vectors is the orthogonal matrix of eigenvectors (one per column),
+	// ordered to match Values.
+	Vectors *Dense
+}
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration. Convergence for
+// well-conditioned symmetric matrices is quadratic; 64 sweeps is far more
+// than needed at m ≤ a few hundred and serves as a hard safety stop.
+const maxJacobiSweeps = 64
+
+// EigenSym computes the eigendecomposition of the symmetric matrix a using
+// the cyclic Jacobi rotation method. The input must be symmetric; the
+// strictly upper triangle is trusted (a is symmetrized internally to guard
+// against small asymmetries from floating-point covariance estimation).
+func EigenSym(a *Dense) (*Eigen, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: EigenSym of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	if n == 0 {
+		return &Eigen{Values: nil, Vectors: Zeros(0, 0)}, nil
+	}
+	// Work on a symmetrized copy.
+	w := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.data[i*n+j] = 0.5 * (a.data[i*n+j] + a.data[j*n+i])
+		}
+	}
+	v := Identity(n)
+	wd, vd := w.data, v.data
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += wd[i*n+j] * wd[i*n+j]
+			}
+		}
+		return math.Sqrt(2 * s)
+	}
+
+	scale := MaxAbs(w)
+	if scale == 0 {
+		scale = 1
+	}
+	tol := 1e-14 * scale * float64(n)
+
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		if offDiag() <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := wd[p*n+q]
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app := wd[p*n+p]
+				aqq := wd[q*n+q]
+				// Compute the Jacobi rotation annihilating (p,q).
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e154 {
+					t = 1 / (2 * theta)
+				} else {
+					t = 1 / (math.Abs(theta) + math.Sqrt(1+theta*theta))
+					if theta < 0 {
+						t = -t
+					}
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Update rows/cols p and q of W (symmetric rotation).
+				for k := 0; k < n; k++ {
+					akp := wd[k*n+p]
+					akq := wd[k*n+q]
+					wd[k*n+p] = c*akp - s*akq
+					wd[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := wd[p*n+k]
+					aqk := wd[q*n+k]
+					wd[p*n+k] = c*apk - s*aqk
+					wd[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := vd[k*n+p]
+					vkq := vd[k*n+q]
+					vd[k*n+p] = c*vkp - s*vkq
+					vd[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = wd[i*n+i]
+	}
+	// Sort descending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	vecs := Zeros(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			vecs.data[r*n+newCol] = vd[r*n+oldCol]
+		}
+	}
+	return &Eigen{Values: sortedVals, Vectors: vecs}, nil
+}
+
+// Reconstruct returns Q·Λ·Qᵀ from the decomposition — primarily a testing
+// and synthesis aid (the paper builds covariance matrices exactly this way).
+func (e *Eigen) Reconstruct() *Dense {
+	return Mul(Mul(e.Vectors, Diag(e.Values)), Transpose(e.Vectors))
+}
+
+// TopVectors returns the n×p matrix of the first p eigenvector columns.
+func (e *Eigen) TopVectors(p int) *Dense {
+	n := e.Vectors.rows
+	if p < 0 || p > n {
+		panic(fmt.Sprintf("mat: TopVectors p=%d out of range [0,%d]", p, n))
+	}
+	return e.Vectors.Slice(0, n, 0, p)
+}
+
+// LargestGapSplit returns the index p that maximizes the gap
+// Values[p-1]−Values[p]; the first p eigenvalues are "dominant". This is
+// the principal-component selection rule used in the paper's experiments
+// (footnote 1, §5.2.2). It returns len(Values) when there is no interior
+// gap (n ≤ 1).
+func (e *Eigen) LargestGapSplit() int {
+	n := len(e.Values)
+	if n <= 1 {
+		return n
+	}
+	best, bestGap := 1, math.Inf(-1)
+	for i := 1; i < n; i++ {
+		if gap := e.Values[i-1] - e.Values[i]; gap > bestGap {
+			bestGap = gap
+			best = i
+		}
+	}
+	return best
+}
+
+// EnergySplit returns the smallest p such that the first p eigenvalues
+// capture at least frac of the total positive eigenvalue mass.
+func (e *Eigen) EnergySplit(frac float64) int {
+	var total float64
+	for _, v := range e.Values {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return len(e.Values)
+	}
+	var acc float64
+	for i, v := range e.Values {
+		if v > 0 {
+			acc += v
+		}
+		if acc >= frac*total {
+			return i + 1
+		}
+	}
+	return len(e.Values)
+}

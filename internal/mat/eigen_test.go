@@ -1,0 +1,198 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := New(2, 2, []float64{2, 1, 1, 2})
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatalf("EigenSym: %v", err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+		t.Errorf("Values = %v, want [3 1]", e.Values)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := Diag([]float64{5, 1, 9})
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatalf("EigenSym: %v", err)
+	}
+	want := []float64{9, 5, 1}
+	for i := range want {
+		if math.Abs(e.Values[i]-want[i]) > 1e-12 {
+			t.Errorf("Values = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestEigenSymNonSquare(t *testing.T) {
+	if _, err := EigenSym(Zeros(2, 3)); err == nil {
+		t.Fatal("EigenSym of non-square matrix must error")
+	}
+}
+
+func TestEigenSymEmpty(t *testing.T) {
+	e, err := EigenSym(Zeros(0, 0))
+	if err != nil {
+		t.Fatalf("EigenSym(0x0): %v", err)
+	}
+	if len(e.Values) != 0 {
+		t.Errorf("Values = %v, want empty", e.Values)
+	}
+}
+
+// Property: Q·Λ·Qᵀ = A and QᵀQ = I for random symmetric matrices.
+func TestEigenSymReconstructProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		g := randomMatrix(n, n, rng)
+		a := Mul(Transpose(g), g) // symmetric PSD
+		e, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		if !IsOrthonormalColumns(e.Vectors, 1e-9) {
+			return false
+		}
+		return e.Reconstruct().EqualApprox(a, 1e-8*math.Max(1, MaxAbs(a)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eigenvalues are sorted descending and their sum equals the trace.
+func TestEigenSymTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := randomMatrix(n, n, rng)
+		a := Add(Mul(Transpose(g), g), Identity(n))
+		e, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(e.Values))) {
+			return false
+		}
+		var sum float64
+		for _, v := range e.Values {
+			sum += v
+		}
+		tr := Trace(a)
+		return math.Abs(sum-tr) < 1e-8*math.Max(1, math.Abs(tr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Eigenvector columns must actually satisfy A·q = λ·q.
+func TestEigenSymVectorsSatisfyDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomMatrix(8, 8, rng)
+	a := Mul(Transpose(g), g)
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatalf("EigenSym: %v", err)
+	}
+	for k := 0; k < 8; k++ {
+		q := e.Vectors.Col(k)
+		aq := MulVec(a, q)
+		for i := range q {
+			if math.Abs(aq[i]-e.Values[k]*q[i]) > 1e-7 {
+				t.Fatalf("A·q != λq for eigenpair %d (component %d: %v vs %v)",
+					k, i, aq[i], e.Values[k]*q[i])
+			}
+		}
+	}
+}
+
+func TestEigenLargeMatrix(t *testing.T) {
+	// The paper's experiments run at m=100; verify Jacobi convergence there.
+	rng := rand.New(rand.NewSource(33))
+	n := 100
+	q := RandomOrthogonal(n, rng)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(n - i)
+	}
+	a := Mul(Mul(q, Diag(vals)), Transpose(q))
+	e, err := EigenSym(a)
+	if err != nil {
+		t.Fatalf("EigenSym: %v", err)
+	}
+	for i, want := range vals {
+		if math.Abs(e.Values[i]-want) > 1e-7 {
+			t.Fatalf("Values[%d] = %v, want %v", i, e.Values[i], want)
+		}
+	}
+}
+
+func TestTopVectors(t *testing.T) {
+	a := Diag([]float64{3, 2, 1})
+	e, _ := EigenSym(a)
+	top := e.TopVectors(2)
+	if top.Rows() != 3 || top.Cols() != 2 {
+		t.Fatalf("TopVectors dims %dx%d, want 3x2", top.Rows(), top.Cols())
+	}
+	if !IsOrthonormalColumns(top, 1e-12) {
+		t.Error("TopVectors columns not orthonormal")
+	}
+}
+
+func TestTopVectorsPanicsOutOfRange(t *testing.T) {
+	e, _ := EigenSym(Identity(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TopVectors(5) on 2x2 did not panic")
+		}
+	}()
+	e.TopVectors(5)
+}
+
+func TestLargestGapSplit(t *testing.T) {
+	tests := []struct {
+		vals []float64
+		want int
+	}{
+		{[]float64{400, 400, 400, 5, 4, 3}, 3},
+		{[]float64{100, 10, 9, 8}, 1},
+		{[]float64{10, 9, 1}, 2},
+		{[]float64{5}, 1},
+		{nil, 0},
+	}
+	for _, tc := range tests {
+		e := &Eigen{Values: tc.vals, Vectors: Identity(len(tc.vals))}
+		if got := e.LargestGapSplit(); got != tc.want {
+			t.Errorf("LargestGapSplit(%v) = %d, want %d", tc.vals, got, tc.want)
+		}
+	}
+}
+
+func TestEnergySplit(t *testing.T) {
+	e := &Eigen{Values: []float64{50, 30, 15, 5}, Vectors: Identity(4)}
+	if got := e.EnergySplit(0.5); got != 1 {
+		t.Errorf("EnergySplit(0.5) = %d, want 1", got)
+	}
+	if got := e.EnergySplit(0.8); got != 2 {
+		t.Errorf("EnergySplit(0.8) = %d, want 2", got)
+	}
+	if got := e.EnergySplit(1.0); got != 4 {
+		t.Errorf("EnergySplit(1.0) = %d, want 4", got)
+	}
+	zero := &Eigen{Values: []float64{0, 0}, Vectors: Identity(2)}
+	if got := zero.EnergySplit(0.9); got != 2 {
+		t.Errorf("EnergySplit on zero spectrum = %d, want 2", got)
+	}
+}

@@ -1,0 +1,157 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
+// unit lower triangular and U is upper triangular, packed into lu.
+type LU struct {
+	lu    *Dense
+	pivot []int // pivot[i] = row swapped into position i at step i
+	sign  int   // determinant sign from row swaps
+}
+
+// FactorizeLU computes the LU factorization of square a with partial
+// pivoting. It returns ErrSingular when a pivot underflows to zero.
+func FactorizeLU(a *Dense) (*LU, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: LU of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+	d := lu.data
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		maxAbs := math.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(d[i*n+k]); v > maxAbs {
+				maxAbs = v
+				p = i
+			}
+		}
+		pivot[k] = p
+		if p != k {
+			for j := 0; j < n; j++ {
+				d[k*n+j], d[p*n+j] = d[p*n+j], d[k*n+j]
+			}
+			sign = -sign
+		}
+		pv := d[k*n+k]
+		if pv == 0 {
+			return nil, ErrSingular
+		}
+		for i := k + 1; i < n; i++ {
+			l := d[i*n+k] / pv
+			d[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				d[i*n+j] -= l * d[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	det := float64(f.sign)
+	for i := 0; i < n; i++ {
+		det *= f.lu.data[i*n+i]
+	}
+	return det
+}
+
+// SolveVec solves A·x = b for x.
+func (f *LU) SolveVec(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: SolveVec rhs length %d, want %d", len(b), n)
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	d := f.lu.data
+	// Apply row swaps.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += d[i*n+j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += d[i*n+j] * x[j]
+		}
+		piv := d[i*n+i]
+		if piv == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = (x[i] - s) / piv
+	}
+	return x, nil
+}
+
+// Solve solves A·X = B column-by-column.
+func (f *LU) Solve(b *Dense) (*Dense, error) {
+	n := f.lu.rows
+	if b.rows != n {
+		return nil, fmt.Errorf("mat: Solve rhs has %d rows, want %d", b.rows, n)
+	}
+	out := Zeros(n, b.cols)
+	for j := 0; j < b.cols; j++ {
+		col, err := f.SolveVec(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, col)
+	}
+	return out, nil
+}
+
+// Inverse returns A⁻¹ via the LU factorization.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := FactorizeLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(a.rows))
+}
+
+// Det returns the determinant of square a (0 when singular).
+func Det(a *Dense) float64 {
+	f, err := FactorizeLU(a)
+	if err != nil {
+		return 0
+	}
+	return f.Det()
+}
+
+// SolveVec solves a·x = b for a single right-hand side.
+func SolveVec(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorizeLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}

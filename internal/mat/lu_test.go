@@ -1,0 +1,161 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a := New(2, 2, []float64{2, 1, 1, 3})
+	x, err := SolveVec(a, []float64{5, 10})
+	if err != nil {
+		t.Fatalf("SolveVec: %v", err)
+	}
+	// 2x + y = 5, x + 3y = 10 → x = 1, y = 3
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestDetKnown(t *testing.T) {
+	a := New(2, 2, []float64{1, 2, 3, 4})
+	if got := Det(a); math.Abs(got-(-2)) > 1e-12 {
+		t.Errorf("Det = %v, want -2", got)
+	}
+	// Pivoting path: leading zero.
+	b := New(2, 2, []float64{0, 1, 1, 0})
+	if got := Det(b); math.Abs(got-(-1)) > 1e-12 {
+		t.Errorf("Det with pivoting = %v, want -1", got)
+	}
+}
+
+func TestDetSingularIsZero(t *testing.T) {
+	a := New(2, 2, []float64{1, 2, 2, 4})
+	if got := Det(a); got != 0 {
+		t.Errorf("Det(singular) = %v, want 0", got)
+	}
+}
+
+func TestFactorizeLUNonSquare(t *testing.T) {
+	if _, err := FactorizeLU(Zeros(2, 3)); err == nil {
+		t.Fatal("LU of non-square matrix must error")
+	}
+}
+
+func TestFactorizeLUSingular(t *testing.T) {
+	a := New(2, 2, []float64{1, 1, 1, 1})
+	_, err := FactorizeLU(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := New(2, 2, []float64{4, 7, 2, 6})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	want := New(2, 2, []float64{0.6, -0.7, -0.2, 0.4})
+	if !inv.EqualApprox(want, 1e-12) {
+		t.Errorf("Inverse = %v, want %v", inv, want)
+	}
+}
+
+// Property: A·A⁻¹ = I for random well-conditioned matrices.
+func TestInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		// Diagonally dominant matrices are always invertible.
+		a := randomMatrix(n, n, rng)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return Mul(a, inv).EqualApprox(Identity(n), 1e-8) &&
+			Mul(inv, a).EqualApprox(Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SolveVec residual ‖Ax−b‖ is tiny.
+func TestSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randomMatrix(n, n, rng)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveVec(a, b)
+		if err != nil {
+			return false
+		}
+		ax := MulVec(a, x)
+		for i := range ax {
+			if math.Abs(ax[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveMatrixRHS(t *testing.T) {
+	a := New(2, 2, []float64{2, 0, 0, 4})
+	f, err := FactorizeLU(a)
+	if err != nil {
+		t.Fatalf("FactorizeLU: %v", err)
+	}
+	b := New(2, 2, []float64{2, 4, 8, 12})
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := New(2, 2, []float64{1, 2, 2, 3})
+	if !x.EqualApprox(want, 1e-12) {
+		t.Errorf("Solve = %v, want %v", x, want)
+	}
+}
+
+func TestSolveVecLengthMismatch(t *testing.T) {
+	f, err := FactorizeLU(Identity(2))
+	if err != nil {
+		t.Fatalf("FactorizeLU: %v", err)
+	}
+	if _, err := f.SolveVec([]float64{1, 2, 3}); err == nil {
+		t.Fatal("SolveVec with wrong rhs length must error")
+	}
+}
+
+func TestDetMultiplicativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a := randomMatrix(n, n, rng)
+		b := randomMatrix(n, n, rng)
+		da, db := Det(a), Det(b)
+		dab := Det(Mul(a, b))
+		scale := math.Max(1, math.Abs(da*db))
+		return math.Abs(dab-da*db)/scale < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

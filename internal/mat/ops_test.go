@@ -1,0 +1,204 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomMatrix builds a deterministic pseudo-random r×c matrix for tests.
+func randomMatrix(r, c int, rng *rand.Rand) *Dense {
+	m := Zeros(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestAddSub(t *testing.T) {
+	a := New(2, 2, []float64{1, 2, 3, 4})
+	b := New(2, 2, []float64{10, 20, 30, 40})
+	sum := Add(a, b)
+	want := New(2, 2, []float64{11, 22, 33, 44})
+	if !sum.Equal(want) {
+		t.Errorf("Add = %v, want %v", sum, want)
+	}
+	diff := Sub(sum, b)
+	if !diff.Equal(a) {
+		t.Errorf("Sub(Add(a,b),b) = %v, want %v", diff, a)
+	}
+}
+
+func TestAddShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add shape mismatch did not panic")
+		}
+	}()
+	Add(Zeros(2, 2), Zeros(2, 3))
+}
+
+func TestScale(t *testing.T) {
+	a := New(1, 3, []float64{1, -2, 3})
+	got := Scale(-2, a)
+	want := New(1, 3, []float64{-2, 4, -6})
+	if !got.Equal(want) {
+		t.Errorf("Scale = %v, want %v", got, want)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := New(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := New(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := New(2, 2, []float64{58, 64, 139, 154})
+	if !got.Equal(want) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(4, 4, rng)
+	if !Mul(a, Identity(4)).EqualApprox(a, 1e-14) {
+		t.Error("A·I != A")
+	}
+	if !Mul(Identity(4), a).EqualApprox(a, 1e-14) {
+		t.Error("I·A != A")
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul shape mismatch did not panic")
+		}
+	}()
+	Mul(Zeros(2, 3), Zeros(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	a := New(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := Transpose(a)
+	want := New(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	if !got.Equal(want) {
+		t.Errorf("Transpose = %v, want %v", got, want)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestTransposeOfProductProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		k := 1 + r.Intn(6)
+		m := 1 + r.Intn(6)
+		a := randomMatrix(n, k, rng)
+		b := randomMatrix(k, m, rng)
+		lhs := Transpose(Mul(a, b))
+		rhs := Mul(Transpose(b), Transpose(a))
+		return lhs.EqualApprox(rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix multiplication is associative.
+func TestMulAssociativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		k := 1 + r.Intn(5)
+		l := 1 + r.Intn(5)
+		m := 1 + r.Intn(5)
+		a := randomMatrix(n, k, rng)
+		b := randomMatrix(k, l, rng)
+		c := randomMatrix(l, m, rng)
+		lhs := Mul(Mul(a, b), c)
+		rhs := Mul(a, Mul(b, c))
+		return lhs.EqualApprox(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := New(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := MulVec(a, []float64{1, 0, -1})
+	want := []float64{-2, -2}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(5, 4, rng)
+	x := []float64{1, -1, 2, 0.5}
+	xm := New(4, 1, append([]float64(nil), x...))
+	got := MulVec(a, x)
+	want := Mul(a, xm)
+	for i, v := range got {
+		if math.Abs(v-want.At(i, 0)) > 1e-12 {
+			t.Errorf("MulVec[%d] = %v, Mul gives %v", i, v, want.At(i, 0))
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot length mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v, want 0", got)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := New(2, 2, []float64{1, 2, 2, 4})
+	if got := FrobeniusNorm(a); math.Abs(got-5) > 1e-15 {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+}
+
+func TestAddScaledIdentity(t *testing.T) {
+	a := New(2, 2, []float64{1, 2, 3, 4})
+	got := AddScaledIdentity(a, 10)
+	want := New(2, 2, []float64{11, 2, 3, 14})
+	if !got.Equal(want) {
+		t.Errorf("AddScaledIdentity = %v, want %v", got, want)
+	}
+	if a.At(0, 0) != 1 {
+		t.Error("AddScaledIdentity must not mutate its input")
+	}
+}
+
+func TestOuterProduct(t *testing.T) {
+	got := OuterProduct([]float64{1, 2}, []float64{3, 4, 5})
+	want := New(2, 3, []float64{3, 4, 5, 6, 8, 10})
+	if !got.Equal(want) {
+		t.Errorf("OuterProduct = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,72 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGramSchmidtKnown(t *testing.T) {
+	a := New(2, 2, []float64{1, 1, 0, 1})
+	q, err := GramSchmidt(a)
+	if err != nil {
+		t.Fatalf("GramSchmidt: %v", err)
+	}
+	if !IsOrthonormalColumns(q, 1e-12) {
+		t.Errorf("columns not orthonormal: %v", q)
+	}
+	// First column must be the normalized first input column: (1,0).
+	if math.Abs(q.At(0, 0)-1) > 1e-12 || math.Abs(q.At(1, 0)) > 1e-12 {
+		t.Errorf("first column = (%v,%v), want (1,0)", q.At(0, 0), q.At(1, 0))
+	}
+}
+
+func TestGramSchmidtDependentColumns(t *testing.T) {
+	a := New(2, 2, []float64{1, 2, 1, 2})
+	_, err := GramSchmidt(a)
+	if !errors.Is(err, ErrDependentColumns) {
+		t.Fatalf("err = %v, want ErrDependentColumns", err)
+	}
+}
+
+// Property: GramSchmidt output spans and is orthonormal.
+func TestGramSchmidtProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomMatrix(n, n, rng)
+		q, err := GramSchmidt(a)
+		if err != nil {
+			// Gaussian matrices are a.s. full rank; treat failure as a bug.
+			return false
+		}
+		return IsOrthonormalColumns(q, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 2, 5, 20} {
+		q := RandomOrthogonal(n, rng)
+		if !IsOrthonormalColumns(q, 1e-9) {
+			t.Errorf("RandomOrthogonal(%d) not orthogonal", n)
+		}
+		// Orthogonal ⇒ |det| = 1.
+		if d := math.Abs(Det(q)); math.Abs(d-1) > 1e-9 {
+			t.Errorf("RandomOrthogonal(%d) |det| = %v, want 1", n, d)
+		}
+	}
+}
+
+func TestRandomOrthogonalDeterministicUnderSeed(t *testing.T) {
+	q1 := RandomOrthogonal(4, rand.New(rand.NewSource(99)))
+	q2 := RandomOrthogonal(4, rand.New(rand.NewSource(99)))
+	if !q1.Equal(q2) {
+		t.Error("RandomOrthogonal must be deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,166 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"randpriv/internal/mat"
+)
+
+// KMeansResult holds a clustering: one centroid per cluster and the
+// cluster assignment of every row.
+type KMeansResult struct {
+	Centroids  *mat.Dense
+	Assignment []int
+	// Inertia is the summed squared distance of rows to their centroids.
+	Inertia float64
+	// Iterations is the number of Lloyd rounds performed.
+	Iterations int
+}
+
+// KMeans clusters the rows of x into k clusters with Lloyd's algorithm and
+// k-means++ seeding. maxIter bounds the iteration count (≤ 0 means 100).
+func KMeans(x *mat.Dense, k, maxIter int, rng *rand.Rand) (*KMeansResult, error) {
+	n, m := x.Dims()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("mining: k = %d outside [1, %d]", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	centroids := seedPlusPlus(x, k, rng)
+	assign := make([]int, n)
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			row := x.RawRow(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := sqDist(row, centroids.RawRow(c))
+				if d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; empty clusters keep their position.
+		sums := mat.Zeros(k, m)
+		counts := make([]int, k)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			dst := sums.RawRow(c)
+			for j, v := range x.RawRow(i) {
+				dst[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			dst := sums.RawRow(c)
+			inv := 1 / float64(counts[c])
+			cRow := centroids.RawRow(c)
+			for j := range dst {
+				cRow[j] = dst[j] * inv
+			}
+		}
+	}
+	var inertia float64
+	for i := 0; i < n; i++ {
+		inertia += sqDist(x.RawRow(i), centroids.RawRow(assign[i]))
+	}
+	res.Centroids = centroids
+	res.Assignment = assign
+	res.Inertia = inertia
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ rule.
+func seedPlusPlus(x *mat.Dense, k int, rng *rand.Rand) *mat.Dense {
+	n, m := x.Dims()
+	centroids := mat.Zeros(k, m)
+	first := rng.Intn(n)
+	centroids.SetRow(0, x.Row(first))
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = sqDist(x.RawRow(i), centroids.RawRow(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids.SetRow(c, x.Row(pick))
+		for i := 0; i < n; i++ {
+			if d := sqDist(x.RawRow(i), centroids.RawRow(c)); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// MatchCentroids greedily pairs each centroid in a with its nearest
+// centroid in b and returns the mean pairing distance — a scale-aware
+// measure of how well clustering structure survives disguising.
+func MatchCentroids(a, b *mat.Dense) (float64, error) {
+	ka, m := a.Dims()
+	kb, mb := b.Dims()
+	if ka != kb || m != mb {
+		return 0, fmt.Errorf("mining: centroid sets %dx%d vs %dx%d", ka, m, kb, mb)
+	}
+	if ka == 0 {
+		return 0, nil
+	}
+	used := make([]bool, kb)
+	var total float64
+	for i := 0; i < ka; i++ {
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < kb; j++ {
+			if used[j] {
+				continue
+			}
+			if d := sqDist(a.RawRow(i), b.RawRow(j)); d < bestD {
+				bestD = d
+				best = j
+			}
+		}
+		used[best] = true
+		total += math.Sqrt(bestD)
+	}
+	return total / float64(ka), nil
+}

@@ -1,0 +1,206 @@
+package mining
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/mat"
+)
+
+// twoClassData generates two well-separated Gaussian blobs.
+func twoClassData(n int, sep float64, rng *rand.Rand) (*mat.Dense, []int) {
+	x := mat.Zeros(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		labels[i] = c
+		shift := -sep / 2
+		if c == 1 {
+			shift = sep / 2
+		}
+		x.Set(i, 0, shift+rng.NormFloat64())
+		x.Set(i, 1, shift+rng.NormFloat64())
+	}
+	return x, labels
+}
+
+func TestTrainNaiveBayesValidation(t *testing.T) {
+	if _, err := TrainNaiveBayes(mat.Zeros(0, 2), nil); err == nil {
+		t.Error("empty data must error")
+	}
+	if _, err := TrainNaiveBayes(mat.Zeros(3, 2), []int{1, 2}); err == nil {
+		t.Error("label count mismatch must error")
+	}
+	if _, err := TrainNaiveBayes(mat.Zeros(3, 2), []int{1, 1, 1}); err == nil {
+		t.Error("single class must error")
+	}
+}
+
+func TestNaiveBayesSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := twoClassData(1000, 8, rng)
+	nb, err := TrainNaiveBayes(x, labels)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	pred, err := nb.PredictAll(x)
+	if err != nil {
+		t.Fatalf("PredictAll: %v", err)
+	}
+	acc, err := Accuracy(pred, labels)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if acc < 0.99 {
+		t.Errorf("accuracy = %v on well-separated blobs, want > 0.99", acc)
+	}
+	if got := len(nb.Classes()); got != 2 {
+		t.Errorf("Classes = %d, want 2", got)
+	}
+}
+
+func TestNaiveBayesPredictLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, labels := twoClassData(100, 4, rng)
+	nb, _ := TrainNaiveBayes(x, labels)
+	if _, err := nb.Predict([]float64{1}); err == nil {
+		t.Error("feature length mismatch must error")
+	}
+}
+
+func TestNaiveBayesConstantAttribute(t *testing.T) {
+	// A zero-variance attribute must not produce NaN scores.
+	x := mat.NewFromRows([][]float64{{1, 5}, {1, 5}, {2, 5}, {2, 5}})
+	labels := []int{0, 0, 1, 1}
+	nb, err := TrainNaiveBayes(x, labels)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	c, err := nb.Predict([]float64{1, 5})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if c != 0 {
+		t.Errorf("Predict = %d, want 0", c)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy([]int{1, 2, 3}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if math.Abs(acc-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 2/3", acc)
+	}
+	if _, err := Accuracy([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if acc, _ := Accuracy(nil, nil); acc != 0 {
+		t.Error("empty accuracy must be 0")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := mat.Zeros(5, 2)
+	if _, err := KMeans(x, 0, 10, rng); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, err := KMeans(x, 6, 10, rng); err == nil {
+		t.Error("k>n must error")
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 600
+	x := mat.Zeros(n, 2)
+	trueCenters := [][]float64{{-10, -10}, {0, 10}, {10, -5}}
+	for i := 0; i < n; i++ {
+		c := trueCenters[i%3]
+		x.Set(i, 0, c[0]+rng.NormFloat64())
+		x.Set(i, 1, c[1]+rng.NormFloat64())
+	}
+	res, err := KMeans(x, 3, 100, rng)
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	truth := mat.NewFromRows(trueCenters)
+	dist, err := MatchCentroids(truth, res.Centroids)
+	if err != nil {
+		t.Fatalf("MatchCentroids: %v", err)
+	}
+	if dist > 0.5 {
+		t.Errorf("mean centroid distance = %v, want < 0.5", dist)
+	}
+	if res.Inertia <= 0 {
+		t.Errorf("Inertia = %v, want > 0", res.Inertia)
+	}
+	if res.Iterations <= 0 {
+		t.Error("Iterations must be positive")
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := mat.Zeros(50, 2)
+	for i := 0; i < 50; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+	}
+	res, err := KMeans(x, 1, 50, rng)
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	for _, a := range res.Assignment {
+		if a != 0 {
+			t.Fatal("all rows must be in cluster 0")
+		}
+	}
+	// Centroid must be the sample mean.
+	if math.Abs(res.Centroids.At(0, 0)) > 0.5 || math.Abs(res.Centroids.At(0, 1)) > 0.5 {
+		t.Errorf("k=1 centroid = (%v,%v), want ≈(0,0)", res.Centroids.At(0, 0), res.Centroids.At(0, 1))
+	}
+}
+
+func TestKMeansDeterministicUnderSeed(t *testing.T) {
+	x := mat.Zeros(30, 2)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+	}
+	a, err := KMeans(x, 3, 50, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	b, err := KMeans(x, 3, 50, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	if !a.Centroids.Equal(b.Centroids) {
+		t.Error("k-means must be deterministic under a fixed seed")
+	}
+}
+
+func TestMatchCentroidsValidation(t *testing.T) {
+	if _, err := MatchCentroids(mat.Zeros(2, 2), mat.Zeros(3, 2)); err == nil {
+		t.Error("centroid count mismatch must error")
+	}
+	if d, err := MatchCentroids(mat.Zeros(0, 0), mat.Zeros(0, 0)); err != nil || d != 0 {
+		t.Errorf("empty match = (%v, %v)", d, err)
+	}
+}
+
+func TestMatchCentroidsIdentical(t *testing.T) {
+	c := mat.NewFromRows([][]float64{{1, 2}, {3, 4}})
+	d, err := MatchCentroids(c, c)
+	if err != nil {
+		t.Fatalf("MatchCentroids: %v", err)
+	}
+	if d != 0 {
+		t.Errorf("self-match distance = %v, want 0", d)
+	}
+}

@@ -1,0 +1,93 @@
+package randomize
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the privacy-breach analysis of Evfimievski,
+// Gehrke & Srikant (reference [8] of Huang et al.) for the randomized
+// response operator: posterior computation, (ρ1, ρ2)-breach detection,
+// and the amplification bound that certifies breach-freedom without
+// looking at the data distribution.
+
+// PosteriorTrue returns P(value = true | report), for a Warner operator
+// with truth probability p, prior π = P(value = true), and the observed
+// report. It is the quantity a (ρ1→ρ2) privacy breach is defined over.
+func (w Warner) PosteriorTrue(prior float64, report bool) (float64, error) {
+	if prior < 0 || prior > 1 || math.IsNaN(prior) {
+		return 0, fmt.Errorf("randomize: prior %v outside [0,1]", prior)
+	}
+	pTrue, pFalse := w.P, 1-w.P
+	if !report {
+		pTrue, pFalse = pFalse, pTrue
+	}
+	num := prior * pTrue
+	denom := num + (1-prior)*pFalse
+	if denom == 0 {
+		return 0, nil
+	}
+	return num / denom, nil
+}
+
+// Breaches reports whether the operator admits a (rho1 → rho2) upward
+// privacy breach at the given prior: the prior is at most rho1 but some
+// observable report pushes the posterior above rho2.
+func (w Warner) Breaches(prior, rho1, rho2 float64) (bool, error) {
+	if !(0 <= rho1 && rho1 < rho2 && rho2 <= 1) {
+		return false, fmt.Errorf("randomize: need 0 ≤ ρ1 < ρ2 ≤ 1, got (%v, %v)", rho1, rho2)
+	}
+	if prior > rho1 {
+		return false, nil // breach is only defined for low-prior properties
+	}
+	for _, report := range []bool{true, false} {
+		post, err := w.PosteriorTrue(prior, report)
+		if err != nil {
+			return false, err
+		}
+		if post > rho2 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Amplification returns the operator's amplification factor
+// γ = max_{v1,v2,r} P(r|v1)/P(r|v2); for Warner randomized response this
+// is p/(1−p) (assuming p ≥ ½; the operator is symmetric otherwise).
+func (w Warner) Amplification() float64 {
+	p := w.P
+	if p < 0.5 {
+		p = 1 - p
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return p / (1 - p)
+}
+
+// AmplificationBound reports whether the amplification condition
+//
+//	γ ≤ ρ2·(1−ρ1) / (ρ1·(1−ρ2))
+//
+// holds, which guarantees no (ρ1→ρ2) breach for ANY prior distribution —
+// the data-independent certificate of [8].
+func (w Warner) AmplificationBound(rho1, rho2 float64) (bool, error) {
+	if !(0 < rho1 && rho1 < rho2 && rho2 < 1) {
+		return false, fmt.Errorf("randomize: need 0 < ρ1 < ρ2 < 1, got (%v, %v)", rho1, rho2)
+	}
+	limit := rho2 * (1 - rho1) / (rho1 * (1 - rho2))
+	return w.Amplification() <= limit, nil
+}
+
+// MaxTruthProbability returns the largest Warner truth probability p
+// (≥ ½) whose amplification factor still satisfies the (ρ1→ρ2) bound —
+// the design tool a publisher uses to pick p: γ = p/(1−p) ≤ L gives
+// p ≤ L/(1+L).
+func MaxTruthProbability(rho1, rho2 float64) (float64, error) {
+	if !(0 < rho1 && rho1 < rho2 && rho2 < 1) {
+		return 0, fmt.Errorf("randomize: need 0 < ρ1 < ρ2 < 1, got (%v, %v)", rho1, rho2)
+	}
+	limit := rho2 * (1 - rho1) / (rho1 * (1 - rho2))
+	return limit / (1 + limit), nil
+}

@@ -1,0 +1,182 @@
+package randomize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPosteriorTrueKnown(t *testing.T) {
+	w, _ := NewWarner(0.8)
+	// π=0.5 prior: posterior after a "true" report is just p.
+	post, err := w.PosteriorTrue(0.5, true)
+	if err != nil {
+		t.Fatalf("PosteriorTrue: %v", err)
+	}
+	if math.Abs(post-0.8) > 1e-12 {
+		t.Errorf("posterior = %v, want 0.8", post)
+	}
+	// And after a "false" report it is 1−p.
+	post, _ = w.PosteriorTrue(0.5, false)
+	if math.Abs(post-0.2) > 1e-12 {
+		t.Errorf("posterior = %v, want 0.2", post)
+	}
+}
+
+func TestPosteriorTrueValidation(t *testing.T) {
+	w, _ := NewWarner(0.8)
+	for _, prior := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := w.PosteriorTrue(prior, true); err == nil {
+			t.Errorf("prior %v must error", prior)
+		}
+	}
+}
+
+func TestPosteriorDegenerate(t *testing.T) {
+	w, _ := NewWarner(0.8)
+	// Certain priors stay certain.
+	if post, _ := w.PosteriorTrue(0, true); post != 0 {
+		t.Errorf("prior 0 posterior = %v, want 0", post)
+	}
+	if post, _ := w.PosteriorTrue(1, false); post != 1 {
+		t.Errorf("prior 1 posterior = %v, want 1", post)
+	}
+}
+
+// Property: posteriors are proper probabilities and the two reports
+// average back to the prior (law of total probability).
+func TestPosteriorConsistencyProperty(t *testing.T) {
+	f := func(rawP, rawPrior float64) bool {
+		p := 0.51 + 0.48*math.Abs(math.Mod(rawP, 1))
+		prior := math.Abs(math.Mod(rawPrior, 1))
+		w, err := NewWarner(p)
+		if err != nil {
+			return false
+		}
+		postT, err := w.PosteriorTrue(prior, true)
+		if err != nil {
+			return false
+		}
+		postF, err := w.PosteriorTrue(prior, false)
+		if err != nil {
+			return false
+		}
+		if postT < 0 || postT > 1 || postF < 0 || postF > 1 {
+			return false
+		}
+		// P(report=true) and P(report=false) weights.
+		wT := prior*p + (1-prior)*(1-p)
+		wF := 1 - wT
+		back := postT*wT + postF*wF
+		return math.Abs(back-prior) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreaches(t *testing.T) {
+	// Aggressive operator (p=0.95) breaches 0.1→0.5 at prior 0.1:
+	// posterior = 0.1·0.95/(0.1·0.95+0.9·0.05) ≈ 0.678 > 0.5.
+	strong, _ := NewWarner(0.95)
+	breach, err := strong.Breaches(0.1, 0.1, 0.5)
+	if err != nil {
+		t.Fatalf("Breaches: %v", err)
+	}
+	if !breach {
+		t.Error("p=0.95 must breach (0.1 → 0.5)")
+	}
+	// Gentle operator (p=0.6) does not: posterior ≈ 0.143.
+	gentle, _ := NewWarner(0.6)
+	breach, err = gentle.Breaches(0.1, 0.1, 0.5)
+	if err != nil {
+		t.Fatalf("Breaches: %v", err)
+	}
+	if breach {
+		t.Error("p=0.6 must not breach (0.1 → 0.5)")
+	}
+	// Priors above ρ1 are out of scope.
+	if b, _ := strong.Breaches(0.3, 0.1, 0.5); b {
+		t.Error("prior above ρ1 cannot count as a breach")
+	}
+}
+
+func TestBreachesValidation(t *testing.T) {
+	w, _ := NewWarner(0.8)
+	if _, err := w.Breaches(0.1, 0.5, 0.5); err == nil {
+		t.Error("ρ1 = ρ2 must error")
+	}
+	if _, err := w.Breaches(0.1, 0.6, 0.2); err == nil {
+		t.Error("ρ1 > ρ2 must error")
+	}
+}
+
+func TestAmplification(t *testing.T) {
+	w, _ := NewWarner(0.8)
+	if got := w.Amplification(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Amplification = %v, want 4", got)
+	}
+	// Symmetric below 1/2.
+	w2, _ := NewWarner(0.2)
+	if got := w2.Amplification(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Amplification(0.2) = %v, want 4", got)
+	}
+}
+
+// The amplification certificate must be sound: whenever it holds, no
+// prior admits a breach.
+func TestAmplificationBoundSound(t *testing.T) {
+	rho1, rho2 := 0.1, 0.6
+	for _, p := range []float64{0.55, 0.65, 0.75, 0.85, 0.93, 0.97} {
+		w, _ := NewWarner(p)
+		certified, err := w.AmplificationBound(rho1, rho2)
+		if err != nil {
+			t.Fatalf("AmplificationBound: %v", err)
+		}
+		if !certified {
+			continue
+		}
+		// Exhaustively scan priors up to ρ1.
+		for prior := 0.0; prior <= rho1+1e-12; prior += 0.005 {
+			breach, err := w.Breaches(prior, rho1, rho2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if breach {
+				t.Fatalf("p=%v certified but breaches at prior %v", p, prior)
+			}
+		}
+	}
+}
+
+func TestMaxTruthProbability(t *testing.T) {
+	rho1, rho2 := 0.1, 0.6
+	pMax, err := MaxTruthProbability(rho1, rho2)
+	if err != nil {
+		t.Fatalf("MaxTruthProbability: %v", err)
+	}
+	if pMax <= 0.5 || pMax >= 1 {
+		t.Fatalf("pMax = %v outside (0.5, 1)", pMax)
+	}
+	// At pMax the bound holds with equality.
+	w, _ := NewWarner(pMax)
+	ok, err := w.AmplificationBound(rho1, rho2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("bound must hold at pMax = %v", pMax)
+	}
+	// Slightly above pMax it must fail.
+	w2, _ := NewWarner(math.Min(pMax+0.01, 0.999))
+	ok, err = w2.AmplificationBound(rho1, rho2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("bound must fail just above pMax")
+	}
+	if _, err := MaxTruthProbability(0.5, 0.5); err == nil {
+		t.Error("invalid rho pair must error")
+	}
+}

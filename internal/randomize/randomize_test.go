@@ -1,0 +1,186 @@
+package randomize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stat"
+	"randpriv/internal/synth"
+)
+
+func TestAdditivePerturbShapeAndIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	scheme := NewAdditiveGaussian(0.5)
+	p, err := scheme.Perturb(x, rng)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	if p.Y.Rows() != 3 || p.Y.Cols() != 2 {
+		t.Fatalf("Y dims %dx%d", p.Y.Rows(), p.Y.Cols())
+	}
+	// Y = X + R exactly.
+	if !mat.Add(x, p.R).EqualApprox(p.Y, 1e-12) {
+		t.Error("Y != X + R")
+	}
+	// Input untouched.
+	if x.At(0, 0) != 1 {
+		t.Error("Perturb mutated its input")
+	}
+}
+
+func TestAdditiveNilNoiseErrors(t *testing.T) {
+	var a Additive
+	if _, err := a.Perturb(mat.Zeros(1, 1), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unconfigured Additive must error")
+	}
+	if a.NoiseVariance() != 0 {
+		t.Error("NoiseVariance of unconfigured scheme must be 0")
+	}
+	if a.Describe() == "" {
+		t.Error("Describe must be non-empty")
+	}
+}
+
+func TestAdditiveNoiseMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sigma := 1.5
+	scheme := NewAdditiveGaussian(sigma)
+	if got := scheme.NoiseVariance(); math.Abs(got-2.25) > 1e-12 {
+		t.Errorf("NoiseVariance = %v, want 2.25", got)
+	}
+	x := mat.Zeros(20000, 3)
+	p, err := scheme.Perturb(x, rng)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	vars := stat.ColumnVariances(p.R)
+	for j, v := range vars {
+		if math.Abs(v-2.25) > 0.15 {
+			t.Errorf("noise column %d variance = %v, want ≈2.25", j, v)
+		}
+	}
+	means := stat.ColumnMeans(p.R)
+	for j, mn := range means {
+		if math.Abs(mn) > 0.05 {
+			t.Errorf("noise column %d mean = %v, want ≈0", j, mn)
+		}
+	}
+}
+
+// I.i.d. noise must have near-zero cross-attribute correlation.
+func TestAdditiveNoiseUncorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	scheme := NewAdditiveGaussian(1)
+	p, err := scheme.Perturb(mat.Zeros(20000, 4), rng)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	corr := stat.CorrelationMatrix(p.R)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j && math.Abs(corr.At(i, j)) > 0.03 {
+				t.Errorf("noise corr[%d][%d] = %v, want ≈0", i, j, corr.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewCorrelatedRejectsBadCovariance(t *testing.T) {
+	indef := mat.New(2, 2, []float64{1, 2, 2, 1})
+	if _, err := NewCorrelated(nil, indef); err == nil {
+		t.Error("indefinite noise covariance must error")
+	}
+}
+
+func TestCorrelatedPerturbDimensionMismatch(t *testing.T) {
+	c, err := NewCorrelated(nil, mat.Identity(3))
+	if err != nil {
+		t.Fatalf("NewCorrelated: %v", err)
+	}
+	if _, err := c.Perturb(mat.Zeros(5, 2), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("dimension mismatch must error")
+	}
+}
+
+// The improved scheme's noise must reproduce the prescribed covariance.
+func TestCorrelatedNoiseCovariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sigmaR := mat.New(2, 2, []float64{2, 1.2, 1.2, 1})
+	c, err := NewCorrelated(nil, sigmaR)
+	if err != nil {
+		t.Fatalf("NewCorrelated: %v", err)
+	}
+	p, err := c.Perturb(mat.Zeros(40000, 2), rng)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	sample := stat.CovarianceMatrix(p.R)
+	if !sample.EqualApprox(sigmaR, 0.06) {
+		t.Errorf("noise covariance %v, want ≈%v", sample, sigmaR)
+	}
+	if !c.NoiseCovariance().EqualApprox(sigmaR, 1e-12) {
+		t.Error("NoiseCovariance must return the configured matrix")
+	}
+	if c.Describe() == "" {
+		t.Error("Describe must be non-empty")
+	}
+}
+
+func TestNewCorrelatedLikeMatchesEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := []float64{50, 10, 2, 1}
+	ds, err := synth.Generate(100, vals, nil, rng)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sigma2 := 4.0
+	c, err := NewCorrelatedLike(ds.Cov, sigma2)
+	if err != nil {
+		t.Fatalf("NewCorrelatedLike: %v", err)
+	}
+	// Average per-attribute noise variance must equal sigma2.
+	if got := c.AverageVariance(); math.Abs(got-sigma2) > 1e-9 {
+		t.Errorf("AverageVariance = %v, want %v", got, sigma2)
+	}
+	// Noise covariance must be proportional to the data covariance.
+	nc := c.NoiseCovariance()
+	ratio := nc.At(0, 0) / ds.Cov.At(0, 0)
+	if !nc.EqualApprox(mat.Scale(ratio, ds.Cov), 1e-9*mat.MaxAbs(nc)) {
+		t.Error("noise covariance is not proportional to the data covariance")
+	}
+}
+
+func TestNewCorrelatedLikeValidation(t *testing.T) {
+	if _, err := NewCorrelatedLike(mat.Zeros(2, 3), 1); err == nil {
+		t.Error("non-square covariance must error")
+	}
+	if _, err := NewCorrelatedLike(mat.Zeros(2, 2), 1); err == nil {
+		t.Error("zero-trace covariance must error")
+	}
+}
+
+// The correlated scheme's noise correlation must be "similar" to the
+// data's: dissimilarity ≈ 0 under Definition 8.1.
+func TestCorrelatedNoiseDissimilarityNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vals := []float64{100, 80, 2, 1}
+	ds, err := synth.Generate(5000, vals, nil, rng)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	c, err := NewCorrelatedLike(ds.Cov, 5)
+	if err != nil {
+		t.Fatalf("NewCorrelatedLike: %v", err)
+	}
+	p, err := c.Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatalf("Perturb: %v", err)
+	}
+	dis := stat.CorrelationDissimilarity(ds.X, p.R)
+	if dis > 0.02 {
+		t.Errorf("Dis(X,R) = %v, want ≈0 for shape-matched noise", dis)
+	}
+}

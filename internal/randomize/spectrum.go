@@ -1,0 +1,76 @@
+package randomize
+
+import (
+	"fmt"
+	"math"
+)
+
+// NoiseSpectrumPath produces the noise eigenvalue layouts swept in
+// Experiment 4 (Figure 4). The noise shares the data's eigenvectors; only
+// its eigenvalue spectrum changes along a path parameterized by
+// t ∈ [0, 2]:
+//
+//	t = 0  — noise spectrum proportional to the data spectrum
+//	         ("similar" noise; minimum correlation dissimilarity)
+//	t = 1  — flat spectrum, i.e. i.i.d. noise in the original attribute
+//	         space (the vertical line in Figure 4)
+//	t = 2  — reversed data spectrum: noise concentrated on the data's
+//	         NON-principal directions (maximum dissimilarity; attacks
+//	         do best here because the principal components are nearly
+//	         noise-free)
+//
+// Every point on the path is rescaled to the same total noise energy
+// totalVar (= m·σ² for the i.i.d. equivalent), so only the *shape* of the
+// noise varies, matching the paper's experimental control.
+func NoiseSpectrumPath(dataVals []float64, t, totalVar float64) ([]float64, error) {
+	m := len(dataVals)
+	if m == 0 {
+		return nil, fmt.Errorf("randomize: empty data spectrum")
+	}
+	if t < 0 || t > 2 {
+		return nil, fmt.Errorf("randomize: path parameter t = %v outside [0,2]", t)
+	}
+	if totalVar <= 0 {
+		return nil, fmt.Errorf("randomize: totalVar = %v, must be > 0", totalVar)
+	}
+
+	var dataSum float64
+	for i, v := range dataVals {
+		if v <= 0 {
+			return nil, fmt.Errorf("randomize: data eigenvalue %d = %v, must be > 0", i, v)
+		}
+		dataSum += v
+	}
+
+	shaped := make([]float64, m)   // proportional to data spectrum
+	flat := make([]float64, m)     // uniform
+	reversed := make([]float64, m) // data spectrum back-to-front
+	for i, v := range dataVals {
+		shaped[i] = v / dataSum
+		flat[i] = 1 / float64(m)
+		reversed[i] = dataVals[m-1-i] / dataSum
+	}
+
+	out := make([]float64, m)
+	if t <= 1 {
+		for i := range out {
+			out[i] = (1-t)*shaped[i] + t*flat[i]
+		}
+	} else {
+		u := t - 1
+		for i := range out {
+			out[i] = (1-u)*flat[i] + u*reversed[i]
+		}
+	}
+	// Rescale to the requested energy and floor to keep the covariance
+	// positive definite.
+	var s float64
+	for _, v := range out {
+		s += v
+	}
+	floor := 1e-9 * totalVar / float64(m)
+	for i := range out {
+		out[i] = math.Max(out[i]/s*totalVar, floor)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package randomize
+
+import (
+	"math"
+	"testing"
+)
+
+func spectrumSum(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+func TestNoiseSpectrumPathEndpoints(t *testing.T) {
+	data := []float64{400, 400, 4, 4}
+	total := 16.0
+
+	// t=0: proportional to the data spectrum.
+	v0, err := NoiseSpectrumPath(data, 0, total)
+	if err != nil {
+		t.Fatalf("t=0: %v", err)
+	}
+	ratio := v0[0] / data[0]
+	for i := range data {
+		if math.Abs(v0[i]-ratio*data[i]) > 1e-9 {
+			t.Errorf("t=0 spectrum not proportional: %v", v0)
+		}
+	}
+
+	// t=1: flat.
+	v1, err := NoiseSpectrumPath(data, 1, total)
+	if err != nil {
+		t.Fatalf("t=1: %v", err)
+	}
+	for i := range v1 {
+		if math.Abs(v1[i]-total/4) > 1e-9 {
+			t.Errorf("t=1 spectrum not flat: %v", v1)
+		}
+	}
+
+	// t=2: reversed data spectrum.
+	v2, err := NoiseSpectrumPath(data, 2, total)
+	if err != nil {
+		t.Fatalf("t=2: %v", err)
+	}
+	if !(v2[0] < v2[3]) {
+		t.Errorf("t=2 spectrum not reversed: %v", v2)
+	}
+}
+
+func TestNoiseSpectrumPathEnergyConserved(t *testing.T) {
+	data := []float64{100, 50, 10, 5, 1}
+	total := 25.0
+	for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 2} {
+		vals, err := NoiseSpectrumPath(data, tt, total)
+		if err != nil {
+			t.Fatalf("t=%v: %v", tt, err)
+		}
+		if got := spectrumSum(vals); math.Abs(got-total) > 1e-6*total {
+			t.Errorf("t=%v: energy %v, want %v", tt, got, total)
+		}
+		for i, v := range vals {
+			if v <= 0 {
+				t.Errorf("t=%v: eigenvalue %d = %v not positive", tt, i, v)
+			}
+		}
+	}
+}
+
+func TestNoiseSpectrumPathValidation(t *testing.T) {
+	if _, err := NoiseSpectrumPath(nil, 0, 1); err == nil {
+		t.Error("empty spectrum must error")
+	}
+	if _, err := NoiseSpectrumPath([]float64{1}, -0.1, 1); err == nil {
+		t.Error("t < 0 must error")
+	}
+	if _, err := NoiseSpectrumPath([]float64{1}, 2.1, 1); err == nil {
+		t.Error("t > 2 must error")
+	}
+	if _, err := NoiseSpectrumPath([]float64{1}, 1, 0); err == nil {
+		t.Error("non-positive energy must error")
+	}
+	if _, err := NoiseSpectrumPath([]float64{1, -1}, 1, 1); err == nil {
+		t.Error("negative data eigenvalue must error")
+	}
+}
+
+// Moving along the path away from t=0 must monotonically reduce the share
+// of noise energy on the principal directions.
+func TestNoiseSpectrumPathPrincipalShareDecreases(t *testing.T) {
+	data := []float64{400, 400, 4, 4, 4, 4}
+	total := 36.0
+	prev := math.Inf(1)
+	for _, tt := range []float64{0, 0.5, 1, 1.5, 2} {
+		vals, err := NoiseSpectrumPath(data, tt, total)
+		if err != nil {
+			t.Fatalf("t=%v: %v", tt, err)
+		}
+		share := (vals[0] + vals[1]) / spectrumSum(vals)
+		if share > prev+1e-12 {
+			t.Errorf("t=%v: principal share %v increased from %v", tt, share, prev)
+		}
+		prev = share
+	}
+}

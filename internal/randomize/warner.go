@@ -1,0 +1,63 @@
+package randomize
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Warner implements the classic randomized response scheme (Warner 1965,
+// reference [26]): each boolean answer is reported truthfully with
+// probability P and flipped with probability 1−P. It is the categorical
+// counterpart of additive perturbation, used by the MASK / decision-tree
+// lines of PPDM work discussed in the paper's related work, and exercised
+// here by the mining utility example.
+type Warner struct {
+	// P is the probability of answering truthfully; must be in (0,1) and
+	// not exactly 1/2 (at 1/2 the responses carry no information).
+	P float64
+}
+
+// NewWarner validates p and returns the scheme.
+func NewWarner(p float64) (Warner, error) {
+	if p <= 0 || p >= 1 || p == 0.5 {
+		return Warner{}, fmt.Errorf("randomize: Warner p = %v, must be in (0,1) and ≠ 0.5", p)
+	}
+	return Warner{P: p}, nil
+}
+
+// Perturb flips each bit with probability 1−P.
+func (w Warner) Perturb(truth []bool, rng *rand.Rand) []bool {
+	out := make([]bool, len(truth))
+	for i, t := range truth {
+		if rng.Float64() < w.P {
+			out[i] = t
+		} else {
+			out[i] = !t
+		}
+	}
+	return out
+}
+
+// EstimateProportion recovers an unbiased estimate of the true proportion
+// of "true" answers from the observed proportion: with observed rate λ,
+// π̂ = (λ + P − 1) / (2P − 1). The estimate is clamped to [0,1].
+func (w Warner) EstimateProportion(observed []bool) float64 {
+	if len(observed) == 0 {
+		return 0
+	}
+	var count int
+	for _, v := range observed {
+		if v {
+			count++
+		}
+	}
+	lambda := float64(count) / float64(len(observed))
+	pi := (lambda + w.P - 1) / (2*w.P - 1)
+	if pi < 0 {
+		return 0
+	}
+	if pi > 1 {
+		return 1
+	}
+	return pi
+}

@@ -1,0 +1,81 @@
+package randomize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewWarnerValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, 0.5, -0.2, 1.5} {
+		if _, err := NewWarner(p); err == nil {
+			t.Errorf("NewWarner(%v) must error", p)
+		}
+	}
+	if _, err := NewWarner(0.8); err != nil {
+		t.Errorf("NewWarner(0.8): %v", err)
+	}
+}
+
+func TestWarnerPerturbLength(t *testing.T) {
+	w, _ := NewWarner(0.7)
+	truth := []bool{true, false, true}
+	out := w.Perturb(truth, rand.New(rand.NewSource(1)))
+	if len(out) != 3 {
+		t.Fatalf("length = %d, want 3", len(out))
+	}
+}
+
+func TestWarnerFlipRate(t *testing.T) {
+	w, _ := NewWarner(0.8)
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	truth := make([]bool, n)
+	for i := range truth {
+		truth[i] = true
+	}
+	out := w.Perturb(truth, rng)
+	var kept int
+	for _, v := range out {
+		if v {
+			kept++
+		}
+	}
+	rate := float64(kept) / float64(n)
+	if math.Abs(rate-0.8) > 0.01 {
+		t.Errorf("truth-keeping rate = %v, want ≈0.8", rate)
+	}
+}
+
+func TestWarnerEstimateProportionRecovers(t *testing.T) {
+	w, _ := NewWarner(0.75)
+	rng := rand.New(rand.NewSource(3))
+	n := 100000
+	truePi := 0.3
+	truth := make([]bool, n)
+	for i := range truth {
+		truth[i] = rng.Float64() < truePi
+	}
+	observed := w.Perturb(truth, rng)
+	if got := w.EstimateProportion(observed); math.Abs(got-truePi) > 0.01 {
+		t.Errorf("estimated proportion = %v, want ≈%v", got, truePi)
+	}
+}
+
+func TestWarnerEstimateProportionClamps(t *testing.T) {
+	w, _ := NewWarner(0.9)
+	// All-false observations with high p: raw estimator goes negative.
+	obs := make([]bool, 100)
+	if got := w.EstimateProportion(obs); got != 0 {
+		t.Errorf("clamped estimate = %v, want 0", got)
+	}
+	for i := range obs {
+		obs[i] = true
+	}
+	if got := w.EstimateProportion(obs); got != 1 {
+		t.Errorf("clamped estimate = %v, want 1", got)
+	}
+	if got := w.EstimateProportion(nil); got != 0 {
+		t.Errorf("empty observations = %v, want 0", got)
+	}
+}

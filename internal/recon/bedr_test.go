@@ -1,0 +1,255 @@
+package recon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/randomize"
+	"randpriv/internal/stat"
+	"randpriv/internal/synth"
+)
+
+func TestBEDRBeatsPCADRAndNDR(t *testing.T) {
+	tc := makeCorrelated(t, 1000, 20, 3, 11)
+	sigma2 := tc.sigma * tc.sigma
+
+	be, err := NewBEDR(sigma2).Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("BE-DR: %v", err)
+	}
+	pca, err := NewPCADR(sigma2).Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("PCA-DR: %v", err)
+	}
+	beErr := stat.RMSE(be, tc.data.X)
+	pcaErr := stat.RMSE(pca, tc.data.X)
+	ndrErr := stat.RMSE(tc.y, tc.data.X)
+
+	if beErr >= pcaErr {
+		t.Errorf("BE-DR RMSE %v not better than PCA-DR %v", beErr, pcaErr)
+	}
+	if beErr >= ndrErr {
+		t.Errorf("BE-DR RMSE %v not better than NDR %v", beErr, ndrErr)
+	}
+}
+
+// With a diagonal oracle covariance (independent attributes), BE-DR must
+// reduce to per-attribute Wiener shrinkage — the paper's argument that
+// BE-DR converges to UDR when correlations vanish (§6.1).
+func TestBEDRDiagonalEqualsUnivariateShrinkage(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n, m := 500, 3
+	s2 := []float64{9, 4, 1} // per-attribute variances
+	x := mat.Zeros(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			x.Set(i, j, math.Sqrt(s2[j])*rng.NormFloat64())
+		}
+	}
+	sigma := 2.0
+	pert, err := randomize.NewAdditiveGaussian(sigma).Perturb(x, rng)
+	if err != nil {
+		t.Fatalf("perturb: %v", err)
+	}
+	attack := &BEDR{
+		Sigma2:     sigma * sigma,
+		OracleCov:  mat.Diag(s2),
+		OracleMean: make([]float64, m),
+	}
+	xhat, err := attack.Reconstruct(pert.Y)
+	if err != nil {
+		t.Fatalf("BE-DR: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			shrink := s2[j] / (s2[j] + sigma*sigma)
+			want := shrink * pert.Y.At(i, j)
+			if math.Abs(xhat.At(i, j)-want) > 1e-9 {
+				t.Fatalf("(%d,%d): BE-DR %v, Wiener %v", i, j, xhat.At(i, j), want)
+			}
+		}
+	}
+}
+
+// Eq. 13 with Σr = σ²·I and μr = 0 must reproduce Eq. 11 exactly.
+func TestBEDREq13ReducesToEq11(t *testing.T) {
+	tc := makeCorrelated(t, 400, 6, 2, 13)
+	sigma2 := tc.sigma * tc.sigma
+
+	eq11 := NewBEDR(sigma2)
+	eq13 := NewBEDRCorrelated(mat.Scale(sigma2, mat.Identity(6)), nil)
+
+	x11, err := eq11.Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("Eq.11: %v", err)
+	}
+	x13, err := eq13.Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("Eq.13: %v", err)
+	}
+	if !x11.EqualApprox(x13, 1e-6) {
+		t.Error("Eq. 13 with isotropic noise must equal Eq. 11")
+	}
+}
+
+// The defense works: correlated noise must degrade BE-DR compared to
+// i.i.d. noise of the same energy (§8.2).
+func TestBEDRDegradedByCorrelatedNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	spec := synth.Spectrum{M: 20, P: 4, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatalf("spectrum: %v", err)
+	}
+	ds, err := synth.Generate(1200, vals, nil, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	sigma2 := 16.0
+
+	// i.i.d. noise attack.
+	iid, err := randomize.NewAdditiveGaussian(math.Sqrt(sigma2)).Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatalf("iid perturb: %v", err)
+	}
+	xIID, err := NewBEDR(sigma2).Reconstruct(iid.Y)
+	if err != nil {
+		t.Fatalf("BE-DR iid: %v", err)
+	}
+
+	// Correlated (shape-matched) noise of the same average energy.
+	scheme, err := randomize.NewCorrelatedLike(ds.Cov, sigma2)
+	if err != nil {
+		t.Fatalf("NewCorrelatedLike: %v", err)
+	}
+	corr, err := scheme.Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatalf("correlated perturb: %v", err)
+	}
+	xCorr, err := NewBEDRCorrelated(scheme.NoiseCovariance(), nil).Reconstruct(corr.Y)
+	if err != nil {
+		t.Fatalf("BE-DR correlated: %v", err)
+	}
+
+	errIID := stat.RMSE(xIID, ds.X)
+	errCorr := stat.RMSE(xCorr, ds.X)
+	if errCorr <= errIID {
+		t.Errorf("correlated-noise RMSE %v should exceed iid RMSE %v (defense must work)", errCorr, errIID)
+	}
+}
+
+func TestBEDRValidation(t *testing.T) {
+	tc := makeCorrelated(t, 100, 4, 2, 15)
+	cases := []*BEDR{
+		{Sigma2: 0},
+		{Sigma2: -1},
+		{NoiseCov: mat.Identity(3)},                    // wrong shape
+		{Sigma2: 1, NoiseMean: []float64{1}},           // wrong mean length
+		{Sigma2: 1, OracleCov: mat.Identity(5)},        // wrong oracle shape
+		{Sigma2: 1, OracleMean: []float64{1, 2}},       // wrong oracle mean
+		{NoiseCov: mat.New(4, 4, make([]float64, 16))}, // singular noise cov
+	}
+	for i, c := range cases {
+		if _, err := c.Reconstruct(tc.y); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewBEDR(1).Reconstruct(mat.Zeros(0, 2)); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+// Spectrum cleaning must close (most of) the gap between the estimated
+// and oracle covariance at small n/m — the Figure-1 caveat fix.
+func TestBEDRShrinkClosesOracleGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	spec, err := synth.BudgetedSpectrum(60, 5, 4, 300)
+	if err != nil {
+		t.Fatalf("spectrum: %v", err)
+	}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatalf("values: %v", err)
+	}
+	ds, err := synth.Generate(700, vals, nil, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	pert, err := randomize.NewAdditiveGaussian(5).Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatalf("perturb: %v", err)
+	}
+	const sigma2 = 25.0
+	run := func(a Reconstructor) float64 {
+		xhat, err := a.Reconstruct(pert.Y)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		return stat.RMSE(xhat, ds.X)
+	}
+	plain := run(NewBEDR(sigma2))
+	shrunk := run(&BEDR{Sigma2: sigma2, Shrink: true})
+	oracle := run(&BEDR{Sigma2: sigma2, OracleCov: ds.Cov, OracleMean: make([]float64, 60)})
+
+	if shrunk >= plain {
+		t.Errorf("shrinkage did not help: plain %v, shrunk %v", plain, shrunk)
+	}
+	// Cleaned estimate should land within a few percent of the oracle.
+	if shrunk > oracle*1.05 {
+		t.Errorf("shrunk %v still far from oracle %v", shrunk, oracle)
+	}
+}
+
+func TestBEDRName(t *testing.T) {
+	if NewBEDR(1).Name() != "BE-DR" {
+		t.Error("wrong name")
+	}
+}
+
+// Nonzero noise mean: BE-DR must compensate for a known μr.
+func TestBEDRNonzeroNoiseMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	spec := synth.Spectrum{M: 6, P: 2, Principal: 100, Tail: 2}
+	vals, _ := spec.Values()
+	ds, err := synth.Generate(800, vals, nil, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	sigma2 := 9.0
+	mu := []float64{5, 5, 5, 5, 5, 5}
+	scheme, err := randomize.NewCorrelated(mu, mat.Scale(sigma2, mat.Identity(6)))
+	if err != nil {
+		t.Fatalf("NewCorrelated: %v", err)
+	}
+	pert, err := scheme.Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatalf("perturb: %v", err)
+	}
+	aware := NewBEDRCorrelated(scheme.NoiseCovariance(), mu)
+	xAware, err := aware.Reconstruct(pert.Y)
+	if err != nil {
+		t.Fatalf("BE-DR: %v", err)
+	}
+	// Mean-aware reconstruction must be nearly unbiased relative to the
+	// actual sample means of X (which themselves fluctuate around 0).
+	means := stat.ColumnMeans(xAware)
+	xMeans := stat.ColumnMeans(ds.X)
+	for j, m := range means {
+		if math.Abs(m-xMeans[j]) > 0.5 {
+			t.Errorf("column %d mean = %v, want ≈%v after μr compensation", j, m, xMeans[j])
+		}
+	}
+	// And must beat the μr-ignorant version (which inherits the +5 bias).
+	ignorant := NewBEDRCorrelated(scheme.NoiseCovariance(), nil)
+	xIgn, err := ignorant.Reconstruct(pert.Y)
+	if err != nil {
+		t.Fatalf("BE-DR ignorant: %v", err)
+	}
+	// The ignorant attack mis-centers μx by +5, so the aware attack wins.
+	if stat.RMSE(xAware, ds.X) >= stat.RMSE(xIgn, ds.X)+0.5 {
+		t.Errorf("mean-aware attack should not be materially worse: %v vs %v",
+			stat.RMSE(xAware, ds.X), stat.RMSE(xIgn, ds.X))
+	}
+}

@@ -1,0 +1,165 @@
+package recon
+
+import (
+	"fmt"
+	"math"
+
+	"randpriv/internal/dist"
+	"randpriv/internal/mat"
+	"randpriv/internal/stat"
+)
+
+// BEDRNumeric is the gradient-based Bayes estimator the paper defers to
+// future work (§6.1): when the noise is not Gaussian there is no
+// closed-form maximizer of the posterior, so the MAP estimate
+//
+//	argmax_x  log f_X(x) + Σ_j log f_R(y_j − x_j)
+//
+// is found by gradient ascent. The data prior stays multivariate normal
+// (Σx recovered as in BE-DR); the per-entry noise law is pluggable via
+// its log-density derivative.
+//
+// With Gaussian noise this converges to exactly the Eq. 11 solution,
+// which the tests verify. With heavy-tailed (Laplace) noise the MAP's
+// bounded score makes it robust to outliers, but note that under the
+// paper's RMSE metric the Gaussian-model BE-DR remains hard to beat even
+// when the noise is non-Gaussian: Eq. 11 is the linear MMSE estimator,
+// which depends only on second moments. The posterior *mean* (not mode)
+// would be needed to improve on it — the paper's suggestion of numerical
+// methods targets the mode, and this implements exactly that.
+type BEDRNumeric struct {
+	// Noise is the per-entry noise distribution; it must be one of the
+	// supported laws (Normal or Laplace) so the score function is known.
+	Noise dist.Continuous
+	// OracleCov / OracleMean optionally replace the estimates of Σx, μx.
+	OracleCov  *mat.Dense
+	OracleMean []float64
+	// MaxIter bounds the gradient iterations per record (default 200).
+	MaxIter int
+	// Tol is the convergence threshold on the step's max-norm relative
+	// to the noise scale (default 1e-8).
+	Tol float64
+}
+
+// score returns d/dr log f_R(r) for the supported noise laws.
+func noiseScore(noise dist.Continuous) (func(r float64) float64, error) {
+	switch d := noise.(type) {
+	case dist.Normal:
+		inv := 1 / (d.Sigma * d.Sigma)
+		mu := d.Mu
+		return func(r float64) float64 { return -(r - mu) * inv }, nil
+	case dist.Laplace:
+		invB := 1 / d.B
+		mu := d.Mu
+		return func(r float64) float64 {
+			if r > mu {
+				return -invB
+			}
+			if r < mu {
+				return invB
+			}
+			return 0
+		}, nil
+	default:
+		return nil, fmt.Errorf("recon: BEDRNumeric supports Normal and Laplace noise, got %T", noise)
+	}
+}
+
+// Reconstruct implements Reconstructor.
+func (b *BEDRNumeric) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
+	if err := validateNonEmpty(y); err != nil {
+		return nil, err
+	}
+	if b.Noise == nil {
+		return nil, fmt.Errorf("recon: BEDRNumeric has no noise distribution")
+	}
+	score, err := noiseScore(b.Noise)
+	if err != nil {
+		return nil, err
+	}
+	noiseVar := b.Noise.Variance()
+	if noiseVar <= 0 {
+		return nil, fmt.Errorf("recon: noise variance %v, must be > 0", noiseVar)
+	}
+	maxIter := b.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	tol := b.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+
+	n, m := y.Dims()
+
+	var sigmaX *mat.Dense
+	if b.OracleCov != nil {
+		if b.OracleCov.Rows() != m || b.OracleCov.Cols() != m {
+			return nil, fmt.Errorf("recon: oracle covariance is %dx%d, want %dx%d",
+				b.OracleCov.Rows(), b.OracleCov.Cols(), m, m)
+		}
+		sigmaX = b.OracleCov
+	} else {
+		est := stat.RecoverCovariance(stat.CovarianceMatrix(y), noiseVar)
+		fixed, err := ensurePositiveDefinite(est, 1e-6)
+		if err != nil {
+			return nil, fmt.Errorf("recon: covariance repair: %w", err)
+		}
+		sigmaX = fixed
+	}
+	mux := b.OracleMean
+	if mux == nil {
+		mux = stat.ColumnMeans(y)
+	} else if len(mux) != m {
+		return nil, fmt.Errorf("recon: oracle mean length %d, want %d", len(mux), m)
+	}
+
+	sigmaXInv, err := mat.InverseSPD(sigmaX)
+	if err != nil {
+		return nil, fmt.Errorf("recon: Σx not invertible: %w", err)
+	}
+
+	// Step size from the objective's curvature bound: the Hessian is
+	// dominated by Σx⁻¹ + I/noiseVar, so 1/(λmax(Σx⁻¹) + 1/noiseVar) is a
+	// safe (and for Gaussian noise, near-optimal) gradient step.
+	eig, err := mat.EigenSym(sigmaXInv)
+	if err != nil {
+		return nil, fmt.Errorf("recon: precision eigenvalues: %w", err)
+	}
+	lipschitz := eig.Values[0] + 1/noiseVar
+	step := 1 / lipschitz
+	scale := math.Sqrt(noiseVar)
+
+	out := mat.Zeros(n, m)
+	x := make([]float64, m)
+	diff := make([]float64, m)
+	for i := 0; i < n; i++ {
+		yr := y.RawRow(i)
+		copy(x, yr) // start from the observation
+		for iter := 0; iter < maxIter; iter++ {
+			for j := range diff {
+				diff[j] = x[j] - mux[j]
+			}
+			grad := mat.MulVec(sigmaXInv, diff) // −∇ log prior
+			var maxStep float64
+			for j := range x {
+				// ∇ log posterior = −Σx⁻¹(x−μ) − score(y−x), since
+				// d/dx log f_R(y−x) = −(log f_R)'(y−x).
+				g := -grad[j] - score(yr[j]-x[j])
+				delta := step * g
+				x[j] += delta
+				if a := math.Abs(delta); a > maxStep {
+					maxStep = a
+				}
+			}
+			if maxStep < tol*scale {
+				break
+			}
+		}
+		out.SetRow(i, x)
+	}
+	return out, nil
+}
+
+// Name implements Reconstructor.
+func (b *BEDRNumeric) Name() string { return "BE-DR-num" }

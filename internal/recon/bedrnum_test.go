@@ -1,0 +1,124 @@
+package recon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/dist"
+	"randpriv/internal/mat"
+	"randpriv/internal/randomize"
+	"randpriv/internal/stat"
+	"randpriv/internal/synth"
+)
+
+// With Gaussian noise the numerical MAP must converge to the closed-form
+// Eq. 11 solution.
+func TestBEDRNumericMatchesClosedFormGaussian(t *testing.T) {
+	tc := makeCorrelated(t, 300, 6, 2, 51)
+	sigma2 := tc.sigma * tc.sigma
+
+	numeric := &BEDRNumeric{Noise: dist.NewNormal(0, tc.sigma), MaxIter: 2000, Tol: 1e-12}
+	closed := NewBEDR(sigma2)
+
+	xn, err := numeric.Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("numeric: %v", err)
+	}
+	xc, err := closed.Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("closed form: %v", err)
+	}
+	if !xn.EqualApprox(xc, 1e-4) {
+		t.Errorf("numeric MAP diverges from Eq. 11: max|Δ| = %v",
+			mat.MaxAbs(mat.Sub(xn, xc)))
+	}
+	if numeric.Name() != "BE-DR-num" {
+		t.Error("wrong name")
+	}
+}
+
+// With Laplace noise the MAP must beat the NDR floor. It does NOT have
+// to beat the Gaussian-model BE-DR: Eq. 11 is the linear MMSE estimator
+// (optimal under RMSE given only second moments), whereas the Laplace
+// posterior mode trades RMSE for outlier robustness.
+func TestBEDRNumericLaplaceBeatsNDR(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	spec := synth.Spectrum{M: 10, P: 2, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatalf("spectrum: %v", err)
+	}
+	ds, err := synth.Generate(1500, vals, nil, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	// Laplace noise with variance 2b² = 32.
+	lap := dist.NewLaplace(0, 4)
+	scheme := randomize.Additive{Noise: lap}
+	pert, err := scheme.Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatalf("perturb: %v", err)
+	}
+
+	numeric := &BEDRNumeric{Noise: lap}
+	xn, err := numeric.Reconstruct(pert.Y)
+	if err != nil {
+		t.Fatalf("numeric: %v", err)
+	}
+	en := stat.RMSE(xn, ds.X)
+	if ndr := stat.RMSE(pert.Y, ds.X); en >= ndr {
+		t.Errorf("numeric MAP %v worse than NDR %v", en, ndr)
+	}
+}
+
+func TestBEDRNumericValidation(t *testing.T) {
+	tc := makeCorrelated(t, 50, 4, 2, 53)
+	cases := []*BEDRNumeric{
+		{},                             // no noise distribution
+		{Noise: dist.NewUniform(0, 1)}, // unsupported law
+		{Noise: dist.NewNormal(0, 1), OracleCov: mat.Identity(9)},
+		{Noise: dist.NewNormal(0, 1), OracleMean: []float64{1}},
+	}
+	for i, c := range cases {
+		if _, err := c.Reconstruct(tc.y); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := (&BEDRNumeric{Noise: dist.NewNormal(0, 1)}).Reconstruct(mat.Zeros(0, 2)); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+// The Lipschitz step derivation must keep the iteration stable even for
+// badly scaled data (huge prior variance vs tiny noise).
+func TestBEDRNumericStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	n := 200
+	x := mat.Zeros(n, 2)
+	for i := 0; i < n; i++ {
+		v := 1000 * rng.NormFloat64()
+		x.Set(i, 0, v)
+		x.Set(i, 1, v+rng.NormFloat64())
+	}
+	noise := dist.NewNormal(0, 0.5)
+	pert, err := randomize.Additive{Noise: noise}.Perturb(x, rng)
+	if err != nil {
+		t.Fatalf("perturb: %v", err)
+	}
+	attack := &BEDRNumeric{Noise: noise}
+	xhat, err := attack.Reconstruct(pert.Y)
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < 2; j++ {
+			if math.IsNaN(xhat.At(i, j)) || math.IsInf(xhat.At(i, j), 0) {
+				t.Fatalf("non-finite estimate at (%d,%d)", i, j)
+			}
+		}
+	}
+	if e := stat.RMSE(xhat, x); e >= stat.RMSE(pert.Y, x)*1.01 {
+		t.Errorf("numeric MAP %v no better than NDR on ill-scaled data", e)
+	}
+}

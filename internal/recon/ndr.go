@@ -1,0 +1,20 @@
+package recon
+
+import "randpriv/internal/mat"
+
+// NDR is the Noise-Distribution-based Reconstruction of §4.1: the
+// adversary guesses the noise to be zero and uses y itself as the
+// estimate. Its mean square error is exactly the noise variance, which
+// makes it the floor every smarter attack must beat.
+type NDR struct{}
+
+// Reconstruct implements Reconstructor.
+func (NDR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
+	if err := validateNonEmpty(y); err != nil {
+		return nil, err
+	}
+	return y.Clone(), nil
+}
+
+// Name implements Reconstructor.
+func (NDR) Name() string { return "NDR" }

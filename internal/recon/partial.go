@@ -1,0 +1,189 @@
+package recon
+
+import (
+	"fmt"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stat"
+)
+
+// PartialDisclosure implements the attack the paper lists as an open
+// problem in §3 ("Partial Value Disclosure") and §9: the adversary knows
+// the *exact* values of a subset of attributes for every record (learned
+// through side channels — the paper's example is knowing that Alice has
+// diabetes and heart problems) and combines that knowledge with the
+// disguised values of the remaining attributes.
+//
+// Under the multivariate-normal model, conditioning is exact: for known
+// attributes K and unknown attributes U,
+//
+//	μ_{U|K}  = μ_U + Σ_UK·Σ_KK⁻¹·(x_K − μ_K)
+//	Σ_{U|K}  = Σ_UU − Σ_UK·Σ_KK⁻¹·Σ_KU
+//
+// and the Bayes estimate of x_U given the disguised y_U applies Eq. 11
+// with the conditional prior:
+//
+//	x̂_U = (Σ_{U|K}⁻¹ + I/σ²)⁻¹ (Σ_{U|K}⁻¹·μ_{U|K} + y_U/σ²).
+//
+// With no known attributes this reduces exactly to BE-DR; every disclosed
+// attribute strictly sharpens the prior on its correlated neighbours.
+type PartialDisclosure struct {
+	// Sigma2 is the i.i.d. noise variance σ².
+	Sigma2 float64
+	// Known lists the indices of attributes whose true values the
+	// adversary has (the same set for every record).
+	Known []int
+	// KnownValues is the n×len(Known) matrix of true values, row-aligned
+	// with the disguised data.
+	KnownValues *mat.Dense
+	// OracleCov / OracleMean optionally replace the Theorem 5.1
+	// estimates of Σx and μx.
+	OracleCov  *mat.Dense
+	OracleMean []float64
+}
+
+// Reconstruct implements Reconstructor. Known attributes are copied
+// verbatim into the output; unknown attributes get the conditional Bayes
+// estimate.
+func (a *PartialDisclosure) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
+	if err := validateNonEmpty(y); err != nil {
+		return nil, err
+	}
+	if err := sigma2Valid(a.Sigma2); err != nil {
+		return nil, err
+	}
+	n, m := y.Dims()
+
+	known := append([]int(nil), a.Known...)
+	seen := make(map[int]bool, len(known))
+	for _, k := range known {
+		if k < 0 || k >= m {
+			return nil, fmt.Errorf("recon: known attribute index %d outside [0,%d)", k, m)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("recon: duplicate known attribute index %d", k)
+		}
+		seen[k] = true
+	}
+	if len(known) > 0 {
+		if a.KnownValues == nil {
+			return nil, fmt.Errorf("recon: Known set but KnownValues missing")
+		}
+		if a.KnownValues.Rows() != n || a.KnownValues.Cols() != len(known) {
+			return nil, fmt.Errorf("recon: KnownValues is %dx%d, want %dx%d",
+				a.KnownValues.Rows(), a.KnownValues.Cols(), n, len(known))
+		}
+	}
+
+	// With nothing disclosed this is plain BE-DR.
+	if len(known) == 0 {
+		be := &BEDR{Sigma2: a.Sigma2, OracleCov: a.OracleCov, OracleMean: a.OracleMean}
+		return be.Reconstruct(y)
+	}
+	if len(known) == m {
+		return a.KnownValues.Clone(), nil // everything disclosed already
+	}
+
+	unknown := make([]int, 0, m-len(known))
+	for j := 0; j < m; j++ {
+		if !seen[j] {
+			unknown = append(unknown, j)
+		}
+	}
+
+	// Σx and μx (estimated or oracle).
+	var sigmaX *mat.Dense
+	if a.OracleCov != nil {
+		if a.OracleCov.Rows() != m || a.OracleCov.Cols() != m {
+			return nil, fmt.Errorf("recon: oracle covariance is %dx%d, want %dx%d",
+				a.OracleCov.Rows(), a.OracleCov.Cols(), m, m)
+		}
+		sigmaX = a.OracleCov
+	} else {
+		est := stat.RecoverCovariance(stat.CovarianceMatrix(y), a.Sigma2)
+		fixed, err := ensurePositiveDefinite(est, 1e-6)
+		if err != nil {
+			return nil, fmt.Errorf("recon: covariance repair: %w", err)
+		}
+		sigmaX = fixed
+	}
+	mux := a.OracleMean
+	if mux == nil {
+		mux = stat.ColumnMeans(y)
+	} else if len(mux) != m {
+		return nil, fmt.Errorf("recon: oracle mean length %d, want %d", len(mux), m)
+	}
+
+	// Partition Σx into the K/U blocks.
+	subMatrix := func(rows, cols []int) *mat.Dense {
+		out := mat.Zeros(len(rows), len(cols))
+		for i, r := range rows {
+			for j, c := range cols {
+				out.Set(i, j, sigmaX.At(r, c))
+			}
+		}
+		return out
+	}
+	sigmaKK := subMatrix(known, known)
+	sigmaUK := subMatrix(unknown, known)
+	sigmaUU := subMatrix(unknown, unknown)
+
+	kkInv, err := mat.InverseSPD(sigmaKK)
+	if err != nil {
+		return nil, fmt.Errorf("recon: Σ_KK not invertible: %w", err)
+	}
+	gain := mat.Mul(sigmaUK, kkInv) // Σ_UK·Σ_KK⁻¹, |U|×|K|
+
+	condCov := mat.Sub(sigmaUU, mat.Mul(gain, mat.Transpose(sigmaUK)))
+	condCov, err = ensurePositiveDefinite(condCov, 1e-9)
+	if err != nil {
+		return nil, fmt.Errorf("recon: conditional covariance repair: %w", err)
+	}
+	condInv, err := mat.InverseSPD(condCov)
+	if err != nil {
+		return nil, fmt.Errorf("recon: conditional covariance not invertible: %w", err)
+	}
+	post, err := mat.InverseSPD(mat.AddScaledIdentity(condInv, 1/a.Sigma2))
+	if err != nil {
+		return nil, fmt.Errorf("recon: posterior precision not invertible: %w", err)
+	}
+
+	muK := make([]float64, len(known))
+	muU := make([]float64, len(unknown))
+	for i, k := range known {
+		muK[i] = mux[k]
+	}
+	for i, u := range unknown {
+		muU[i] = mux[u]
+	}
+
+	out := mat.Zeros(n, m)
+	xk := make([]float64, len(known))
+	yu := make([]float64, len(unknown))
+	for i := 0; i < n; i++ {
+		for j, k := range known {
+			xk[j] = a.KnownValues.At(i, j)
+			out.Set(i, k, xk[j]) // known values pass through exactly
+			xk[j] -= muK[j]
+		}
+		condMu := mat.MulVec(gain, xk)
+		for j := range condMu {
+			condMu[j] += muU[j]
+		}
+		for j, u := range unknown {
+			yu[j] = y.At(i, u)
+		}
+		rhs := mat.MulVec(condInv, condMu)
+		for j := range rhs {
+			rhs[j] += yu[j] / a.Sigma2
+		}
+		est := mat.MulVec(post, rhs)
+		for j, u := range unknown {
+			out.Set(i, u, est[j])
+		}
+	}
+	return out, nil
+}
+
+// Name implements Reconstructor.
+func (a *PartialDisclosure) Name() string { return "Partial-DR" }

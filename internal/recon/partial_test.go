@@ -1,0 +1,156 @@
+package recon
+
+import (
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stat"
+)
+
+// extractColumns copies the listed columns of x into a new matrix.
+func extractColumns(x *mat.Dense, cols []int) *mat.Dense {
+	n, _ := x.Dims()
+	out := mat.Zeros(n, len(cols))
+	for i := 0; i < n; i++ {
+		for j, c := range cols {
+			out.Set(i, j, x.At(i, c))
+		}
+	}
+	return out
+}
+
+func TestPartialDisclosureNoKnowledgeEqualsBEDR(t *testing.T) {
+	tc := makeCorrelated(t, 500, 8, 2, 31)
+	sigma2 := tc.sigma * tc.sigma
+	pd := &PartialDisclosure{Sigma2: sigma2}
+	be := NewBEDR(sigma2)
+	xp, err := pd.Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("Partial-DR: %v", err)
+	}
+	xb, err := be.Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("BE-DR: %v", err)
+	}
+	if !xp.EqualApprox(xb, 1e-9) {
+		t.Error("Partial-DR with no known attributes must equal BE-DR")
+	}
+	if pd.Name() != "Partial-DR" {
+		t.Error("wrong name")
+	}
+}
+
+func TestPartialDisclosureKnownValuesPassThrough(t *testing.T) {
+	tc := makeCorrelated(t, 300, 6, 2, 32)
+	known := []int{1, 4}
+	pd := &PartialDisclosure{
+		Sigma2:      tc.sigma * tc.sigma,
+		Known:       known,
+		KnownValues: extractColumns(tc.data.X, known),
+	}
+	xhat, err := pd.Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("Partial-DR: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		for j, k := range known {
+			if xhat.At(i, k) != tc.data.X.At(i, k) {
+				t.Fatalf("known attribute %d row %d not passed through", k, i)
+			}
+			_ = j
+		}
+	}
+}
+
+// More disclosed attributes must monotonically improve reconstruction of
+// the remaining ones — the quantification §3 asks for.
+func TestPartialDisclosureMoreKnowledgeHelps(t *testing.T) {
+	tc := makeCorrelated(t, 800, 10, 2, 33)
+	sigma2 := tc.sigma * tc.sigma
+
+	// Evaluate error only on the attributes unknown in every setting
+	// (indices 6..9), so the comparison is apples-to-apples.
+	evalCols := []int{6, 7, 8, 9}
+	errOn := func(xhat *mat.Dense) float64 {
+		return stat.RMSE(extractColumns(xhat, evalCols), extractColumns(tc.data.X, evalCols))
+	}
+
+	var prev float64
+	for trial, known := range [][]int{nil, {0}, {0, 1}, {0, 1, 2, 3}} {
+		pd := &PartialDisclosure{Sigma2: sigma2, Known: known}
+		if len(known) > 0 {
+			pd.KnownValues = extractColumns(tc.data.X, known)
+		}
+		xhat, err := pd.Reconstruct(tc.y)
+		if err != nil {
+			t.Fatalf("Partial-DR with %d known: %v", len(known), err)
+		}
+		e := errOn(xhat)
+		if trial > 0 && e > prev*1.02 {
+			t.Errorf("error rose from %v to %v when disclosing %d attributes", prev, e, len(known))
+		}
+		prev = e
+	}
+}
+
+func TestPartialDisclosureAllKnown(t *testing.T) {
+	tc := makeCorrelated(t, 100, 4, 2, 34)
+	known := []int{0, 1, 2, 3}
+	pd := &PartialDisclosure{
+		Sigma2:      tc.sigma * tc.sigma,
+		Known:       known,
+		KnownValues: extractColumns(tc.data.X, known),
+	}
+	xhat, err := pd.Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("Partial-DR: %v", err)
+	}
+	if !xhat.EqualApprox(tc.data.X, 1e-12) {
+		t.Error("with everything known the reconstruction must be exact")
+	}
+}
+
+func TestPartialDisclosureValidation(t *testing.T) {
+	tc := makeCorrelated(t, 50, 4, 2, 35)
+	vals := extractColumns(tc.data.X, []int{0})
+	cases := []*PartialDisclosure{
+		{Sigma2: 0},
+		{Sigma2: 1, Known: []int{7}, KnownValues: vals},             // index out of range
+		{Sigma2: 1, Known: []int{0, 0}, KnownValues: vals},          // duplicate
+		{Sigma2: 1, Known: []int{0}},                                // values missing
+		{Sigma2: 1, Known: []int{0}, KnownValues: mat.Zeros(2, 1)},  // wrong rows
+		{Sigma2: 1, Known: []int{0}, KnownValues: mat.Zeros(50, 2)}, // wrong cols
+		{Sigma2: 1, Known: []int{0}, KnownValues: vals, OracleCov: mat.Identity(9)},
+		{Sigma2: 1, Known: []int{0}, KnownValues: vals, OracleMean: []float64{1}},
+	}
+	for i, c := range cases {
+		if _, err := c.Reconstruct(tc.y); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// The attack must strictly beat plain BE-DR on the unknown attributes
+// when the disclosed ones are correlated with them.
+func TestPartialDisclosureBeatsBEDR(t *testing.T) {
+	tc := makeCorrelated(t, 1000, 10, 2, 36)
+	sigma2 := tc.sigma * tc.sigma
+	known := []int{0, 1, 2}
+	evalCols := []int{3, 4, 5, 6, 7, 8, 9}
+
+	pd := &PartialDisclosure{Sigma2: sigma2, Known: known, KnownValues: extractColumns(tc.data.X, known)}
+	xp, err := pd.Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("Partial-DR: %v", err)
+	}
+	xb, err := NewBEDR(sigma2).Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("BE-DR: %v", err)
+	}
+	truth := extractColumns(tc.data.X, evalCols)
+	ep := stat.RMSE(extractColumns(xp, evalCols), truth)
+	eb := stat.RMSE(extractColumns(xb, evalCols), truth)
+	if ep >= eb {
+		t.Errorf("Partial-DR %v not better than BE-DR %v on unknown attributes", ep, eb)
+	}
+}

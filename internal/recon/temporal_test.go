@@ -1,0 +1,176 @@
+package recon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stat"
+	"randpriv/internal/synth"
+	"randpriv/internal/tseries"
+)
+
+// makeSpatioTemporal generates n time steps of an m-attribute process
+// with BOTH structures: cross-attribute covariance Σ (from a spiked
+// spectrum) and AR(1) persistence φ, disguised with i.i.d. N(0, σ²).
+func makeSpatioTemporal(t *testing.T, n, m int, phi, sigma float64, seed int64) (x, y *mat.Dense, cov *mat.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	spec := synth.Spectrum{M: m, P: 2, Principal: 300, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatalf("spectrum: %v", err)
+	}
+	q := mat.RandomOrthogonal(m, rng)
+	covX, err := synth.CovarianceFromSpectrum(vals, q)
+	if err != nil {
+		t.Fatalf("covariance: %v", err)
+	}
+	chol, err := mat.FactorizeCholesky(covX)
+	if err != nil {
+		t.Fatalf("cholesky: %v", err)
+	}
+	// Vector AR(1) with innovation (1−φ²)Σ keeps stationary covariance Σ.
+	innovScale := math.Sqrt(1 - phi*phi)
+	x = mat.Zeros(n, m)
+	state := make([]float64, m)
+	draw := func() []float64 {
+		z := make([]float64, m)
+		for i := range z {
+			z[i] = rng.NormFloat64()
+		}
+		return chol.LMulVec(z)
+	}
+	state = draw() // stationary start
+	for tstep := 0; tstep < n; tstep++ {
+		innov := draw()
+		for j := range state {
+			state[j] = phi*state[j] + innovScale*innov[j]
+		}
+		x.SetRow(tstep, state)
+	}
+	y = x.Clone()
+	for i := 0; i < n; i++ {
+		row := y.RawRow(i)
+		for j := range row {
+			row[j] += sigma * rng.NormFloat64()
+		}
+	}
+	return x, y, covX
+}
+
+func TestTemporalBEDRName(t *testing.T) {
+	if NewTemporalBEDR(1).Name() != "T-BE-DR" {
+		t.Error("wrong name")
+	}
+}
+
+func TestTemporalBEDRValidation(t *testing.T) {
+	y := mat.Zeros(5, 2)
+	if _, err := NewTemporalBEDR(0).Reconstruct(y); err == nil {
+		t.Error("σ²=0 must error")
+	}
+	if _, err := NewTemporalBEDR(1).Reconstruct(mat.Zeros(0, 2)); err == nil {
+		t.Error("empty input must error")
+	}
+	bad := 1.5
+	if _, err := (&TemporalBEDR{Sigma2: 1, Phi: &bad}).Reconstruct(mat.Zeros(20, 2)); err == nil {
+		t.Error("φ ≥ 1 must error")
+	}
+	if _, err := (&TemporalBEDR{Sigma2: 1, OracleCov: mat.Identity(5)}).Reconstruct(mat.Zeros(20, 2)); err == nil {
+		t.Error("oracle shape mismatch must error")
+	}
+	// Series too short for AR estimation.
+	if _, err := NewTemporalBEDR(1).Reconstruct(mat.Zeros(3, 2)); err == nil {
+		t.Error("short series must error")
+	}
+}
+
+func TestTemporalBEDREstimatePhi(t *testing.T) {
+	_, y, _ := makeSpatioTemporal(t, 3000, 6, 0.9, 5, 71)
+	phi, err := NewTemporalBEDR(25).EstimatePhi(y)
+	if err != nil {
+		t.Fatalf("EstimatePhi: %v", err)
+	}
+	if math.Abs(phi-0.9) > 0.06 {
+		t.Errorf("estimated φ = %v, want ≈0.9", phi)
+	}
+}
+
+// The headline: on data with both structures, the combined attack beats
+// plain BE-DR (ignores time) and per-column smoothing (ignores
+// correlation).
+func TestTemporalBEDRBeatsBothSingleChannelAttacks(t *testing.T) {
+	sigma := 5.0
+	x, y, _ := makeSpatioTemporal(t, 2500, 8, 0.92, sigma, 72)
+	sigma2 := sigma * sigma
+
+	combined, err := NewTemporalBEDR(sigma2).Reconstruct(y)
+	if err != nil {
+		t.Fatalf("T-BE-DR: %v", err)
+	}
+	plain, err := NewBEDR(sigma2).Reconstruct(y)
+	if err != nil {
+		t.Fatalf("BE-DR: %v", err)
+	}
+	// Per-column Kalman smoothing (the tseries channel alone).
+	n, m := y.Dims()
+	columns := mat.Zeros(n, m)
+	for j := 0; j < m; j++ {
+		sm, _, err := tseries.Reconstruct(y.Col(j), sigma2)
+		if err != nil {
+			t.Fatalf("tseries column %d: %v", j, err)
+		}
+		columns.SetCol(j, sm)
+	}
+
+	errCombined := stat.RMSE(combined, x)
+	errPlain := stat.RMSE(plain, x)
+	errColumns := stat.RMSE(columns, x)
+	ndr := stat.RMSE(y, x)
+
+	if errCombined >= errPlain {
+		t.Errorf("combined %v not better than BE-DR %v", errCombined, errPlain)
+	}
+	if errCombined >= errColumns {
+		t.Errorf("combined %v not better than per-column smoothing %v", errCombined, errColumns)
+	}
+	if errCombined >= 0.5*ndr {
+		t.Errorf("combined %v should cut the NDR floor %v at least in half", errCombined, ndr)
+	}
+}
+
+// With φ = 0 (no temporal structure) the smoother must approximately
+// reduce to plain BE-DR.
+func TestTemporalBEDRWithZeroPhiMatchesBEDR(t *testing.T) {
+	tc := makeCorrelated(t, 600, 6, 2, 73)
+	sigma2 := tc.sigma * tc.sigma
+	zero := 0.0
+	a, err := (&TemporalBEDR{Sigma2: sigma2, Phi: &zero}).Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("T-BE-DR: %v", err)
+	}
+	b, err := NewBEDR(sigma2).Reconstruct(tc.y)
+	if err != nil {
+		t.Fatalf("BE-DR: %v", err)
+	}
+	// Same model, so per-entry estimates agree up to numerical noise.
+	if !a.EqualApprox(b, 1e-6*mat.MaxAbs(b)) {
+		t.Errorf("φ=0 smoother diverges from BE-DR: max|Δ| = %v", mat.MaxAbs(mat.Sub(a, b)))
+	}
+}
+
+// Output must be finite everywhere, including with estimated parameters.
+func TestTemporalBEDRFinite(t *testing.T) {
+	_, y, _ := makeSpatioTemporal(t, 400, 5, 0.8, 3, 74)
+	xhat, err := NewTemporalBEDR(9).Reconstruct(y)
+	if err != nil {
+		t.Fatalf("T-BE-DR: %v", err)
+	}
+	for _, v := range xhat.Raw() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite output")
+		}
+	}
+}

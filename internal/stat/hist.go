@@ -1,0 +1,129 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is an equal-width histogram density estimate over [Lo, Hi].
+// It provides the empirical distribution f̂_Y used by the univariate
+// reconstruction machinery and the mining substrate.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+	width  float64
+}
+
+// NewHistogram builds a histogram with bins equal-width bins over the
+// range of xs (expanded slightly so the max lands inside the last bin).
+func NewHistogram(xs []float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stat: histogram needs bins > 0, got %d", bins)
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stat: histogram needs at least one sample")
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo == hi {
+		// Degenerate sample: give it a unit-width bin around the value.
+		lo -= 0.5
+		hi += 0.5
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins), width: (hi - lo) / float64(bins)}
+	for _, x := range xs {
+		h.add(x)
+	}
+	return h, nil
+}
+
+func (h *Histogram) add(x float64) {
+	i := int((x - h.Lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Density returns the estimated density at x (0 outside [Lo, Hi]).
+func (h *Histogram) Density(x float64) float64 {
+	if x < h.Lo || x > h.Hi || h.total == 0 {
+		return 0
+	}
+	i := int((x - h.Lo) / h.width)
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return float64(h.Counts[i]) / (float64(h.total) * h.width)
+}
+
+// BinCenters returns the center coordinate of each bin.
+func (h *Histogram) BinCenters() []float64 {
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		out[i] = h.Lo + (float64(i)+0.5)*h.width
+	}
+	return out
+}
+
+// BinWidth returns the common bin width.
+func (h *Histogram) BinWidth() float64 { return h.width }
+
+// Total returns the number of samples accumulated.
+func (h *Histogram) Total() int { return h.total }
+
+// Quantile returns the q-th sample quantile of xs (linear interpolation
+// between order statistics), for q in [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return minOf(xs)
+	}
+	if q >= 1 {
+		return maxOf(xs)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

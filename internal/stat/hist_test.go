@@ -1,0 +1,87 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil, 10); err == nil {
+		t.Error("empty sample must error")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins must error")
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h, err := NewHistogram(xs, 40)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	var acc float64
+	for _, c := range h.BinCenters() {
+		acc += h.Density(c) * h.BinWidth()
+	}
+	if math.Abs(acc-1) > 1e-9 {
+		t.Errorf("∫density = %v, want 1", acc)
+	}
+	if h.Total() != 5000 {
+		t.Errorf("Total = %d, want 5000", h.Total())
+	}
+}
+
+func TestHistogramDegenerateSample(t *testing.T) {
+	h, err := NewHistogram([]float64{3, 3, 3}, 5)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	if h.Density(3) <= 0 {
+		t.Error("density at the constant value must be positive")
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 1, 2}, 3)
+	if h.Density(-5) != 0 || h.Density(10) != 0 {
+		t.Error("density outside the range must be 0")
+	}
+}
+
+func TestHistogramApproximatesNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h, _ := NewHistogram(xs, 60)
+	// Density near 0 should be close to 1/sqrt(2π) ≈ 0.3989.
+	if got := h.Density(0); math.Abs(got-0.3989) > 0.03 {
+		t.Errorf("density(0) = %v, want ≈0.399", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("Quantile(1) = %v, want 5", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %v, want 3", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("Quantile(0.25) = %v, want 2", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) must be NaN")
+	}
+}

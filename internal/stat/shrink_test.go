@@ -1,0 +1,117 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/mat"
+)
+
+func TestLedoitWolfDegenerate(t *testing.T) {
+	s, alpha := LedoitWolf(mat.Zeros(1, 3))
+	if s.Rows() != 3 || alpha != 0 {
+		t.Errorf("degenerate case: dims %d, alpha %v", s.Rows(), alpha)
+	}
+}
+
+func TestLedoitWolfAlphaRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := mat.Zeros(50, 10)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 10; j++ {
+			d.Set(i, j, rng.NormFloat64())
+		}
+	}
+	s, alpha := LedoitWolf(d)
+	if alpha < 0 || alpha > 1 {
+		t.Fatalf("alpha = %v outside [0,1]", alpha)
+	}
+	if !s.IsSymmetric(1e-10) {
+		t.Error("shrunk estimate not symmetric")
+	}
+}
+
+// With many samples the shrinkage must vanish and the estimate approach
+// the plain sample covariance.
+func TestLedoitWolfLargeNConvergesToSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, m := 50000, 4
+	d := mat.Zeros(n, m)
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64()
+		for j := 0; j < m; j++ {
+			d.Set(i, j, 2*base+rng.NormFloat64())
+		}
+	}
+	lw, alpha := LedoitWolf(d)
+	if alpha > 0.01 {
+		t.Errorf("alpha = %v, want ≈0 at n=50000", alpha)
+	}
+	sample := CovarianceMatrix(d)
+	if !lw.EqualApprox(sample, 0.05*mat.MaxAbs(sample)) {
+		t.Error("shrunk estimate should approach the sample covariance")
+	}
+}
+
+// In the high-dimension regime the shrunk estimate must be better
+// conditioned than the raw sample covariance.
+func TestLedoitWolfImprovesConditioning(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 60, 40 // n barely above m: raw covariance nearly singular
+	d := mat.Zeros(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			d.Set(i, j, rng.NormFloat64())
+		}
+	}
+	raw := CovarianceMatrix(d)
+	lw, alpha := LedoitWolf(d)
+	if alpha <= 0.05 {
+		t.Fatalf("alpha = %v, expected substantial shrinkage at n=60,m=40", alpha)
+	}
+	eRaw, err := mat.EigenSym(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eLW, err := mat.EigenSym(lw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	condRaw := eRaw.Values[0] / math.Max(eRaw.Values[m-1], 1e-300)
+	condLW := eLW.Values[0] / math.Max(eLW.Values[m-1], 1e-300)
+	if condLW >= condRaw {
+		t.Errorf("conditioning not improved: raw %v, shrunk %v", condRaw, condLW)
+	}
+	// All shrunk eigenvalues must be strictly positive.
+	if eLW.Values[m-1] <= 0 {
+		t.Errorf("shrunk estimate not positive definite: min eigenvalue %v", eLW.Values[m-1])
+	}
+}
+
+// Estimation accuracy: against a known spiked covariance, the shrunk
+// estimate must have no larger Frobenius error than the raw one in the
+// hard regime.
+func TestLedoitWolfFrobeniusError(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := 30
+	truth := mat.Identity(m)
+	for i := 0; i < 3; i++ {
+		truth.Set(i, i, 20) // three spikes
+	}
+	// Sample from N(0, truth): independent coordinates scaled.
+	n := 80
+	d := mat.Zeros(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			d.Set(i, j, math.Sqrt(truth.At(j, j))*rng.NormFloat64())
+		}
+	}
+	raw := CovarianceMatrix(d)
+	lw, _ := LedoitWolf(d)
+	errRaw := mat.FrobeniusNorm(mat.Sub(raw, truth))
+	errLW := mat.FrobeniusNorm(mat.Sub(lw, truth))
+	if errLW > errRaw*1.05 {
+		t.Errorf("shrinkage hurt Frobenius error: raw %v, shrunk %v", errRaw, errLW)
+	}
+}

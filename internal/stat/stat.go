@@ -1,0 +1,214 @@
+// Package stat provides the descriptive statistics, covariance estimation
+// and error metrics used throughout the library: sample means/variances,
+// sample covariance and correlation matrices, Theorem 5.1 covariance
+// recovery, the paper's RMSE privacy measure, and the correlation
+// dissimilarity metric of Definition 8.1.
+package stat
+
+import (
+	"fmt"
+	"math"
+
+	"randpriv/internal/mat"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 when len < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Covariance returns the unbiased sample covariance of xs and ys.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stat: Covariance length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n-1)
+}
+
+// Correlation returns the Pearson correlation of xs and ys, or 0 when
+// either series is constant.
+func Correlation(xs, ys []float64) float64 {
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// ColumnMeans returns the per-column means of the n×m data matrix.
+func ColumnMeans(data *mat.Dense) []float64 {
+	n, m := data.Dims()
+	out := make([]float64, m)
+	if n == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		row := data.RawRow(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] /= float64(n)
+	}
+	return out
+}
+
+// ColumnVariances returns the per-column unbiased sample variances.
+func ColumnVariances(data *mat.Dense) []float64 {
+	n, m := data.Dims()
+	out := make([]float64, m)
+	if n < 2 {
+		return out
+	}
+	means := ColumnMeans(data)
+	for i := 0; i < n; i++ {
+		row := data.RawRow(i)
+		for j, v := range row {
+			d := v - means[j]
+			out[j] += d * d
+		}
+	}
+	for j := range out {
+		out[j] /= float64(n - 1)
+	}
+	return out
+}
+
+// CenterColumns returns a copy of data with each column shifted to zero
+// mean, along with the removed means. PCA (§5.1.1) requires 0-mean data;
+// the means are added back after reconstruction.
+func CenterColumns(data *mat.Dense) (centered *mat.Dense, means []float64) {
+	means = ColumnMeans(data)
+	centered = data.Clone()
+	n, _ := data.Dims()
+	for i := 0; i < n; i++ {
+		row := centered.RawRow(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	return centered, means
+}
+
+// AddToColumns returns a copy of data with means[j] added to column j.
+func AddToColumns(data *mat.Dense, means []float64) *mat.Dense {
+	n, m := data.Dims()
+	if len(means) != m {
+		panic(fmt.Sprintf("stat: AddToColumns means length %d, want %d", len(means), m))
+	}
+	out := data.Clone()
+	for i := 0; i < n; i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] += means[j]
+		}
+	}
+	return out
+}
+
+// CovarianceMatrix returns the m×m unbiased sample covariance matrix of
+// the n×m data matrix (rows are records, columns are attributes).
+func CovarianceMatrix(data *mat.Dense) *mat.Dense {
+	n, m := data.Dims()
+	cov := mat.Zeros(m, m)
+	if n < 2 {
+		return cov
+	}
+	centered, _ := CenterColumns(data)
+	// cov = centeredᵀ·centered / (n-1)
+	for i := 0; i < n; i++ {
+		row := centered.RawRow(i)
+		for a := 0; a < m; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			cr := cov.RawRow(a)
+			for b := a; b < m; b++ {
+				cr[b] += va * row[b]
+			}
+		}
+	}
+	inv := 1 / float64(n-1)
+	for a := 0; a < m; a++ {
+		for b := a; b < m; b++ {
+			v := cov.At(a, b) * inv
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov
+}
+
+// CorrelationMatrix returns the m×m sample correlation matrix. Constant
+// columns produce zero off-diagonal entries and a unit diagonal.
+func CorrelationMatrix(data *mat.Dense) *mat.Dense {
+	cov := CovarianceMatrix(data)
+	m := cov.Rows()
+	out := mat.Zeros(m, m)
+	sd := make([]float64, m)
+	for i := 0; i < m; i++ {
+		sd[i] = math.Sqrt(cov.At(i, i))
+	}
+	for i := 0; i < m; i++ {
+		out.Set(i, i, 1)
+		for j := i + 1; j < m; j++ {
+			var r float64
+			if sd[i] > 0 && sd[j] > 0 {
+				r = cov.At(i, j) / (sd[i] * sd[j])
+			}
+			out.Set(i, j, r)
+			out.Set(j, i, r)
+		}
+	}
+	return out
+}
+
+// RecoverCovariance applies Theorem 5.1: given the sample covariance of
+// the disguised data Y = X + R with i.i.d. noise of variance sigma2, the
+// original covariance is estimated by subtracting sigma2 from the
+// diagonal.
+func RecoverCovariance(covY *mat.Dense, sigma2 float64) *mat.Dense {
+	return mat.AddScaledIdentity(covY, -sigma2)
+}
+
+// RecoverCovarianceGeneral applies Theorem 8.2: Σx = Σy − Σr for
+// correlated noise with known covariance Σr.
+func RecoverCovarianceGeneral(covY, covR *mat.Dense) *mat.Dense {
+	return mat.Sub(covY, covR)
+}

@@ -1,0 +1,143 @@
+// Package synth generates the synthetic evaluation data of Huang, Du &
+// Chen (§7.1). The paper builds covariance matrices "in reverse": specify
+// the eigenvalue spectrum, draw a random orthogonal eigenvector matrix by
+// Gram–Schmidt, form C = Q·Λ·Qᵀ, and sample a multivariate normal data
+// set from C. Controlling the spectrum controls the degree of correlation.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"randpriv/internal/dist"
+	"randpriv/internal/mat"
+)
+
+// Dataset bundles a generated data matrix with the ground-truth structure
+// used to produce it, so experiments can report oracle quantities.
+type Dataset struct {
+	// X is the n×m original data matrix (rows are records).
+	X *mat.Dense
+	// Cov is the exact covariance matrix the data was drawn from.
+	Cov *mat.Dense
+	// Eigvecs is the orthogonal eigenvector matrix used to build Cov.
+	Eigvecs *mat.Dense
+	// Eigvals is the eigenvalue spectrum used to build Cov (descending).
+	Eigvals []float64
+	// Mean is the mean vector the data was drawn around.
+	Mean []float64
+}
+
+// CovarianceFromSpectrum forms C = Q·diag(vals)·Qᵀ. Q must be square with
+// the same order as vals; callers normally obtain Q from
+// mat.RandomOrthogonal.
+func CovarianceFromSpectrum(vals []float64, q *mat.Dense) (*mat.Dense, error) {
+	m := len(vals)
+	if q.Rows() != m || q.Cols() != m {
+		return nil, fmt.Errorf("synth: eigenvector matrix is %dx%d, want %dx%d", q.Rows(), q.Cols(), m, m)
+	}
+	for i, v := range vals {
+		if v <= 0 {
+			return nil, fmt.Errorf("synth: eigenvalue %d = %v, must be > 0 for a valid covariance", i, v)
+		}
+	}
+	return mat.Mul(mat.Mul(q, mat.Diag(vals)), mat.Transpose(q)), nil
+}
+
+// Generate draws n records from N(mean, C) where C is built from the given
+// spectrum and a fresh random orthogonal eigenvector matrix. A nil mean is
+// treated as zero.
+func Generate(n int, vals []float64, mean []float64, rng *rand.Rand) (*Dataset, error) {
+	m := len(vals)
+	if n <= 0 || m == 0 {
+		return nil, fmt.Errorf("synth: need n > 0 and at least one eigenvalue, got n=%d m=%d", n, m)
+	}
+	q := mat.RandomOrthogonal(m, rng)
+	return GenerateWithEigvecs(n, vals, q, mean, rng)
+}
+
+// GenerateWithEigvecs is Generate with a caller-supplied eigenvector
+// matrix — used when the noise must share the data's eigenvectors
+// (Experiment 4).
+func GenerateWithEigvecs(n int, vals []float64, q *mat.Dense, mean []float64, rng *rand.Rand) (*Dataset, error) {
+	cov, err := CovarianceFromSpectrum(vals, q)
+	if err != nil {
+		return nil, err
+	}
+	mvn, err := dist.NewMultivariateNormal(mean, cov)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	x := mvn.Sample(n, rng)
+	return &Dataset{
+		X:       x,
+		Cov:     cov,
+		Eigvecs: q,
+		Eigvals: append([]float64(nil), vals...),
+		Mean:    mvn.Mean(),
+	}, nil
+}
+
+// Spectrum builds the eigenvalue layouts used in the experiments: the
+// first P values are the "principal" eigenvalues, the remaining M−P are
+// the tail.
+type Spectrum struct {
+	// M is the total number of attributes.
+	M int
+	// P is the number of principal components.
+	P int
+	// Principal is the eigenvalue assigned to each principal component.
+	Principal float64
+	// Tail is the eigenvalue assigned to each non-principal component.
+	Tail float64
+}
+
+// Values expands the spectrum into an eigenvalue slice (descending).
+func (s Spectrum) Values() ([]float64, error) {
+	if s.M <= 0 || s.P < 0 || s.P > s.M {
+		return nil, fmt.Errorf("synth: invalid spectrum M=%d P=%d", s.M, s.P)
+	}
+	if s.Principal <= 0 || (s.P < s.M && s.Tail <= 0) {
+		return nil, fmt.Errorf("synth: eigenvalues must be positive (principal=%v tail=%v)", s.Principal, s.Tail)
+	}
+	if s.P < s.M && s.Tail > s.Principal {
+		return nil, fmt.Errorf("synth: tail eigenvalue %v exceeds principal %v", s.Tail, s.Principal)
+	}
+	vals := make([]float64, s.M)
+	for i := 0; i < s.P; i++ {
+		vals[i] = s.Principal
+	}
+	for i := s.P; i < s.M; i++ {
+		vals[i] = s.Tail
+	}
+	return vals, nil
+}
+
+// BudgetedSpectrum builds a spectrum whose eigenvalue sum equals
+// m·avgVariance, exploiting Eq. 12 (Σλᵢ = Σaᵢᵢ): holding the average
+// per-attribute variance fixed keeps the UDR baseline constant as the
+// experiments vary m and p. The tail eigenvalues are fixed at tail and
+// the principal eigenvalue absorbs the rest of the budget.
+func BudgetedSpectrum(m, p int, tail, avgVariance float64) (Spectrum, error) {
+	if m <= 0 || p <= 0 || p > m {
+		return Spectrum{}, fmt.Errorf("synth: invalid budget m=%d p=%d", m, p)
+	}
+	if tail <= 0 || avgVariance <= 0 {
+		return Spectrum{}, fmt.Errorf("synth: tail and avgVariance must be positive (tail=%v avg=%v)", tail, avgVariance)
+	}
+	budget := float64(m)*avgVariance - float64(m-p)*tail
+	if budget <= 0 {
+		return Spectrum{}, fmt.Errorf("synth: tail %v consumes the whole variance budget (m=%d p=%d avg=%v)", tail, m, p, avgVariance)
+	}
+	principal := budget / float64(p)
+	if principal < tail {
+		return Spectrum{}, fmt.Errorf("synth: budget leaves principal %v below tail %v", principal, tail)
+	}
+	return Spectrum{M: m, P: p, Principal: principal, Tail: tail}, nil
+}
+
+// TotalVariance returns the eigenvalue sum, which by Eq. 12 equals the
+// summed per-attribute variances.
+func (s Spectrum) TotalVariance() float64 {
+	return float64(s.P)*s.Principal + float64(s.M-s.P)*s.Tail
+}

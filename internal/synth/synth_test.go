@@ -1,0 +1,226 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stat"
+)
+
+func TestCovarianceFromSpectrumKnown(t *testing.T) {
+	// With Q = I the covariance is just the diagonal of eigenvalues.
+	vals := []float64{4, 2, 1}
+	c, err := CovarianceFromSpectrum(vals, mat.Identity(3))
+	if err != nil {
+		t.Fatalf("CovarianceFromSpectrum: %v", err)
+	}
+	if !c.EqualApprox(mat.Diag(vals), 1e-14) {
+		t.Errorf("C = %v, want diag(%v)", c, vals)
+	}
+}
+
+func TestCovarianceFromSpectrumValidation(t *testing.T) {
+	if _, err := CovarianceFromSpectrum([]float64{1, 2}, mat.Identity(3)); err == nil {
+		t.Error("dimension mismatch must error")
+	}
+	if _, err := CovarianceFromSpectrum([]float64{1, -2}, mat.Identity(2)); err == nil {
+		t.Error("non-positive eigenvalue must error")
+	}
+}
+
+// Property: the eigenvalues of the constructed covariance are exactly the
+// requested spectrum, regardless of the random eigenvectors.
+func TestCovarianceFromSpectrumEigenvaluesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(8)
+		vals := make([]float64, m)
+		for i := range vals {
+			vals[i] = float64(m-i) + rng.Float64()
+		}
+		q := mat.RandomOrthogonal(m, rng)
+		c, err := CovarianceFromSpectrum(vals, q)
+		if err != nil {
+			return false
+		}
+		e, err := mat.EigenSym(c)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if math.Abs(e.Values[i]-vals[i]) > 1e-8*vals[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	vals := []float64{10, 5, 1}
+	d1, err := Generate(50, vals, nil, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if d1.X.Rows() != 50 || d1.X.Cols() != 3 {
+		t.Fatalf("X dims %dx%d, want 50x3", d1.X.Rows(), d1.X.Cols())
+	}
+	d2, err := Generate(50, vals, nil, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !d1.X.Equal(d2.X) {
+		t.Error("Generate must be deterministic under a fixed seed")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(0, []float64{1}, nil, rng); err == nil {
+		t.Error("n=0 must error")
+	}
+	if _, err := Generate(10, nil, nil, rng); err == nil {
+		t.Error("empty spectrum must error")
+	}
+	if _, err := Generate(10, []float64{1}, []float64{1, 2}, rng); err == nil {
+		t.Error("mean length mismatch must error")
+	}
+}
+
+// The sample covariance of a large generated data set must approach the
+// specified covariance.
+func TestGenerateSampleCovarianceConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := []float64{8, 4, 2, 1}
+	d, err := Generate(40000, vals, nil, rng)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sample := stat.CovarianceMatrix(d.X)
+	if !sample.EqualApprox(d.Cov, 0.35) {
+		t.Errorf("sample covariance diverges from target:\nsample %v\ntarget %v", sample, d.Cov)
+	}
+}
+
+func TestGenerateWithEigvecsUsesThem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := []float64{5, 1}
+	q := mat.Identity(2)
+	d, err := GenerateWithEigvecs(10, vals, q, nil, rng)
+	if err != nil {
+		t.Fatalf("GenerateWithEigvecs: %v", err)
+	}
+	if !d.Cov.EqualApprox(mat.Diag(vals), 1e-12) {
+		t.Errorf("Cov = %v, want diag", d.Cov)
+	}
+	if !d.Eigvecs.Equal(q) {
+		t.Error("Eigvecs must be the supplied matrix")
+	}
+}
+
+func TestSpectrumValues(t *testing.T) {
+	s := Spectrum{M: 5, P: 2, Principal: 400, Tail: 4}
+	vals, err := s.Values()
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	want := []float64{400, 400, 4, 4, 4}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", vals, want)
+		}
+	}
+	if got := s.TotalVariance(); got != 812 {
+		t.Errorf("TotalVariance = %v, want 812", got)
+	}
+}
+
+func TestSpectrumValidation(t *testing.T) {
+	bad := []Spectrum{
+		{M: 0, P: 0, Principal: 1, Tail: 1},
+		{M: 3, P: 4, Principal: 1, Tail: 1},
+		{M: 3, P: 1, Principal: -1, Tail: 1},
+		{M: 3, P: 1, Principal: 1, Tail: -1},
+		{M: 3, P: 1, Principal: 1, Tail: 2}, // tail > principal
+	}
+	for i, s := range bad {
+		if _, err := s.Values(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, s)
+		}
+	}
+	// P == M: no tail needed, tail value irrelevant.
+	full := Spectrum{M: 2, P: 2, Principal: 3}
+	if _, err := full.Values(); err != nil {
+		t.Errorf("P==M spectrum should be valid: %v", err)
+	}
+}
+
+func TestBudgetedSpectrumPreservesTotal(t *testing.T) {
+	// Eq. 12 control: total variance must equal m·avgVariance for every m.
+	avg := 25.0
+	tail := 2.0
+	for _, m := range []int{5, 10, 50, 100} {
+		s, err := BudgetedSpectrum(m, 5, tail, avg)
+		if err != nil {
+			t.Fatalf("BudgetedSpectrum(m=%d): %v", m, err)
+		}
+		if got, want := s.TotalVariance(), float64(m)*avg; math.Abs(got-want) > 1e-9 {
+			t.Errorf("m=%d: TotalVariance = %v, want %v", m, got, want)
+		}
+		if s.Principal < s.Tail {
+			t.Errorf("m=%d: principal %v below tail %v", m, s.Principal, s.Tail)
+		}
+	}
+}
+
+func TestBudgetedSpectrumValidation(t *testing.T) {
+	if _, err := BudgetedSpectrum(0, 1, 1, 1); err == nil {
+		t.Error("m=0 must error")
+	}
+	if _, err := BudgetedSpectrum(10, 0, 1, 1); err == nil {
+		t.Error("p=0 must error")
+	}
+	if _, err := BudgetedSpectrum(10, 2, -1, 1); err == nil {
+		t.Error("negative tail must error")
+	}
+	// Tail so large it eats the entire budget.
+	if _, err := BudgetedSpectrum(100, 2, 50, 1); err == nil {
+		t.Error("overdrawn budget must error")
+	}
+}
+
+// Generated data with few principal components must actually be highly
+// correlated: the top-p eigenvalues of the sample covariance should carry
+// almost all the variance.
+func TestGeneratedDataIsCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := Spectrum{M: 20, P: 2, Principal: 100, Tail: 1}
+	vals, err := s.Values()
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	d, err := Generate(2000, vals, nil, rng)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	e, err := mat.EigenSym(stat.CovarianceMatrix(d.X))
+	if err != nil {
+		t.Fatalf("EigenSym: %v", err)
+	}
+	var top, total float64
+	for i, v := range e.Values {
+		if i < 2 {
+			top += v
+		}
+		total += v
+	}
+	if frac := top / total; frac < 0.85 {
+		t.Errorf("top-2 eigenvalue mass = %v, want > 0.85", frac)
+	}
+}
