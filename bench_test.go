@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"randpriv/internal/experiment"
@@ -298,6 +299,69 @@ func BenchmarkAttackTemporalBEDR(b *testing.B) {
 		if _, err := attack.Reconstruct(pert.Y); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelTrials measures the worker-pool trial runner on the
+// Figure 2 sweep (12 points, m=40, UDR skipped so the per-point cost is
+// dominated by the spectral attacks). The sub-benchmarks differ only in
+// Config.Workers; the figures they produce are verified identical, so the
+// ratio of workers=1 to workers=4 is pure parallel speedup.
+func BenchmarkParallelTrials(b *testing.B) {
+	cfg := experiment.Config{N: 1000, Sigma2: 25, Seed: 2005, SkipUDR: true}
+	sweep := func(workers int) (*experiment.Figure, error) {
+		c := cfg
+		c.Workers = workers
+		return experiment.Experiment2(c, nil)
+	}
+	baseline, err := sweep(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fig, err := sweep(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !reflect.DeepEqual(fig.Points, baseline.Points) {
+					b.Fatalf("workers=%d produced a different figure than workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatMul measures the (parallel) dense product at the scale of
+// one covariance-recovery step: (1000×100)ᵀ·(1000×100).
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(2005))
+	a := mat.Zeros(1000, 100)
+	rows := a.Raw()
+	for i := range rows {
+		rows[i] = rng.NormFloat64()
+	}
+	at := mat.Transpose(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mat.Mul(at, a)
+	}
+}
+
+// BenchmarkCovarianceMatrix measures the chunked-parallel sample
+// covariance at paper scale (n=1000, m=100) — the Σy estimate every
+// spectral attack starts from.
+func BenchmarkCovarianceMatrix(b *testing.B) {
+	rng := rand.New(rand.NewSource(2005))
+	a := mat.Zeros(1000, 100)
+	rows := a.Raw()
+	for i := range rows {
+		rows[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = stat.CovarianceMatrix(a)
 	}
 }
 

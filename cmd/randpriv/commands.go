@@ -183,6 +183,7 @@ func runExperiment(args []string) error {
 	skipUDR := fs.Bool("skip-udr", false, "skip the UDR series (much faster at m=100)")
 	csvPath := fs.String("csv", "", "also write the figure as CSV to this path")
 	sweep := fs.String("sweep", "", "comma-separated sweep values overriding the paper defaults (m for fig 1, p for fig 2, tail λ for fig 3, path t for fig 4)")
+	workers := fs.Int("workers", 0, "sweep-point worker pool size (0 = all cores); results are identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,7 +191,7 @@ func runExperiment(args []string) error {
 	if err != nil {
 		return fmt.Errorf("experiment: %w", err)
 	}
-	cfg := experiment.Config{N: *n, Sigma2: *sigma * *sigma, Seed: *seed, SkipUDR: *skipUDR}
+	cfg := experiment.Config{N: *n, Sigma2: *sigma * *sigma, Seed: *seed, SkipUDR: *skipUDR, Workers: *workers}
 
 	writeCSV := func(fig *experiment.Figure) error {
 		if *csvPath == "" {

@@ -8,7 +8,7 @@
 //	randpriv gen        -n 1000 -m 20 -p 3 -out data.csv
 //	randpriv perturb    -in data.csv -sigma 5 -out disguised.csv [-correlated]
 //	randpriv attack     -original data.csv -disguised disguised.csv -sigma 5
-//	randpriv experiment -id 1 [-n 1000] [-skip-udr] [-csv out.csv]
+//	randpriv experiment -id 1 [-n 1000] [-workers 8] [-skip-udr] [-csv out.csv]
 //	randpriv utility    [-n 2000] [-m 20]
 package main
 

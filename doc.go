@@ -4,6 +4,9 @@
 // filtering) and the correlated-noise defense, together with the full
 // experimental harness that regenerates the paper's Figures 1–4.
 //
-// The implementation lives under internal/; see README.md for the layout
-// and cmd/randpriv for the CLI.
+// The implementation lives under internal/; see README.md for the layout,
+// docs/ARCHITECTURE.md for the data flow, and cmd/randpriv for the CLI.
+// The experiment engine runs sweep points on a deterministic worker pool
+// (experiment.Runner): the same seed produces bit-identical figures at
+// any worker count, so -workers only changes wall-clock time.
 package randpriv

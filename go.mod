@@ -1,0 +1,3 @@
+module randpriv
+
+go 1.21

@@ -124,22 +124,27 @@ func NoiseSweep(cfg Config, m, p int, sigmas []float64) (*Figure, error) {
 		ID:     "noise-sweep",
 		Title:  fmt.Sprintf("RMSE vs noise level (m=%d, p=%d)", m, p),
 		XLabel: "σ",
+		Series: seriesNames(attackSuite(cfg)),
 	}
-	for i, sigma := range sigmas {
+	for _, sigma := range sigmas {
 		if sigma <= 0 {
 			return nil, fmt.Errorf("experiment: sigma %v must be > 0", sigma)
 		}
-		ptCfg := cfg
-		ptCfg.Sigma2 = sigma * sigma
-		attacks := attackSuite(ptCfg)
-		if i == 0 {
-			fig.Series = seriesNames(attacks)
-		}
-		rmse, err := runPoint(ds.X, ptCfg, attacks, rng)
-		if err != nil {
-			return nil, err
-		}
-		fig.Points = append(fig.Points, Point{X: sigma, RMSE: rmse})
 	}
+	points := make([]Point, len(sigmas))
+	err = Runner{Workers: cfg.Workers}.Run(len(sigmas), cfg.Seed, func(i int, rng *rand.Rand) error {
+		ptCfg := cfg
+		ptCfg.Sigma2 = sigmas[i] * sigmas[i]
+		rmse, err := runPoint(ds.X, ptCfg, attackSuite(ptCfg), rng)
+		if err != nil {
+			return err
+		}
+		points[i] = Point{X: sigmas[i], RMSE: rmse}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Points = points
 	return fig, nil
 }

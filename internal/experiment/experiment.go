@@ -4,6 +4,11 @@
 // parameter sweep and returns a Figure whose rows can be rendered as text
 // or CSV; absolute values depend on the synthetic substrate, but the
 // qualitative shapes (orderings, trends, crossovers) match the paper.
+//
+// Sweep points are independent trials executed on a Runner worker pool
+// (Config.Workers); point i always draws from the RNG stream seeded by
+// TrialSeed(Config.Seed, i), so every figure is bit-identical no matter
+// how many workers regenerate it.
 package experiment
 
 import (
@@ -41,6 +46,10 @@ type Config struct {
 	UDROpts asr.Options
 	// SkipUDR drops the UDR series (it dominates runtime at m=100).
 	SkipUDR bool
+	// Workers bounds the sweep-point worker pool; ≤ 0 means
+	// runtime.GOMAXPROCS(0). Results are identical for every value —
+	// each sweep point draws from its own TrialSeed-derived stream.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +187,31 @@ func seriesNames(attacks []recon.Reconstructor) []string {
 	return names
 }
 
+// runSpectrumSweep is the shared engine of Experiments 1–3: one trial
+// per sweep point, each generating a fresh data set from its precomputed
+// eigenvalue spectrum, perturbing it, and scoring every attack. Trials
+// run on the Config.Workers pool; point i always uses the RNG stream
+// TrialSeed(cfg.Seed, i), so the figure is identical at any worker count.
+func runSpectrumSweep(cfg Config, xs []float64, spectra [][]float64) ([]Point, error) {
+	points := make([]Point, len(xs))
+	err := Runner{Workers: cfg.Workers}.Run(len(xs), cfg.Seed, func(i int, rng *rand.Rand) error {
+		ds, err := synth.Generate(cfg.N, spectra[i], nil, rng)
+		if err != nil {
+			return err
+		}
+		rmse, err := runPoint(ds.X, cfg, attackSuite(cfg), rng)
+		if err != nil {
+			return err
+		}
+		points[i] = Point{X: xs[i], RMSE: rmse}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
 // runPoint perturbs x with i.i.d. noise and evaluates every attack.
 func runPoint(x *mat.Dense, cfg Config, attacks []recon.Reconstructor, rng *rand.Rand) (map[string]float64, error) {
 	scheme := randomize.NewAdditiveGaussian(math.Sqrt(cfg.Sigma2))
@@ -205,15 +239,15 @@ func Experiment1(cfg Config, ms []int) (*Figure, error) {
 		ms = []int{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	}
 	const p = 5
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	attacks := attackSuite(cfg)
 	fig := &Figure{
 		ID:     "figure1",
 		Title:  "RMSE vs number of attributes (p=5 fixed)",
 		XLabel: "m",
-		Series: seriesNames(attacks),
+		Series: seriesNames(attackSuite(cfg)),
 	}
-	for _, m := range ms {
+	xs := make([]float64, len(ms))
+	spectra := make([][]float64, len(ms))
+	for i, m := range ms {
 		if m < p {
 			return nil, fmt.Errorf("experiment: m=%d below the fixed p=%d", m, p)
 		}
@@ -225,16 +259,13 @@ func Experiment1(cfg Config, ms []int) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds, err := synth.Generate(cfg.N, vals, nil, rng)
-		if err != nil {
-			return nil, err
-		}
-		rmse, err := runPoint(ds.X, cfg, attacks, rng)
-		if err != nil {
-			return nil, err
-		}
-		fig.Points = append(fig.Points, Point{X: float64(m), RMSE: rmse})
+		xs[i], spectra[i] = float64(m), vals
 	}
+	points, err := runSpectrumSweep(cfg, xs, spectra)
+	if err != nil {
+		return nil, err
+	}
+	fig.Points = points
 	return fig, nil
 }
 
@@ -252,15 +283,15 @@ func experiment2At(cfg Config, m int, ps []int) (*Figure, error) {
 	if len(ps) == 0 {
 		ps = []int{2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	attacks := attackSuite(cfg)
 	fig := &Figure{
 		ID:     "figure2",
 		Title:  fmt.Sprintf("RMSE vs number of principal components (m=%d fixed)", m),
 		XLabel: "p",
-		Series: seriesNames(attacks),
+		Series: seriesNames(attackSuite(cfg)),
 	}
-	for _, p := range ps {
+	xs := make([]float64, len(ps))
+	spectra := make([][]float64, len(ps))
+	for i, p := range ps {
 		if p < 1 || p > m {
 			return nil, fmt.Errorf("experiment: p=%d outside [1,%d]", p, m)
 		}
@@ -272,16 +303,13 @@ func experiment2At(cfg Config, m int, ps []int) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds, err := synth.Generate(cfg.N, vals, nil, rng)
-		if err != nil {
-			return nil, err
-		}
-		rmse, err := runPoint(ds.X, cfg, attacks, rng)
-		if err != nil {
-			return nil, err
-		}
-		fig.Points = append(fig.Points, Point{X: float64(p), RMSE: rmse})
+		xs[i], spectra[i] = float64(p), vals
 	}
+	points, err := runSpectrumSweep(cfg, xs, spectra)
+	if err != nil {
+		return nil, err
+	}
+	fig.Points = points
 	return fig, nil
 }
 
@@ -300,29 +328,26 @@ func experiment3At(cfg Config, m, p int, principal float64, tails []float64) (*F
 	if len(tails) == 0 {
 		tails = []float64{1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	attacks := attackSuite(cfg)
 	fig := &Figure{
 		ID:     "figure3",
 		Title:  fmt.Sprintf("RMSE vs non-principal eigenvalue (m=%d, p=%d, λ=%g)", m, p, principal),
 		XLabel: "tail λ",
-		Series: seriesNames(attacks),
+		Series: seriesNames(attackSuite(cfg)),
 	}
-	for _, tail := range tails {
+	xs := make([]float64, len(tails))
+	spectra := make([][]float64, len(tails))
+	for i, tail := range tails {
 		spec := synth.Spectrum{M: m, P: p, Principal: principal, Tail: tail}
 		vals, err := spec.Values()
 		if err != nil {
 			return nil, err
 		}
-		ds, err := synth.Generate(cfg.N, vals, nil, rng)
-		if err != nil {
-			return nil, err
-		}
-		rmse, err := runPoint(ds.X, cfg, attacks, rng)
-		if err != nil {
-			return nil, err
-		}
-		fig.Points = append(fig.Points, Point{X: tail, RMSE: rmse})
+		xs[i], spectra[i] = tail, vals
 	}
+	points, err := runSpectrumSweep(cfg, xs, spectra)
+	if err != nil {
+		return nil, err
+	}
+	fig.Points = points
 	return fig, nil
 }

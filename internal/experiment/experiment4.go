@@ -74,22 +74,24 @@ func experiment4At(cfg Config, m, p int, ts []float64) (*Figure4, error) {
 		IndependentIndex: -1,
 	}
 
-	for _, t := range ts {
+	points := make([]Point4, len(ts))
+	err = Runner{Workers: cfg.Workers}.Run(len(ts), cfg.Seed, func(i int, rng *rand.Rand) error {
+		t := ts[i]
 		noiseVals, err := randomize.NoiseSpectrumPath(ds.Eigvals, t, totalNoise)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		noiseCov, err := synth.CovarianceFromSpectrum(noiseVals, ds.Eigvecs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		scheme, err := randomize.NewCorrelated(nil, noiseCov)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pert, err := scheme.Perturb(ds.X, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		dis := stat.CorrelationDissimilarity(ds.X, pert.R)
@@ -103,14 +105,22 @@ func experiment4At(cfg Config, m, p int, ts []float64) (*Figure4, error) {
 		for _, a := range attacks {
 			xhat, err := a.Reconstruct(pert.Y)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: attack %s at t=%v: %w", a.Name(), t, err)
+				return fmt.Errorf("experiment: attack %s at t=%v: %w", a.Name(), t, err)
 			}
 			rmse[a.Name()] = stat.RMSE(xhat, ds.X)
 		}
+		points[i] = Point4{T: t, Dissimilarity: dis, RMSE: rmse}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Points = points
+	for i, t := range ts {
 		if t == 1 {
-			fig.IndependentIndex = len(fig.Points)
+			fig.IndependentIndex = i
+			break
 		}
-		fig.Points = append(fig.Points, Point4{T: t, Dissimilarity: dis, RMSE: rmse})
 	}
 	return fig, nil
 }

@@ -85,9 +85,16 @@ func PartialDisclosureSweep(cfg Config, m int, ks []int) (*PartialFigure, error)
 		if k < 0 || k > m/2 {
 			return nil, fmt.Errorf("experiment: k=%d outside [0,%d]", k, m/2)
 		}
+	}
+	// The disguised data is fixed; each disclosure level is an
+	// independent (deterministic) reconstruction, so the sweep runs on
+	// the worker pool like the figure sweeps.
+	points := make([]PartialPoint, len(ks))
+	err = Runner{Workers: cfg.Workers}.Run(len(ks), cfg.Seed, func(i int, _ *rand.Rand) error {
+		k := ks[i]
 		known := make([]int, k)
-		for i := range known {
-			known[i] = i
+		for j := range known {
+			known[j] = j
 		}
 		attack := &recon.PartialDisclosure{Sigma2: cfg.Sigma2, Known: known}
 		if k > 0 {
@@ -95,14 +102,19 @@ func PartialDisclosureSweep(cfg Config, m int, ks []int) (*PartialFigure, error)
 		}
 		xhat, err := attack.Reconstruct(pert.Y)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: partial k=%d: %w", k, err)
+			return fmt.Errorf("experiment: partial k=%d: %w", k, err)
 		}
-		fig.Points = append(fig.Points, PartialPoint{
+		points[i] = PartialPoint{
 			Known:        k,
 			RMSE:         stat.RMSE(extractCols(xhat, evalCols), truthEval),
 			BaselineRMSE: baseline,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	fig.Points = points
 	return fig, nil
 }
 

@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTrialSeedDecorrelated(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 1000; i++ {
+		s := TrialSeed(2005, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("trials %d and %d share seed %d", j, i, s)
+		}
+		seen[s] = i
+	}
+	if TrialSeed(1, 0) == TrialSeed(2, 0) {
+		t.Error("different base seeds must give different trial seeds")
+	}
+}
+
+func TestRunnerRunsEveryTrialOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var counts [50]int64
+		err := Runner{Workers: workers}.Run(len(counts), 7, func(i int, rng *rand.Rand) error {
+			atomic.AddInt64(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: trial %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunnerDeterministicAcrossWorkers is the reproducibility contract:
+// the same seed must produce bit-identical trial outputs no matter how
+// many workers execute the pool.
+func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
+	draw := func(workers int) []float64 {
+		out := make([]float64, 20)
+		err := Runner{Workers: workers}.Run(len(out), 2005, func(i int, rng *rand.Rand) error {
+			// A few dependent draws so any stream-sharing between trials
+			// or re-seeding difference would show up.
+			v := rng.NormFloat64()
+			for k := 0; k < i%5; k++ {
+				v += rng.Float64()
+			}
+			out[i] = v
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	want := draw(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := draw(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d diverged from serial run:\ngot  %v\nwant %v", workers, got, want)
+		}
+	}
+}
+
+// TestExperimentsDeterministicAcrossWorkers runs a real sweep at several
+// pool sizes and demands identical figures.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallCfg()
+	cfg.N = 200
+	base := func(workers int) *Figure {
+		c := cfg
+		c.Workers = workers
+		fig, err := Experiment1(c, []int{5, 10, 15, 20})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return fig
+	}
+	want := base(1)
+	for _, workers := range []int{2, 4} {
+		got := base(workers)
+		if !reflect.DeepEqual(got.Points, want.Points) {
+			t.Errorf("Experiment1 with %d workers diverged from 1 worker", workers)
+		}
+	}
+
+	fig4 := func(workers int) *Figure4 {
+		c := cfg
+		c.Workers = workers
+		fig, err := experiment4At(c, 10, 5, []float64{0, 0.5, 1, 1.5, 2})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return fig
+	}
+	want4 := fig4(1)
+	if got4 := fig4(4); !reflect.DeepEqual(got4.Points, want4.Points) {
+		t.Error("Experiment4 with 4 workers diverged from 1 worker")
+	}
+	if want4.IndependentIndex != 2 {
+		t.Errorf("IndependentIndex = %d, want 2", want4.IndependentIndex)
+	}
+}
+
+func TestRunnerPropagatesError(t *testing.T) {
+	sentinel := errors.New("trial failed")
+	for _, workers := range []int{1, 4} {
+		err := Runner{Workers: workers}.Run(10, 7, func(i int, rng *rand.Rand) error {
+			if i == 6 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+	}
+}
+
+func TestRunnerReturnsLowestIndexedError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := Runner{Workers: 4}.Run(8, 7, func(i int, rng *rand.Rand) error {
+		switch i {
+		case 2:
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	})
+	// Trial 7 may be skipped after trial 2 fails; either way the error of
+	// the lowest-indexed failing trial that ran must win.
+	if !errors.Is(err, errLow) {
+		t.Errorf("err = %v, want the lowest-indexed trial error", err)
+	}
+}
+
+func TestRunnerZeroTrials(t *testing.T) {
+	called := false
+	err := Runner{}.Run(0, 7, func(i int, rng *rand.Rand) error {
+		called = true
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if called {
+		t.Error("fn must not run for n=0")
+	}
+}

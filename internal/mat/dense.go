@@ -5,7 +5,9 @@
 //
 // The package is self-contained (standard library only) and sized for the
 // problem scales in Huang, Du & Chen (SIGMOD 2005): matrices up to a few
-// hundred columns. Row-major storage is used throughout.
+// hundred columns. Row-major storage is used throughout. Large products
+// (Mul) fan out across goroutines by output-row block, with results
+// bit-identical to the serial kernel at any GOMAXPROCS.
 package mat
 
 import (

@@ -1,0 +1,107 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// mulParallelMinFlops is the a.rows·a.cols·b.cols size above which Mul
+// fans out across goroutines. Below it the fork/join overhead exceeds
+// the arithmetic; the threshold corresponds to roughly a 100×100·100×100
+// product, well under the n=1000, m=100 experiment scales.
+const mulParallelMinFlops = 1 << 20
+
+// kernelTokens bounds the number of extra goroutines the data-parallel
+// kernels may have in flight process-wide. Kernels often run underneath
+// an already-parallel caller (the experiment trial pool); without a
+// global budget, W trials × GOMAXPROCS kernel goroutines would
+// oversubscribe the machine. A worker that finds no token free simply
+// runs its chunk inline — chunk boundaries never change, so results are
+// unaffected.
+var kernelTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// parallelRows splits [0, rows) into one contiguous chunk per worker and
+// runs work(r0, r1) on each, inline or on a goroutine as the token
+// budget allows. Chunk boundaries depend only on rows and the worker
+// count, and callers write disjoint row ranges, so results are
+// deterministic; callers that need bit-identical output at any
+// parallelism (Mul, CovarianceMatrix) additionally keep each output
+// element's arithmetic entirely within one chunk.
+func parallelRows(rows, workers int, work func(r0, r1 int)) {
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		work(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 1; k < workers; k++ {
+		r0 := k * rows / workers
+		r1 := (k + 1) * rows / workers
+		select {
+		case kernelTokens <- struct{}{}:
+			wg.Add(1)
+			go func(r0, r1 int) {
+				defer func() {
+					<-kernelTokens
+					wg.Done()
+				}()
+				work(r0, r1)
+			}(r0, r1)
+		default:
+			work(r0, r1)
+		}
+	}
+	work(0, rows/workers)
+	wg.Wait()
+}
+
+// ParallelChunks runs work(c) for every chunk index in [0, chunks),
+// spreading chunks over at most workers concurrent executors (clamped to
+// the same process-wide token budget as parallelRows). It is the shared
+// engine for deterministic chunked reductions: the caller gives each
+// chunk its own output slot and reduces in chunk order afterwards, so
+// the result is independent of how many executors ran.
+func ParallelChunks(chunks, workers int, work func(c int)) {
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			work(c)
+		}
+		return
+	}
+	var next int64 = -1
+	run := func() {
+		for {
+			c := int(atomic.AddInt64(&next, 1))
+			if c >= chunks {
+				return
+			}
+			work(c)
+		}
+	}
+	var wg sync.WaitGroup
+	for k := 1; k < workers; k++ {
+		select {
+		case kernelTokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-kernelTokens
+					wg.Done()
+				}()
+				run()
+			}()
+		default:
+		}
+	}
+	run()
+	wg.Wait()
+}
+
+// maxWorkers is the fan-out ceiling for the data-parallel kernels.
+func maxWorkers() int { return runtime.GOMAXPROCS(0) }

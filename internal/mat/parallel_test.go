@@ -1,0 +1,58 @@
+package mat
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMulParallelMatchesSerial drives Mul above the fan-out threshold
+// and checks the result bit-for-bit against the serial kernel.
+func TestMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, m = 300, 80 // n·m·n > mulParallelMinFlops
+	a := Zeros(n, m)
+	for i := range a.data {
+		a.data[i] = rng.NormFloat64()
+	}
+	b := Transpose(a)
+	got := Mul(a, b)
+
+	want := Zeros(n, n)
+	mulRows(want, a, b, 0, n)
+	if !got.Equal(want) {
+		t.Fatal("parallel Mul differs from serial kernel")
+	}
+}
+
+func TestParallelChunksRunsEveryChunkOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const chunks = 37
+		var counts [chunks]int64
+		ParallelChunks(chunks, workers, func(c int) {
+			atomic.AddInt64(&counts[c], 1)
+		})
+		for c, v := range counts {
+			if v != 1 {
+				t.Fatalf("workers=%d: chunk %d ran %d times", workers, c, v)
+			}
+		}
+	}
+}
+
+func TestParallelRowsCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const rows = 100
+		var hit [rows]int64
+		parallelRows(rows, workers, func(r0, r1 int) {
+			for i := r0; i < r1; i++ {
+				atomic.AddInt64(&hit[i], 1)
+			}
+		})
+		for i, v := range hit {
+			if v != 1 {
+				t.Fatalf("workers=%d: row %d covered %d times", workers, i, v)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ package stat
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"randpriv/internal/mat"
 )
@@ -141,8 +142,27 @@ func AddToColumns(data *mat.Dense, means []float64) *mat.Dense {
 	return out
 }
 
+// covChunkRows returns the row-chunk size of the parallel covariance
+// accumulation for an n-row input. It is a function of n alone — never
+// of the worker count: per-chunk partial sums are reduced in chunk
+// order, so an n-determined chunking keeps the result bit-identical
+// whether 1 or 16 workers computed the chunks. The chunk count is capped
+// at 256 so the transient partial buffers stay O(256·m²) even at very
+// large n.
+func covChunkRows(n int) int {
+	const minRows, maxChunks = 512, 256
+	rows := (n + maxChunks - 1) / maxChunks
+	if rows < minRows {
+		rows = minRows
+	}
+	return rows
+}
+
 // CovarianceMatrix returns the m×m unbiased sample covariance matrix of
-// the n×m data matrix (rows are records, columns are attributes).
+// the n×m data matrix (rows are records, columns are attributes). The
+// Gram accumulation — the hot spot of every spectral attack (Theorem 5.1
+// needs Σy at every reconstruction) — is chunked over fixed row blocks
+// computed concurrently and reduced in deterministic chunk order.
 func CovarianceMatrix(data *mat.Dense) *mat.Dense {
 	n, m := data.Dims()
 	cov := mat.Zeros(m, m)
@@ -150,18 +170,31 @@ func CovarianceMatrix(data *mat.Dense) *mat.Dense {
 		return cov
 	}
 	centered, _ := CenterColumns(data)
-	// cov = centeredᵀ·centered / (n-1)
-	for i := 0; i < n; i++ {
-		row := centered.RawRow(i)
-		for a := 0; a < m; a++ {
-			va := row[a]
-			if va == 0 {
-				continue
+	// cov = centeredᵀ·centered / (n-1), upper triangle only.
+	chunkRows := covChunkRows(n)
+	chunks := (n + chunkRows - 1) / chunkRows
+	if chunks == 1 {
+		accumulateGram(cov.Raw(), centered, 0, n)
+	} else {
+		// Per-chunk partials are always reduced in chunk order — even on a
+		// single worker — so the summation tree (and hence every rounding)
+		// is a function of n alone, not of GOMAXPROCS.
+		partials := make([][]float64, chunks)
+		mat.ParallelChunks(chunks, runtime.GOMAXPROCS(0), func(c int) {
+			part := make([]float64, m*m)
+			hi := (c + 1) * chunkRows
+			if hi > n {
+				hi = n
 			}
-			cr := cov.RawRow(a)
-			for b := a; b < m; b++ {
-				cr[b] += va * row[b]
+			accumulateGram(part, centered, c*chunkRows, hi)
+			partials[c] = part
+		})
+		acc := cov.Raw()
+		for c, part := range partials {
+			for k, v := range part {
+				acc[k] += v
 			}
+			partials[c] = nil
 		}
 	}
 	inv := 1 / float64(n-1)
@@ -173,6 +206,25 @@ func CovarianceMatrix(data *mat.Dense) *mat.Dense {
 		}
 	}
 	return cov
+}
+
+// accumulateGram adds rows [r0, r1) of centeredᵀ·centered into the upper
+// triangle of the m×m row-major accumulator acc.
+func accumulateGram(acc []float64, centered *mat.Dense, r0, r1 int) {
+	_, m := centered.Dims()
+	for i := r0; i < r1; i++ {
+		row := centered.RawRow(i)
+		for a := 0; a < m; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			cr := acc[a*m : (a+1)*m]
+			for b := a; b < m; b++ {
+				cr[b] += va * row[b]
+			}
+		}
+	}
 }
 
 // CorrelationMatrix returns the m×m sample correlation matrix. Constant
