@@ -11,6 +11,7 @@ package randpriv_test
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"reflect"
@@ -379,6 +380,124 @@ func BenchmarkEigenSym(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := mat.EigenSym(cov); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// syntheticSource is a stream.Source that generates a disguised
+// correlated data set on the fly, chunk by chunk: z·mixᵀ gives rows with
+// a spiked covariance, plus i.i.d. N(0, σ²) noise. Nothing larger than
+// one chunk is ever materialized and the buffers are reused, so it is the
+// substrate for demonstrating that the streaming attacks' memory use is
+// independent of n. Reset reseeds the generator, so every pass replays
+// the identical data set.
+type syntheticSource struct {
+	n, m, chunkRows int
+	seed            int64
+	sigma           float64
+	mixT            *mat.Dense // m×m, z·mixT has covariance mix·mixᵀ
+	rng             *rand.Rand
+	pos             int
+	z, buf          *mat.Dense
+}
+
+func newSyntheticSource(n, m, p, chunkRows int, sigma float64, seed int64) *syntheticSource {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	spec := synth.Spectrum{M: m, P: p, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		panic(err)
+	}
+	scaled := mat.RandomOrthogonal(m, rng)
+	for j := 0; j < m; j++ {
+		col := scaled.Col(j)
+		s := math.Sqrt(vals[j])
+		for i := range col {
+			col[i] *= s
+		}
+		scaled.SetCol(j, col)
+	}
+	s := &syntheticSource{
+		n: n, m: m, chunkRows: chunkRows, seed: seed, sigma: sigma,
+		mixT: mat.Transpose(scaled),
+		z:    mat.Zeros(chunkRows, m),
+		buf:  mat.Zeros(chunkRows, m),
+	}
+	if err := s.Reset(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *syntheticSource) Reset() error {
+	s.rng = rand.New(rand.NewSource(s.seed))
+	s.pos = 0
+	return nil
+}
+
+func (s *syntheticSource) Next() (*mat.Dense, error) {
+	if s.pos >= s.n {
+		return nil, io.EOF
+	}
+	rows := s.chunkRows
+	if s.pos+rows > s.n {
+		rows = s.n - s.pos
+	}
+	z, buf := s.z, s.buf
+	if rows != s.chunkRows {
+		z = mat.Zeros(rows, s.m)
+		buf = mat.Zeros(rows, s.m)
+	}
+	raw := z.Raw()
+	for i := range raw {
+		raw[i] = s.rng.NormFloat64()
+	}
+	mat.MulInto(buf, z, s.mixT)
+	out := buf.Raw()
+	for i := range out {
+		out[i] += s.sigma * s.rng.NormFloat64()
+	}
+	s.pos += rows
+	return buf, nil
+}
+
+// discardSink drops every chunk — the attacks' output cost is excluded so
+// the benchmark isolates the pipeline itself.
+type discardSink struct{}
+
+func (discardSink) Append(*mat.Dense) error { return nil }
+
+// BenchmarkStreamingAttack measures the out-of-core two-pass attacks over
+// generated streams of increasing length. The point of the B/op column:
+// allocated bytes are (near-)independent of n — the pipeline holds one
+// chunk plus O(m²) state, so only ns/op grows with the row count. Compare
+// with the in-memory attacks, whose footprint is O(n·m).
+func BenchmarkStreamingAttack(b *testing.B) {
+	const (
+		m      = 50
+		p      = 5
+		chunk  = 256
+		sigma2 = 25.0
+	)
+	attacks := []struct {
+		name string
+		r    recon.StreamReconstructor
+	}{
+		{"PCA-DR", recon.NewPCADR(sigma2)},
+		{"BE-DR", recon.NewBEDR(sigma2)},
+	}
+	for _, a := range attacks {
+		for _, n := range []int{2048, 16384} {
+			b.Run(fmt.Sprintf("%s/n=%d", a.name, n), func(b *testing.B) {
+				src := newSyntheticSource(n, m, p, chunk, math.Sqrt(sigma2), 2005)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := a.r.ReconstructStream(src, discardSink{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

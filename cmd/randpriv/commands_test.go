@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -174,6 +176,135 @@ func TestRunSmoothRequiresInput(t *testing.T) {
 func TestRunUtility(t *testing.T) {
 	if err := runUtility([]string{"-n", "300", "-m", "6"}); err != nil {
 		t.Fatalf("utility: %v", err)
+	}
+}
+
+// TestBadFlagReturnsError covers the ContinueOnError switch: an unknown
+// flag must surface as an error on main's exit path, not call os.Exit(2)
+// from inside the flag package.
+func TestBadFlagReturnsError(t *testing.T) {
+	for name, run := range map[string]func([]string) error{
+		"gen":        runGen,
+		"perturb":    runPerturb,
+		"attack":     runAttack,
+		"experiment": runExperiment,
+		"smooth":     runSmooth,
+		"utility":    runUtility,
+	} {
+		if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+			t.Errorf("%s: unknown flag must return an error", name)
+		}
+		if err := run([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+			t.Errorf("%s: -h returned %v, want flag.ErrHelp", name, err)
+		}
+	}
+}
+
+func TestAttackRejectsBadSigma(t *testing.T) {
+	data := tempPath(t, "data.csv")
+	if err := runGen([]string{"-n", "50", "-m", "4", "-p", "2", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	for _, sigma := range []string{"0", "-3", "NaN", "+Inf"} {
+		err := runAttack([]string{"-original", data, "-disguised", data, "-sigma", sigma})
+		if err == nil || !strings.Contains(err.Error(), "-sigma must be a positive finite number") {
+			t.Errorf("sigma=%s: err = %v, want -sigma validation failure", sigma, err)
+		}
+	}
+}
+
+func TestPerturbRejectsBadSigma(t *testing.T) {
+	data := tempPath(t, "data.csv")
+	if err := runGen([]string{"-n", "50", "-m", "4", "-p", "2", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := runPerturb([]string{"-in", data, "-sigma", "0"}); err == nil {
+		t.Error("perturb with sigma=0 must error")
+	}
+}
+
+// TestAttackCorrelatedConstantData covers the trace guard: (near-)constant
+// disguised data has ~zero covariance trace, so the σ²·m/trace scale
+// would blow up; the CLI must fail with a diagnostic instead.
+func TestAttackCorrelatedConstantData(t *testing.T) {
+	constant := tempPath(t, "const.csv")
+	var b strings.Builder
+	b.WriteString("a,b\n")
+	for i := 0; i < 40; i++ {
+		b.WriteString("3.5,-1\n")
+	}
+	if err := os.WriteFile(constant, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{nil, {"-stream", "-chunk", "8"}} {
+		args := append([]string{"-original", constant, "-disguised", constant, "-correlated"}, extra...)
+		err := runAttack(args)
+		if err == nil || !strings.Contains(err.Error(), "(near-)constant") {
+			t.Errorf("args %v: err = %v, want near-constant diagnostic", extra, err)
+		}
+	}
+}
+
+// TestPerturbStreamMatchesInMemory checks the streaming publisher path:
+// same seed, same noise order, byte-identical output file.
+func TestPerturbStreamMatchesInMemory(t *testing.T) {
+	data := tempPath(t, "data.csv")
+	if err := runGen([]string{"-n", "150", "-m", "5", "-p", "2", "-seed", "9", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	inMem := tempPath(t, "mem.csv")
+	streamed := tempPath(t, "stream.csv")
+	if err := runPerturb([]string{"-in", data, "-sigma", "4", "-seed", "11", "-out", inMem}); err != nil {
+		t.Fatalf("perturb: %v", err)
+	}
+	if err := runPerturb([]string{"-in", data, "-sigma", "4", "-seed", "11", "-stream", "-chunk", "32", "-out", streamed}); err != nil {
+		t.Fatalf("perturb -stream: %v", err)
+	}
+	a, err := os.ReadFile(inMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b2) {
+		t.Fatal("streaming perturb output differs from in-memory output")
+	}
+}
+
+func TestAttackStreamPipeline(t *testing.T) {
+	data := tempPath(t, "data.csv")
+	disg := tempPath(t, "disg.csv")
+	if err := runGen([]string{"-n", "300", "-m", "8", "-p", "2", "-seed", "3", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := runPerturb([]string{"-in", data, "-sigma", "5", "-seed", "4", "-stream", "-out", disg}); err != nil {
+		t.Fatalf("perturb: %v", err)
+	}
+	if err := runAttack([]string{"-original", data, "-disguised", disg, "-sigma", "5", "-stream", "-chunk", "64"}); err != nil {
+		t.Fatalf("attack -stream: %v", err)
+	}
+	// Correlated streaming variant over a correlated-noise disguise.
+	disg2 := tempPath(t, "disg2.csv")
+	if err := runPerturb([]string{"-in", data, "-sigma", "5", "-correlated", "-stream", "-chunk", "50", "-out", disg2}); err != nil {
+		t.Fatalf("perturb -correlated -stream: %v", err)
+	}
+	if err := runAttack([]string{"-original", data, "-disguised", disg2, "-sigma", "5", "-correlated", "-stream", "-chunk", "64"}); err != nil {
+		t.Fatalf("attack -correlated -stream: %v", err)
+	}
+}
+
+func TestAttackStreamBadChunk(t *testing.T) {
+	data := tempPath(t, "data.csv")
+	if err := runGen([]string{"-n", "20", "-m", "3", "-p", "1", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := runAttack([]string{"-original", data, "-disguised", data, "-stream", "-chunk", "0"}); err == nil {
+		t.Error("chunk=0 must error")
+	}
+	if err := runPerturb([]string{"-in", data, "-stream", "-chunk", "-5"}); err == nil {
+		t.Error("negative chunk must error")
 	}
 }
 

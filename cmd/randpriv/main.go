@@ -6,13 +6,15 @@
 // Usage:
 //
 //	randpriv gen        -n 1000 -m 20 -p 3 -out data.csv
-//	randpriv perturb    -in data.csv -sigma 5 -out disguised.csv [-correlated]
-//	randpriv attack     -original data.csv -disguised disguised.csv -sigma 5
+//	randpriv perturb    -in data.csv -sigma 5 -out disguised.csv [-correlated] [-stream -chunk 4096]
+//	randpriv attack     -original data.csv -disguised disguised.csv -sigma 5 [-stream -chunk 4096]
 //	randpriv experiment -id 1 [-n 1000] [-workers 8] [-skip-udr] [-csv out.csv]
 //	randpriv utility    [-n 2000] [-m 20]
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 )
@@ -41,6 +43,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "randpriv: unknown command %q\n\n", os.Args[1])
 		usage()
+		os.Exit(2)
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		// -h/-help: the flag set already printed its usage.
+		os.Exit(0)
+	}
+	var uerr usageError
+	if errors.As(err, &uerr) {
+		// Parse failures were already reported by the flag set; keep the
+		// traditional usage-error exit code.
 		os.Exit(2)
 	}
 	if err != nil {

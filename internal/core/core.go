@@ -124,14 +124,20 @@ func Evaluate(original, disguised *mat.Dense, schemeDesc string, attacks []recon
 		}
 		report.Results = append(report.Results, res)
 	}
-	sort.SliceStable(report.Results, func(i, j int) bool {
-		ri, rj := report.Results[i], report.Results[j]
+	sortResults(report.Results)
+	return report, nil
+}
+
+// sortResults orders attack results most-dangerous-first (ascending
+// RMSE), with failed attacks at the bottom.
+func sortResults(results []AttackResult) {
+	sort.SliceStable(results, func(i, j int) bool {
+		ri, rj := results[i], results[j]
 		if (ri.Err == nil) != (rj.Err == nil) {
 			return ri.Err == nil // failures sink to the bottom
 		}
 		return ri.RMSE < rj.RMSE
 	})
-	return report, nil
 }
 
 // MostDangerous returns the successful attack with the lowest RMSE, or

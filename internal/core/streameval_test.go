@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/randomize"
+	"randpriv/internal/recon"
+	"randpriv/internal/stream"
+)
+
+func TestEvaluateStreamMatchesEvaluate(t *testing.T) {
+	ds := makeData(t, 11)
+	rng := rand.New(rand.NewSource(12))
+	const sigma2 = 25.0
+	pert, err := randomize.NewAdditiveGaussian(math.Sqrt(sigma2)).Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inMem, err := Evaluate(ds.X, pert.Y, "test", []recon.Reconstructor{
+		recon.NewPCADR(sigma2), recon.NewBEDR(sigma2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched chunk sizes for the two sources exercise the diff sink's
+	// row-cursor realignment.
+	streamed, err := EvaluateStream(
+		stream.NewMatrixSource(ds.X, 37),
+		stream.NewMatrixSource(pert.Y, 64),
+		"test",
+		[]recon.StreamReconstructor{recon.NewPCADR(sigma2), recon.NewBEDR(sigma2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Abs(streamed.NDRBaseline-inMem.NDRBaseline) > 1e-9 {
+		t.Errorf("NDR baseline %v vs in-memory %v", streamed.NDRBaseline, inMem.NDRBaseline)
+	}
+	if len(streamed.Results) != len(inMem.Results) {
+		t.Fatalf("results = %d, want %d", len(streamed.Results), len(inMem.Results))
+	}
+	for i, got := range streamed.Results {
+		want := inMem.Results[i]
+		if got.Attack != want.Attack {
+			t.Errorf("rank %d: %s vs in-memory %s", i, got.Attack, want.Attack)
+			continue
+		}
+		if got.Err != nil || want.Err != nil {
+			t.Errorf("rank %d: errs %v / %v", i, got.Err, want.Err)
+			continue
+		}
+		if math.Abs(got.RMSE-want.RMSE) > 1e-9 {
+			t.Errorf("%s: RMSE %v vs in-memory %v", got.Attack, got.RMSE, want.RMSE)
+		}
+		for j := range got.ColumnRMSE {
+			if math.Abs(got.ColumnRMSE[j]-want.ColumnRMSE[j]) > 1e-9 {
+				t.Errorf("%s: column %d RMSE %v vs %v", got.Attack, j, got.ColumnRMSE[j], want.ColumnRMSE[j])
+			}
+		}
+	}
+}
+
+func TestEvaluateStreamShapeMismatch(t *testing.T) {
+	x := mat.Zeros(10, 3)
+	y := mat.Zeros(12, 3) // more disguised rows than original rows
+	_, err := EvaluateStream(stream.NewMatrixSource(x, 4), stream.NewMatrixSource(y, 4), "t", nil)
+	if err == nil || !strings.Contains(err.Error(), "more rows") {
+		t.Fatalf("err = %v, want row-count mismatch", err)
+	}
+	short := mat.Zeros(8, 3)
+	_, err = EvaluateStream(stream.NewMatrixSource(x, 4), stream.NewMatrixSource(short, 4), "t", nil)
+	if err == nil || !strings.Contains(err.Error(), "fewer rows") {
+		t.Fatalf("err = %v, want fewer-rows mismatch", err)
+	}
+	wide := mat.Zeros(10, 4)
+	_, err = EvaluateStream(stream.NewMatrixSource(wide, 4), stream.NewMatrixSource(y.Slice(0, 10, 0, 3), 4), "t", nil)
+	if err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("err = %v, want column mismatch", err)
+	}
+}
+
+func TestEvaluateStreamAttackFailureIsRecorded(t *testing.T) {
+	ds := makeData(t, 13)
+	rng := rand.New(rand.NewSource(14))
+	pert, err := randomize.NewAdditiveGaussian(5).Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := EvaluateStream(
+		stream.NewMatrixSource(ds.X, 50),
+		stream.NewMatrixSource(pert.Y, 50),
+		"t",
+		[]recon.StreamReconstructor{recon.NewPCADR(-1), recon.NewBEDR(25)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed, ok bool
+	for _, r := range report.Results {
+		if r.Attack == "PCA-DR" && r.Err != nil {
+			failed = true
+		}
+		if r.Attack == "BE-DR" && r.Err == nil {
+			ok = true
+		}
+	}
+	if !failed || !ok {
+		t.Fatalf("results = %+v: want PCA-DR failed, BE-DR succeeded", report.Results)
+	}
+}

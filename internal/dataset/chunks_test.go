@@ -1,0 +1,208 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"randpriv/internal/mat"
+)
+
+// stringOpener adapts a string to the reopenable-stream contract.
+func stringOpener(s string) func() (io.ReadCloser, error) {
+	return func() (io.ReadCloser, error) {
+		return io.NopCloser(strings.NewReader(s)), nil
+	}
+}
+
+func TestCSVSpecialValuesRoundTrip(t *testing.T) {
+	// Scientific notation, signed zeros, extreme magnitudes (largest and
+	// smallest normal/subnormal doubles) must survive a write/read cycle
+	// bit-for-bit: FormatFloat 'g'/-1 emits the shortest uniquely-decoding
+	// form and ParseFloat inverts it exactly.
+	values := [][]float64{
+		{1.5e-300, 2.5e17},
+		{math.Copysign(0, -1), 0},
+		{math.MaxFloat64, math.SmallestNonzeroFloat64},
+		{-1.7976931348623157e308, 4.9e-324},
+		{1.0000000000000002, -42},
+	}
+	tb, err := New([]string{"a", "b"}, mat.NewFromRows(values))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	for i, row := range values {
+		for j, want := range row {
+			got := back.Data().At(i, j)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("(%d,%d) = %v (bits %x), want %v (bits %x)",
+					i, j, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+	// The signed zero must still be signed after the trip.
+	if !math.Signbit(back.Data().At(1, 0)) {
+		t.Error("-0 lost its sign in the round trip")
+	}
+}
+
+func TestReadCSVScientificNotation(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader("x,y\n1e3,-2.5E-2\n+4e+0,0.125\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.NewFromRows([][]float64{{1000, -0.025}, {4, 0.125}})
+	if !tb.Data().Equal(want) {
+		t.Fatalf("parsed %v, want %v", tb.Data(), want)
+	}
+}
+
+func TestReadCSVRejectsNonFinite(t *testing.T) {
+	for _, bad := range []string{"NaN", "nan", "Inf", "+Inf", "-Inf", "Infinity"} {
+		_, err := ReadCSV(strings.NewReader("a,b\n1," + bad + "\n"))
+		if err == nil {
+			t.Errorf("value %q must be rejected", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("value %q: error %q does not mention non-finite", bad, err)
+		}
+		if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), `"b"`) {
+			t.Errorf("value %q: error %q does not locate line/field", bad, err)
+		}
+	}
+}
+
+func TestChunkSourceReadsAll(t *testing.T) {
+	const csvData = "a,b\n1,2\n3,4\n5,6\n7,8\n9,10\n"
+	want := mat.NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}})
+	for _, chunk := range []int{1, 2, 3, 5, 100} {
+		src, err := ReadCSVChunks(stringOpener(csvData), chunk)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if names := src.Names(); names[0] != "a" || names[1] != "b" {
+			t.Fatalf("chunk=%d: names = %v", chunk, names)
+		}
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				if err := src.Reset(); err != nil {
+					t.Fatalf("chunk=%d: reset: %v", chunk, err)
+				}
+			}
+			got := &mat.Dense{}
+			for {
+				c, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("chunk=%d pass=%d: %v", chunk, pass, err)
+				}
+				if c.Rows() > chunk {
+					t.Fatalf("chunk=%d: got %d-row chunk", chunk, c.Rows())
+				}
+				got.AppendRows(c)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("chunk=%d pass=%d: reassembled %v, want %v", chunk, pass, got, want)
+			}
+		}
+		if err := src.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestChunkSourceErrors(t *testing.T) {
+	if _, err := ReadCSVChunks(stringOpener("a,b\n1,2\n"), 0); err == nil {
+		t.Error("chunk size 0 must error")
+	}
+	if _, err := ReadCSVChunks(stringOpener(""), 4); err == nil {
+		t.Error("empty input must error at header")
+	}
+	src, err := ReadCSVChunks(stringOpener("a,b\n1,NaN\n"), 4)
+	if err != nil {
+		t.Fatalf("construction reads only the header: %v", err)
+	}
+	if _, err := src.Next(); err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("NaN row: err = %v, want non-finite rejection", err)
+	}
+	src2, err := ReadCSVChunks(stringOpener("a,b\n1,2\n3\n"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src2.Next(); err == nil {
+		t.Error("ragged row must error")
+	}
+}
+
+func TestChunkWriterMatchesWriteCSV(t *testing.T) {
+	data := mat.NewFromRows([][]float64{{1.5, -2}, {3e10, 0.25}, {-0.125, 7}})
+	tb, err := New([]string{"u", "v"}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole bytes.Buffer
+	if err := tb.WriteCSV(&whole); err != nil {
+		t.Fatal(err)
+	}
+	var chunked bytes.Buffer
+	w, err := NewChunkWriter(&chunked, []string{"u", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(data.Slice(i, i+1, 0, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows() != 3 {
+		t.Fatalf("Rows = %d, want 3", w.Rows())
+	}
+	if whole.String() != chunked.String() {
+		t.Fatalf("chunked output %q differs from WriteCSV %q", chunked.String(), whole.String())
+	}
+}
+
+func TestChunkWriterWidthMismatch(t *testing.T) {
+	w, err := NewChunkWriter(io.Discard, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(mat.Zeros(1, 3)); err == nil {
+		t.Error("width mismatch must error")
+	}
+}
+
+func TestTableAppend(t *testing.T) {
+	tb, err := New([]string{"a", "b"}, mat.NewFromRows([][]float64{{1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(mat.NewFromRows([][]float64{{3, 4}, {5, 6}})); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tb.Dims(); n != 3 {
+		t.Fatalf("rows = %d, want 3", n)
+	}
+	if tb.Data().At(2, 1) != 6 {
+		t.Fatalf("appended value = %v, want 6", tb.Data().At(2, 1))
+	}
+	if err := tb.Append(mat.Zeros(1, 3)); err == nil {
+		t.Error("width mismatch must error")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -35,17 +36,25 @@ func New(names []string, data *mat.Dense) (*Table, error) {
 	if len(names) != m {
 		return nil, fmt.Errorf("dataset: %d names for %d columns", len(names), m)
 	}
-	seen := make(map[string]bool, m)
+	if err := validateNames(names); err != nil {
+		return nil, err
+	}
+	return &Table{names: append([]string(nil), names...), data: data}, nil
+}
+
+// validateNames rejects empty and duplicate attribute names.
+func validateNames(names []string) error {
+	seen := make(map[string]bool, len(names))
 	for _, n := range names {
 		if n == "" {
-			return nil, fmt.Errorf("dataset: empty attribute name")
+			return fmt.Errorf("dataset: empty attribute name")
 		}
 		if seen[n] {
-			return nil, fmt.Errorf("dataset: duplicate attribute name %q", n)
+			return fmt.Errorf("dataset: duplicate attribute name %q", n)
 		}
 		seen[n] = true
 	}
-	return &Table{names: append([]string(nil), names...), data: data}, nil
+	return nil
 }
 
 // Names returns a copy of the attribute names.
@@ -67,36 +76,63 @@ func (t *Table) Column(name string) ([]float64, error) {
 	return nil, fmt.Errorf("dataset: no attribute %q", name)
 }
 
-// WriteCSV writes the table with a header row.
+// WriteCSV writes the table with a header row. It is the one-shot form of
+// the incremental ChunkWriter and produces identical bytes.
 func (t *Table) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.names); err != nil {
-		return fmt.Errorf("dataset: write header: %w", err)
+	cw, err := NewChunkWriter(w, t.names)
+	if err != nil {
+		return err
 	}
-	n, m := t.data.Dims()
-	row := make([]string, m)
-	for i := 0; i < n; i++ {
-		raw := t.data.RawRow(i)
-		for j, v := range raw {
-			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
-		}
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("dataset: write row %d: %w", i, err)
-		}
+	if err := cw.Append(t.data); err != nil {
+		return err
 	}
-	cw.Flush()
-	return cw.Error()
+	return cw.Flush()
 }
 
-// ReadCSV parses a table with a header row of attribute names.
+// Append adds the rows of chunk to the table in place. It is the
+// in-memory sink of the streaming pipeline: chunks read or reconstructed
+// incrementally can be concatenated back into a resident table.
+func (t *Table) Append(chunk *mat.Dense) error {
+	if _, m := t.data.Dims(); chunk.Cols() != m {
+		return fmt.Errorf("dataset: appending %d-column chunk to %d-column table", chunk.Cols(), m)
+	}
+	t.data.AppendRows(chunk)
+	return nil
+}
+
+// parseRecord decodes one CSV record into dst. Non-finite values (NaN,
+// ±Inf) are rejected: every consumer — covariance estimation, the
+// attacks, the perturbation schemes — treats them as data corruption, so
+// the I/O boundary refuses them with a precise location instead of
+// letting them poison results downstream.
+func parseRecord(rec, header []string, lineNo int, dst []float64) error {
+	for j, s := range rec {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("dataset: line %d field %q: %w", lineNo, header[j], err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dataset: line %d field %q: non-finite value %q rejected", lineNo, header[j], strings.TrimSpace(s))
+		}
+		dst[j] = v
+	}
+	return nil
+}
+
+// ReadCSV parses a table with a header row of attribute names. Values are
+// decoded directly into the table's backing storage (one copy, not the
+// rows-then-matrix two); non-finite values are rejected (see parseRecord).
 func ReadCSV(r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read header: %w", err)
 	}
+	header = append([]string(nil), header...)
 	m := len(header)
-	var rows [][]float64
+	var buf []float64
+	n := 0
 	for lineNo := 2; ; lineNo++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -108,20 +144,13 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		if len(rec) != m {
 			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", lineNo, len(rec), m)
 		}
-		row := make([]float64, m)
-		for j, s := range rec {
-			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d field %q: %w", lineNo, header[j], err)
-			}
-			row[j] = v
+		buf = append(buf, make([]float64, m)...)
+		if err := parseRecord(rec, header, lineNo, buf[n*m:]); err != nil {
+			return nil, err
 		}
-		rows = append(rows, row)
+		n++
 	}
-	if len(rows) == 0 {
-		return New(header, mat.Zeros(0, m))
-	}
-	return New(header, mat.NewFromRows(rows))
+	return New(header, mat.New(n, m, buf[:n*m:n*m]))
 }
 
 // Summary describes one attribute of a table.

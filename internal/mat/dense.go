@@ -167,6 +167,21 @@ func (m *Dense) Clone() *Dense {
 // the matrix. Intended for tight loops in this module's numeric kernels.
 func (m *Dense) Raw() []float64 { return m.data }
 
+// AppendRows appends a copy of b's rows to m, growing the backing storage
+// with amortized doubling. An empty 0×0 matrix adopts b's column count on
+// the first append, so the zero value works as a row accumulator; any
+// other shape requires matching column counts.
+func (m *Dense) AppendRows(b *Dense) {
+	if m.rows == 0 && m.cols == 0 {
+		m.cols = b.cols
+	}
+	if b.cols != m.cols {
+		panic(fmt.Sprintf("mat: AppendRows of %d-column rows to %d-column matrix", b.cols, m.cols))
+	}
+	m.data = append(m.data, b.data...)
+	m.rows += b.rows
+}
+
 // Equal reports whether m and b have the same shape and identical entries.
 func (m *Dense) Equal(b *Dense) bool {
 	if m.rows != b.rows || m.cols != b.cols {

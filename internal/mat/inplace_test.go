@@ -1,0 +1,78 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAppendRows(t *testing.T) {
+	acc := &Dense{}
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{5, 6}})
+	acc.AppendRows(a)
+	acc.AppendRows(b)
+	want := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !acc.Equal(want) {
+		t.Fatalf("AppendRows = %v, want %v", acc, want)
+	}
+	// Appending must copy: mutating the source must not change the accumulator.
+	a.Set(0, 0, 99)
+	if acc.At(0, 0) != 1 {
+		t.Fatal("AppendRows aliased the source storage")
+	}
+	// Zero-row appends keep the shape.
+	acc.AppendRows(Zeros(0, 2))
+	if r, c := acc.Dims(); r != 3 || c != 2 {
+		t.Fatalf("dims after empty append = %dx%d, want 3x2", r, c)
+	}
+}
+
+func TestAppendRowsAdoptsColumns(t *testing.T) {
+	acc := Zeros(0, 0)
+	acc.AppendRows(NewFromRows([][]float64{{1, 2, 3}}))
+	if r, c := acc.Dims(); r != 1 || c != 3 {
+		t.Fatalf("dims = %dx%d, want 1x3", r, c)
+	}
+}
+
+func TestAppendRowsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched column count must panic")
+		}
+	}()
+	acc := Zeros(1, 2)
+	acc.AppendRows(Zeros(1, 3))
+}
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{3, 4, 5}, {117, 64, 33}, {1, 1, 1}} {
+		a, b := Zeros(dims[0], dims[1]), Zeros(dims[1], dims[2])
+		for _, m := range []*Dense{a, b} {
+			raw := m.Raw()
+			for i := range raw {
+				raw[i] = rng.NormFloat64()
+			}
+		}
+		want := Mul(a, b)
+		dst := Zeros(dims[0], dims[2])
+		// Pre-poison the destination: MulInto must fully overwrite it.
+		for i := range dst.Raw() {
+			dst.Raw()[i] = 1e300
+		}
+		if got := MulInto(dst, a, b); !got.Equal(want) {
+			t.Fatalf("MulInto differs from Mul at dims %v", dims)
+		}
+	}
+}
+
+func TestMulIntoAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliased destination must panic")
+		}
+	}()
+	a := Identity(3)
+	MulInto(a, a, Identity(3))
+}

@@ -49,15 +49,36 @@ func Mul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := Zeros(a.rows, b.cols)
+	return MulInto(Zeros(a.rows, b.cols), a, b)
+}
+
+// MulInto computes a·b into dst (which is zeroed first) and returns dst.
+// It is the allocation-free form of Mul for callers that reuse an output
+// buffer across many products of the same shape — the streaming attacks
+// project one chunk after another through fixed gain matrices. dst must
+// not alias a or b. The kernel and chunking are identical to Mul, so the
+// result is bit-identical to the allocating path.
+func MulInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: MulInto shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto destination is %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	if dst == a || dst == b {
+		panic("mat: MulInto destination aliases an operand")
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
 	workers := 1
 	if flops := int64(a.rows) * int64(a.cols) * int64(b.cols); flops >= mulParallelMinFlops {
 		workers = maxWorkers()
 	}
 	parallelRows(a.rows, workers, func(r0, r1 int) {
-		mulRows(out, a, b, r0, r1)
+		mulRows(dst, a, b, r0, r1)
 	})
-	return out
+	return dst
 }
 
 // mulRows computes output rows [r0, r1) of a·b. The ikj loop order keeps

@@ -7,10 +7,12 @@ package randomize
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"randpriv/internal/dist"
 	"randpriv/internal/mat"
+	"randpriv/internal/stream"
 )
 
 // Perturbed is the output of a randomization scheme: the published data Y
@@ -58,6 +60,26 @@ func (a Additive) Perturb(x *mat.Dense, rng *rand.Rand) (*Perturbed, error) {
 		}
 	}
 	return &Perturbed{Y: y, R: r}, nil
+}
+
+// PerturbStream disguises a chunked stream: each chunk is copied, noised
+// entry-by-entry in row-major order, and appended to sink. Only one chunk
+// is resident at a time and the noise realization is not kept, so memory
+// is O(chunk) — this is the publisher-side half of the out-of-core
+// pipeline. Because entries are visited in the same row-major order as
+// the in-memory path, the same rng seed yields a bit-identical disguised
+// data set.
+func (a Additive) PerturbStream(src stream.Source, sink stream.Sink, rng *rand.Rand) error {
+	if a.Noise == nil {
+		return fmt.Errorf("randomize: Additive scheme has no noise distribution")
+	}
+	return perturbChunks(src, sink, func(out *mat.Dense) error {
+		raw := out.Raw()
+		for k := range raw {
+			raw[k] += a.Noise.Rand(rng)
+		}
+		return nil
+	}, -1)
 }
 
 // Describe implements Scheme.
@@ -127,6 +149,64 @@ func (c *Correlated) Perturb(x *mat.Dense, rng *rand.Rand) (*Perturbed, error) {
 		}
 	}
 	return &Perturbed{Y: y, R: r}, nil
+}
+
+// PerturbStream is the chunked variant of Perturb: noise rows are drawn
+// and added one chunk at a time, with only the current chunk resident.
+// Like the in-memory path, the same rng seed yields bit-identical output.
+func (c *Correlated) PerturbStream(src stream.Source, sink stream.Sink, rng *rand.Rand) error {
+	return perturbChunks(src, sink, func(out *mat.Dense) error {
+		n, _ := out.Dims()
+		for i := 0; i < n; i++ {
+			noise := c.mvn.Rand(rng)
+			row := out.RawRow(i)
+			for j := range row {
+				row[j] += noise[j]
+			}
+		}
+		return nil
+	}, c.mvn.Dim())
+}
+
+// perturbChunks drives a streaming perturbation: reset, then per chunk
+// copy into a reused buffer, apply addNoise in place, and append to sink.
+// wantCols ≥ 0 enforces a fixed attribute count (the correlated scheme's
+// noise dimension); -1 accepts any width as long as it is consistent.
+func perturbChunks(src stream.Source, sink stream.Sink, addNoise func(out *mat.Dense) error, wantCols int) error {
+	if err := src.Reset(); err != nil {
+		return fmt.Errorf("randomize: reset source: %w", err)
+	}
+	var out *mat.Dense
+	cols := wantCols
+	for {
+		chunk, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("randomize: read chunk: %w", err)
+		}
+		r, m := chunk.Dims()
+		if cols < 0 {
+			cols = m
+		}
+		if m != cols {
+			if wantCols >= 0 {
+				return fmt.Errorf("randomize: data has %d attributes, noise covariance is %d-dimensional", m, wantCols)
+			}
+			return fmt.Errorf("randomize: chunk has %d columns, want %d", m, cols)
+		}
+		if out == nil || out.Rows() != r {
+			out = mat.Zeros(r, m)
+		}
+		copy(out.Raw(), chunk.Raw())
+		if err := addNoise(out); err != nil {
+			return err
+		}
+		if err := sink.Append(out); err != nil {
+			return fmt.Errorf("randomize: sink: %w", err)
+		}
+	}
 }
 
 // Describe implements Scheme.

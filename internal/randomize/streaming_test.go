@@ -1,0 +1,74 @@
+package randomize
+
+import (
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stream"
+)
+
+func streamPerturbData(seed int64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	x := mat.Zeros(157, 6)
+	raw := x.Raw()
+	for i := range raw {
+		raw[i] = 10 * rng.NormFloat64()
+	}
+	return x
+}
+
+func TestAdditivePerturbStreamBitIdentical(t *testing.T) {
+	x := streamPerturbData(1)
+	scheme := NewAdditiveGaussian(5)
+	pert, err := scheme.Perturb(x, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 13, 64, 157} {
+		var sink stream.Collector
+		err := scheme.PerturbStream(stream.NewMatrixSource(x, chunk), &sink, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		// Same seed, same row-major noise order → bit-identical output.
+		if !sink.Data.Equal(pert.Y) {
+			t.Fatalf("chunk=%d: streamed Y differs from in-memory Y", chunk)
+		}
+	}
+}
+
+func TestCorrelatedPerturbStreamBitIdentical(t *testing.T) {
+	x := streamPerturbData(2)
+	cov := mat.AddScaledIdentity(mat.Scale(0.5, mat.Identity(6)), 2)
+	scheme, err := NewCorrelated(nil, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := scheme.Perturb(x, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink stream.Collector
+	if err := scheme.PerturbStream(stream.NewMatrixSource(x, 20), &sink, rand.New(rand.NewSource(7))); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Data.Equal(pert.Y) {
+		t.Fatal("streamed Y differs from in-memory Y")
+	}
+}
+
+func TestPerturbStreamErrors(t *testing.T) {
+	x := streamPerturbData(3)
+	if err := (Additive{}).PerturbStream(stream.NewMatrixSource(x, 16), &stream.Collector{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unconfigured Additive must error")
+	}
+	cov := mat.Identity(4) // wrong width for 6-column data
+	c, err := NewCorrelated(nil, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PerturbStream(stream.NewMatrixSource(x, 16), &stream.Collector{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("width mismatch must error")
+	}
+}

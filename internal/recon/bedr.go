@@ -60,23 +60,51 @@ func (b *BEDR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 	}
 	n, m := y.Dims()
 
+	constant, gain, err := b.estimator(m,
+		func() []float64 { return stat.ColumnMeans(y) },
+		func() *mat.Dense { return stat.CovarianceMatrix(y) })
+	if err != nil {
+		return nil, err
+	}
+
+	// Data-dependent part: A·Σr⁻¹·y, applied row-wise as y·(A·Σr⁻¹)ᵀ.
+	dataPart := mat.Mul(y, mat.Transpose(gain))
+
+	out := mat.Zeros(n, m)
+	for i := 0; i < n; i++ {
+		row := out.RawRow(i)
+		src := dataPart.RawRow(i)
+		for j := range row {
+			row[j] = constant[j] + src[j]
+		}
+	}
+	return out, nil
+}
+
+// estimator builds the affine map of the Bayes estimate,
+// x̂ = constant + gain·y, from the disguised data's first two moments
+// (supplied lazily — the means are skipped under OracleMean, the
+// covariance under OracleCov). The entire estimate beyond the per-row
+// application lives here, so the in-memory and streaming paths are the
+// same attack: only where the moments come from differs.
+func (b *BEDR) estimator(m int, muY func() []float64, covY func() *mat.Dense) ([]float64, *mat.Dense, error) {
 	// Noise precision Σr⁻¹.
 	var noiseInv *mat.Dense
 	var noiseCov *mat.Dense
 	if b.NoiseCov != nil {
 		if b.NoiseCov.Rows() != m || b.NoiseCov.Cols() != m {
-			return nil, fmt.Errorf("recon: noise covariance is %dx%d, want %dx%d",
+			return nil, nil, fmt.Errorf("recon: noise covariance is %dx%d, want %dx%d",
 				b.NoiseCov.Rows(), b.NoiseCov.Cols(), m, m)
 		}
 		noiseCov = b.NoiseCov
 		inv, err := mat.InverseSPD(b.NoiseCov)
 		if err != nil {
-			return nil, fmt.Errorf("recon: noise covariance not invertible: %w", err)
+			return nil, nil, fmt.Errorf("recon: noise covariance not invertible: %w", err)
 		}
 		noiseInv = inv
 	} else {
 		if err := sigma2Valid(b.Sigma2); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		noiseCov = mat.Scale(b.Sigma2, mat.Identity(m))
 		noiseInv = mat.Scale(1/b.Sigma2, mat.Identity(m))
@@ -85,10 +113,10 @@ func (b *BEDR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 	// μx: column means of Y minus the noise mean (E[Y] = μx + μr).
 	mux := b.OracleMean
 	if mux == nil {
-		mux = stat.ColumnMeans(y)
+		mux = muY()
 		if b.NoiseMean != nil {
 			if len(b.NoiseMean) != m {
-				return nil, fmt.Errorf("recon: noise mean length %d, want %d", len(b.NoiseMean), m)
+				return nil, nil, fmt.Errorf("recon: noise mean length %d, want %d", len(b.NoiseMean), m)
 			}
 			mux = append([]float64(nil), mux...)
 			for j := range mux {
@@ -96,7 +124,7 @@ func (b *BEDR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 			}
 		}
 	} else if len(mux) != m {
-		return nil, fmt.Errorf("recon: oracle mean length %d, want %d", len(mux), m)
+		return nil, nil, fmt.Errorf("recon: oracle mean length %d, want %d", len(mux), m)
 	}
 
 	// Σx: oracle, or recovered from the disguised covariance
@@ -104,22 +132,22 @@ func (b *BEDR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 	var sigmaX *mat.Dense
 	if b.OracleCov != nil {
 		if b.OracleCov.Rows() != m || b.OracleCov.Cols() != m {
-			return nil, fmt.Errorf("recon: oracle covariance is %dx%d, want %dx%d",
+			return nil, nil, fmt.Errorf("recon: oracle covariance is %dx%d, want %dx%d",
 				b.OracleCov.Rows(), b.OracleCov.Cols(), m, m)
 		}
 		sigmaX = b.OracleCov
 	} else {
-		est := stat.RecoverCovarianceGeneral(stat.CovarianceMatrix(y), noiseCov)
+		est := stat.RecoverCovarianceGeneral(covY(), noiseCov)
 		if b.Shrink {
 			cleaned, err := clipSpectrum(est)
 			if err != nil {
-				return nil, fmt.Errorf("recon: BE-DR spectrum cleaning: %w", err)
+				return nil, nil, fmt.Errorf("recon: BE-DR spectrum cleaning: %w", err)
 			}
 			sigmaX = cleaned
 		} else {
 			fixed, err := ensurePositiveDefinite(est, 1e-6)
 			if err != nil {
-				return nil, fmt.Errorf("recon: BE-DR covariance repair: %w", err)
+				return nil, nil, fmt.Errorf("recon: BE-DR covariance repair: %w", err)
 			}
 			sigmaX = fixed
 		}
@@ -127,14 +155,14 @@ func (b *BEDR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 
 	sigmaXInv, err := mat.InverseSPD(sigmaX)
 	if err != nil {
-		return nil, fmt.Errorf("recon: Σx not invertible: %w", err)
+		return nil, nil, fmt.Errorf("recon: Σx not invertible: %w", err)
 	}
 
 	// Posterior precision and its inverse: A = (Σx⁻¹ + Σr⁻¹)⁻¹.
 	precision := mat.Add(sigmaXInv, noiseInv)
 	a, err := mat.InverseSPD(precision)
 	if err != nil {
-		return nil, fmt.Errorf("recon: posterior precision not invertible: %w", err)
+		return nil, nil, fmt.Errorf("recon: posterior precision not invertible: %w", err)
 	}
 
 	// Constant part of the estimate: A·(Σx⁻¹·μx − Σr⁻¹·μr).
@@ -147,19 +175,9 @@ func (b *BEDR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 	}
 	constant := mat.MulVec(a, base)
 
-	// Data-dependent part: A·Σr⁻¹·y, applied row-wise as y·(A·Σr⁻¹)ᵀ.
+	// The data-dependent gain A·Σr⁻¹.
 	gain := mat.Mul(a, noiseInv)
-	dataPart := mat.Mul(y, mat.Transpose(gain))
-
-	out := mat.Zeros(n, m)
-	for i := 0; i < n; i++ {
-		row := out.RawRow(i)
-		src := dataPart.RawRow(i)
-		for j := range row {
-			row[j] = constant[j] + src[j]
-		}
-	}
-	return out, nil
+	return constant, gain, nil
 }
 
 // Name implements Reconstructor.

@@ -84,13 +84,30 @@ func (p *PCADR) ReconstructWithInfo(y *mat.Dense) (*mat.Dense, Info, error) {
 	if err := validateNonEmpty(y); err != nil {
 		return nil, Info{}, err
 	}
-	if err := sigma2Valid(p.Sigma2); err != nil {
-		return nil, Info{}, err
-	}
 	_, m := y.Dims()
 
 	centered, means := stat.CenterColumns(y)
 
+	qhat, info, err := p.projector(m, func() *mat.Dense { return stat.CovarianceMatrix(y) })
+	if err != nil {
+		return nil, Info{}, err
+	}
+
+	// X̂ = Yc·Q̂·Q̂ᵀ, then restore the column means.
+	proj := mat.Mul(mat.Mul(centered, qhat), mat.Transpose(qhat))
+	xhat := stat.AddToColumns(proj, means)
+	return xhat, info, nil
+}
+
+// projector derives the principal-subspace basis Q̂ from the disguised
+// covariance (supplied lazily — it is skipped entirely when an oracle
+// covariance is configured). It is shared by the in-memory and streaming
+// paths, so both apply identical covariance recovery, eigendecomposition
+// and component selection.
+func (p *PCADR) projector(m int, covY func() *mat.Dense) (*mat.Dense, Info, error) {
+	if err := sigma2Valid(p.Sigma2); err != nil {
+		return nil, Info{}, err
+	}
 	var cov *mat.Dense
 	if p.OracleCov != nil {
 		if p.OracleCov.Rows() != m || p.OracleCov.Cols() != m {
@@ -99,7 +116,7 @@ func (p *PCADR) ReconstructWithInfo(y *mat.Dense) (*mat.Dense, Info, error) {
 		}
 		cov = p.OracleCov
 	} else {
-		cov = stat.RecoverCovariance(stat.CovarianceMatrix(y), p.Sigma2)
+		cov = stat.RecoverCovariance(covY(), p.Sigma2)
 	}
 
 	eig, err := mat.EigenSym(cov)
@@ -113,12 +130,8 @@ func (p *PCADR) ReconstructWithInfo(y *mat.Dense) (*mat.Dense, Info, error) {
 	}
 
 	qhat := eig.TopVectors(comp)
-	// X̂ = Yc·Q̂·Q̂ᵀ, then restore the column means.
-	proj := mat.Mul(mat.Mul(centered, qhat), mat.Transpose(qhat))
-	xhat := stat.AddToColumns(proj, means)
-
 	info := Info{Components: comp, Eigenvalues: eig.Values, KeptEnergy: keptEnergy(eig.Values, comp)}
-	return xhat, info, nil
+	return qhat, info, nil
 }
 
 func (p *PCADR) pick(eig *mat.Eigen, m int) (int, error) {

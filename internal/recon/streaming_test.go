@@ -1,0 +1,166 @@
+package recon
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/randomize"
+	"randpriv/internal/stream"
+	"randpriv/internal/synth"
+)
+
+// streamTestData builds a paper-style disguised data set: correlated
+// original (p dominant components) plus i.i.d. N(0, σ²) noise. The means
+// are shifted off zero so the centering arithmetic is exercised.
+func streamTestData(t testing.TB, n, m, p int, sigma float64) *mat.Dense {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2005))
+	spec := synth.Spectrum{M: m, P: p, Principal: 400, Tail: 4}
+	vals, err := spec.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := make([]float64, m)
+	for j := range mu {
+		mu[j] = 5 + 0.5*float64(j)
+	}
+	ds, err := synth.Generate(n, vals, mu, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := randomize.NewAdditiveGaussian(sigma).Perturb(ds.X, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pert.Y
+}
+
+// reconstructStreamed runs a streaming attack over an in-memory matrix
+// with the given chunk size and returns the collected estimate.
+func reconstructStreamed(t *testing.T, r StreamReconstructor, y *mat.Dense, chunk int) *mat.Dense {
+	t.Helper()
+	var sink stream.Collector
+	if err := r.ReconstructStream(stream.NewMatrixSource(y, chunk), &sink); err != nil {
+		t.Fatalf("%s chunk=%d: %v", r.Name(), chunk, err)
+	}
+	return sink.Data
+}
+
+// TestStreamingMatchesInMemory is the acceptance check of the streaming
+// pipeline: for every streamable attack and chunk sizes {1, 7, 64, n},
+// the chunked two-pass reconstruction agrees with the in-memory path to
+// 1e-9 per entry.
+func TestStreamingMatchesInMemory(t *testing.T) {
+	// Paper scale: at n=1000 the Theorem 5.1 covariance estimate is close
+	// to positive definite, so the Bayes estimator's matrix inverses stay
+	// well-conditioned and the sketch-vs-in-memory moment differences
+	// (~1e-14) are not chaotically amplified. (At much smaller n the
+	// estimate has a strongly negative tail, the 1e-6 eigenvalue floor
+	// drives κ(Σx) to ~1e6, and *any* last-bit perturbation — including a
+	// different chunk size — shifts BE-DR's output at the 1e-9 level;
+	// that regime is inherently not comparable elementwise.)
+	const (
+		n      = 1000
+		m      = 12
+		sigma  = 5.0
+		sigma2 = sigma * sigma
+	)
+	y := streamTestData(t, n, m, 3, sigma)
+
+	noiseCov := mat.Scale(sigma2, mat.Identity(m))
+	attacks := []struct {
+		name     string
+		inMem    Reconstructor
+		streamed StreamReconstructor
+	}{
+		{"NDR", NDR{}, NDR{}},
+		{"PCA-DR/gap", NewPCADR(sigma2), NewPCADR(sigma2)},
+		{"PCA-DR/fixed", &PCADR{Sigma2: sigma2, Select: SelectFixed, P: 3}, &PCADR{Sigma2: sigma2, Select: SelectFixed, P: 3}},
+		{"PCA-DR/energy", &PCADR{Sigma2: sigma2, Select: SelectEnergy, EnergyFrac: 0.95}, &PCADR{Sigma2: sigma2, Select: SelectEnergy, EnergyFrac: 0.95}},
+		{"BE-DR", NewBEDR(sigma2), NewBEDR(sigma2)},
+		{"BE-DR/shrink", &BEDR{Sigma2: sigma2, Shrink: true}, &BEDR{Sigma2: sigma2, Shrink: true}},
+		{"BE-DR/correlated", NewBEDRCorrelated(noiseCov, nil), NewBEDRCorrelated(noiseCov, nil)},
+	}
+	for _, tc := range attacks {
+		want, err := tc.inMem.Reconstruct(y)
+		if err != nil {
+			t.Fatalf("%s in-memory: %v", tc.name, err)
+		}
+		for _, chunk := range []int{1, 7, 64, n} {
+			got := reconstructStreamed(t, tc.streamed, y, chunk)
+			if gr, gc := got.Dims(); gr != n || gc != m {
+				t.Fatalf("%s chunk=%d: shape %dx%d, want %dx%d", tc.name, chunk, gr, gc, n, m)
+			}
+			if d := mat.MaxAbs(mat.Sub(got, want)); d > 1e-9 {
+				t.Errorf("%s chunk=%d: max |streamed − in-memory| = %g > 1e-9", tc.name, chunk, d)
+			}
+		}
+	}
+}
+
+// TestStreamingOracleVariants checks the oracle-moment code paths, which
+// skip the sketch-derived statistics entirely.
+func TestStreamingOracleVariants(t *testing.T) {
+	const (
+		n      = 300
+		m      = 8
+		sigma2 = 25.0
+	)
+	y := streamTestData(t, n, m, 2, 5)
+	oracleCov := mat.AddScaledIdentity(mat.Scale(40, mat.Identity(m)), 2)
+	oracleMean := make([]float64, m)
+	for j := range oracleMean {
+		oracleMean[j] = float64(j)
+	}
+
+	pcadr := &PCADR{Sigma2: sigma2, Select: SelectFixed, P: 2, OracleCov: oracleCov}
+	bedr := &BEDR{Sigma2: sigma2, OracleCov: oracleCov, OracleMean: oracleMean}
+	for _, tc := range []struct {
+		name     string
+		inMem    Reconstructor
+		streamed StreamReconstructor
+	}{{"PCA-DR/oracle", pcadr, pcadr}, {"BE-DR/oracle", bedr, bedr}} {
+		want, err := tc.inMem.Reconstruct(y)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := reconstructStreamed(t, tc.streamed, y, 37)
+		if d := mat.MaxAbs(mat.Sub(got, want)); d > 1e-9 {
+			t.Errorf("%s: max deviation %g > 1e-9", tc.name, d)
+		}
+	}
+}
+
+// TestStreamingErrorPaths mirrors the in-memory validation errors.
+func TestStreamingErrorPaths(t *testing.T) {
+	y := streamTestData(t, 60, 4, 2, 5)
+
+	// Non-finite entry, located by its global row.
+	bad := y.Clone()
+	bad.Set(41, 3, math.Inf(1))
+	for _, r := range []StreamReconstructor{NDR{}, NewPCADR(25), NewBEDR(25)} {
+		err := r.ReconstructStream(stream.NewMatrixSource(bad, 16), &stream.Collector{})
+		if err == nil || !strings.Contains(err.Error(), "non-finite") || !strings.Contains(err.Error(), "row 41") {
+			t.Errorf("%s on Inf input: err = %v", r.Name(), err)
+		}
+	}
+
+	// Empty stream.
+	for _, r := range []StreamReconstructor{NDR{}, NewPCADR(25), NewBEDR(25)} {
+		err := r.ReconstructStream(stream.NewMatrixSource(mat.Zeros(0, 4), 16), &stream.Collector{})
+		if err == nil || !strings.Contains(err.Error(), "empty") {
+			t.Errorf("%s on empty input: err = %v", r.Name(), err)
+		}
+	}
+
+	// Invalid sigma.
+	if err := NewPCADR(0).ReconstructStream(stream.NewMatrixSource(y, 16), &stream.Collector{}); err == nil {
+		t.Error("PCA-DR with sigma2=0 must error")
+	}
+	if err := NewBEDR(-1).ReconstructStream(stream.NewMatrixSource(y, 16), &stream.Collector{}); err == nil {
+		t.Error("BE-DR with sigma2<0 must error")
+	}
+}

@@ -128,18 +128,26 @@ func CenterColumns(data *mat.Dense) (centered *mat.Dense, means []float64) {
 
 // AddToColumns returns a copy of data with means[j] added to column j.
 func AddToColumns(data *mat.Dense, means []float64) *mat.Dense {
+	out := data.Clone()
+	AddToColumnsInPlace(out, means)
+	return out
+}
+
+// AddToColumnsInPlace adds means[j] to column j of data, mutating it.
+// It is the allocation-free shift used by the streaming attacks, which
+// center and un-center one chunk at a time in reused buffers (negate the
+// means to subtract).
+func AddToColumnsInPlace(data *mat.Dense, means []float64) {
 	n, m := data.Dims()
 	if len(means) != m {
 		panic(fmt.Sprintf("stat: AddToColumns means length %d, want %d", len(means), m))
 	}
-	out := data.Clone()
 	for i := 0; i < n; i++ {
-		row := out.RawRow(i)
+		row := data.RawRow(i)
 		for j := range row {
 			row[j] += means[j]
 		}
 	}
-	return out
 }
 
 // covChunkRows returns the row-chunk size of the parallel covariance

@@ -1,0 +1,516 @@
+// Package stream provides the out-of-core data plane of the library:
+// chunked sources/sinks for row-oriented data and mergeable online moment
+// sketches (count, column means, centered co-moment/Gram matrix). The
+// paper's spectral attacks need only second moments plus a per-row
+// projection, so a data set never has to be resident: pass 1 folds chunks
+// into a Moments sketch (yielding the Theorem 5.1 covariance), pass 2
+// re-reads the chunks and projects them one at a time. Memory is O(chunk
+// + m²) regardless of the row count n.
+//
+// Determinism discipline: per-chunk sketches are merged in chunk order —
+// the same fixed-order reduce used by stat.CovarianceMatrix — so the
+// accumulated sketch is a function of the chunk sequence alone, never of
+// how many workers sketched the chunks.
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"randpriv/internal/mat"
+)
+
+// Source yields an n×m data set as a sequence of row chunks.
+//
+// Next returns the next chunk, or (nil, io.EOF) after the last one. The
+// returned chunk is only valid until the next call to Next or Reset — a
+// source may reuse its chunk buffer — so callers that retain rows must
+// copy them. Reset rewinds the source so the sequence can be re-read; a
+// two-pass consumer calls Reset before each pass.
+type Source interface {
+	Next() (*mat.Dense, error)
+	Reset() error
+}
+
+// Sink consumes row chunks. The chunk passed to Append is only valid for
+// the duration of the call; implementations that retain rows must copy.
+type Sink interface {
+	Append(chunk *mat.Dense) error
+}
+
+// NonFiniteError reports a NaN or ±Inf encountered while sketching.
+type NonFiniteError struct {
+	Row, Col int // global row index across chunks, column index
+	Val      float64
+}
+
+func (e *NonFiniteError) Error() string {
+	return fmt.Sprintf("stream: non-finite value %v at row %d, col %d", e.Val, e.Row, e.Col)
+}
+
+// Moments is a mergeable sketch of the first and second sample moments of
+// a row stream: the count n, the column means, and the centered co-moment
+// matrix M2 = Σ(x−μ)(x−μ)ᵀ (the Gram matrix of the centered data). Rows
+// are folded in with the multivariate Welford update and sketches combine
+// with the pairwise merge of Chan et al., so chunks may be sketched
+// independently — by parallel workers — and reduced afterwards. Only the
+// upper triangle of M2 is maintained.
+//
+// A Moments value is not safe for concurrent use; give each worker its
+// own sketch and merge.
+type Moments struct {
+	m    int
+	n    int64
+	mean []float64
+	m2   []float64 // m×m row-major, upper triangle only
+
+	// scratch for Update/UpdateChunk/Merge (no per-call allocation)
+	delta, delta2 []float64
+	bmean, bm2    []float64
+}
+
+// NewMoments returns an empty sketch over m columns.
+func NewMoments(m int) *Moments {
+	if m < 0 {
+		panic(fmt.Sprintf("stream: negative column count %d", m))
+	}
+	return &Moments{
+		m:      m,
+		mean:   make([]float64, m),
+		m2:     make([]float64, m*m),
+		delta:  make([]float64, m),
+		delta2: make([]float64, m),
+		bmean:  make([]float64, m),
+		bm2:    make([]float64, m*m),
+	}
+}
+
+// Reset empties the sketch for reuse.
+func (mo *Moments) Reset() {
+	mo.n = 0
+	for j := range mo.mean {
+		mo.mean[j] = 0
+	}
+	for k := range mo.m2 {
+		mo.m2[k] = 0
+	}
+}
+
+// Dim returns the column count m.
+func (mo *Moments) Dim() int { return mo.m }
+
+// Count returns the number of rows folded into the sketch.
+func (mo *Moments) Count() int64 { return mo.n }
+
+// Update folds one row into the sketch (multivariate Welford).
+func (mo *Moments) Update(row []float64) {
+	if len(row) != mo.m {
+		panic(fmt.Sprintf("stream: row length %d, want %d", len(row), mo.m))
+	}
+	mo.n++
+	inv := 1 / float64(mo.n)
+	for j, v := range row {
+		d := v - mo.mean[j]
+		mo.delta[j] = d
+		mo.mean[j] += d * inv
+		mo.delta2[j] = v - mo.mean[j]
+	}
+	// M2[a][b] += delta_old[a]·delta_new[b] — the co-moment analogue of
+	// Welford's (x−μ_old)(x−μ_new) variance update.
+	for a := 0; a < mo.m; a++ {
+		da := mo.delta[a]
+		if da == 0 {
+			continue
+		}
+		row2 := mo.m2[a*mo.m : (a+1)*mo.m]
+		for b := a; b < mo.m; b++ {
+			row2[b] += da * mo.delta2[b]
+		}
+	}
+}
+
+// UpdateChunk folds every row of chunk into the sketch. The chunk is
+// sketched as a batch (chunk means + centered Gram) and pairwise-merged,
+// which is both faster and numerically tighter than row-at-a-time
+// updates; the result depends on the chunk partition but not on who
+// computed it.
+func (mo *Moments) UpdateChunk(chunk *mat.Dense) {
+	r, c := chunk.Dims()
+	if c != mo.m {
+		panic(fmt.Sprintf("stream: chunk has %d columns, want %d", c, mo.m))
+	}
+	if r == 0 {
+		return
+	}
+	// Batch means.
+	for j := range mo.bmean {
+		mo.bmean[j] = 0
+	}
+	for i := 0; i < r; i++ {
+		row := chunk.RawRow(i)
+		for j, v := range row {
+			mo.bmean[j] += v
+		}
+	}
+	// Divide rather than multiply by a reciprocal: this keeps the chunk
+	// means bit-identical to stat.ColumnMeans, so a whole-data-set chunk
+	// reproduces the in-memory moments exactly.
+	for j := range mo.bmean {
+		mo.bmean[j] /= float64(r)
+	}
+	// Batch centered Gram (upper triangle).
+	for k := range mo.bm2 {
+		mo.bm2[k] = 0
+	}
+	for i := 0; i < r; i++ {
+		row := chunk.RawRow(i)
+		for j := range mo.delta {
+			mo.delta[j] = row[j] - mo.bmean[j]
+		}
+		for a := 0; a < mo.m; a++ {
+			da := mo.delta[a]
+			if da == 0 {
+				continue
+			}
+			g := mo.bm2[a*mo.m : (a+1)*mo.m]
+			for b := a; b < mo.m; b++ {
+				g[b] += da * mo.delta[b]
+			}
+		}
+	}
+	mo.merge(int64(r), mo.bmean, mo.bm2)
+}
+
+// Merge folds another sketch over the same columns into mo (Chan et al.
+// pairwise combination). Merge order matters at the last few bits; keep a
+// fixed order for deterministic results.
+func (mo *Moments) Merge(other *Moments) error {
+	if other.m != mo.m {
+		return fmt.Errorf("stream: merging %d-column sketch into %d-column sketch", other.m, mo.m)
+	}
+	mo.merge(other.n, other.mean, other.m2)
+	return nil
+}
+
+// merge combines (nB, meanB, m2B) into the sketch:
+//
+//	δ     = μB − μA
+//	M2    = M2A + M2B + δδᵀ·nA·nB/(nA+nB)
+//	μ     = μA + δ·nB/(nA+nB)
+func (mo *Moments) merge(nB int64, meanB, m2B []float64) {
+	if nB == 0 {
+		return
+	}
+	nA := mo.n
+	nAB := nA + nB
+	if nA == 0 {
+		copy(mo.mean, meanB)
+		copy(mo.m2, m2B)
+		mo.n = nAB
+		return
+	}
+	for j := range mo.delta {
+		mo.delta[j] = meanB[j] - mo.mean[j]
+	}
+	coef := float64(nA) * float64(nB) / float64(nAB)
+	for a := 0; a < mo.m; a++ {
+		da := mo.delta[a]
+		acc := mo.m2[a*mo.m : (a+1)*mo.m]
+		src := m2B[a*mo.m : (a+1)*mo.m]
+		for b := a; b < mo.m; b++ {
+			acc[b] += src[b] + coef*da*mo.delta[b]
+		}
+	}
+	w := float64(nB) / float64(nAB)
+	for j := range mo.mean {
+		mo.mean[j] += mo.delta[j] * w
+	}
+	mo.n = nAB
+}
+
+// Means returns a copy of the column means (zeros for an empty sketch).
+func (mo *Moments) Means() []float64 {
+	return append([]float64(nil), mo.mean...)
+}
+
+// Covariance returns the m×m unbiased sample covariance M2/(n−1),
+// symmetrized from the maintained upper triangle (zeros when n < 2). For
+// disguised data this is the Σy that Theorem 5.1 turns into the original
+// covariance estimate.
+func (mo *Moments) Covariance() *mat.Dense {
+	cov := mat.Zeros(mo.m, mo.m)
+	if mo.n < 2 {
+		return cov
+	}
+	inv := 1 / float64(mo.n-1)
+	for a := 0; a < mo.m; a++ {
+		for b := a; b < mo.m; b++ {
+			v := mo.m2[a*mo.m+b] * inv
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov
+}
+
+// MergeAll reduces per-chunk sketches in slice (chunk) order into a
+// single sketch. parts may be nil-free and non-empty; parts[0] is
+// consumed as the accumulator.
+func MergeAll(parts []*Moments) (*Moments, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("stream: MergeAll of no sketches")
+	}
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		if err := acc.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Accumulate resets src, reads it to exhaustion and returns the moment
+// sketch of all rows, validating that every value is finite (a NaN
+// anywhere would silently poison the covariance and every downstream
+// solve — the error identifies the offending row and column).
+//
+// workers ≤ 1 sketches chunks inline with no copies; workers > 1 (0 means
+// GOMAXPROCS) sketches chunks concurrently. Either way, per-chunk
+// sketches are merged strictly in chunk order, so the result is identical
+// at any worker count — only the chunk partition affects the last bits.
+func Accumulate(src Source, workers int) (*Moments, error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("stream: reset source: %w", err)
+	}
+	if workers <= 1 {
+		return accumulateSerial(src)
+	}
+	return accumulateParallel(src, workers)
+}
+
+// ValidateChunk scans chunk for non-finite values, returning a
+// *NonFiniteError locating the first one; baseRow is the global row
+// index of the chunk's first row. Accumulate applies it to every chunk;
+// single-pass consumers (streaming NDR) reuse it directly.
+func ValidateChunk(chunk *mat.Dense, baseRow int64) error {
+	_, m := chunk.Dims()
+	if m == 0 {
+		return nil
+	}
+	for i, v := range chunk.Raw() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &NonFiniteError{Row: int(baseRow) + i/m, Col: i % m, Val: v}
+		}
+	}
+	return nil
+}
+
+func accumulateSerial(src Source) (*Moments, error) {
+	var acc *Moments
+	var rows int64
+	for {
+		chunk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		r, m := chunk.Dims()
+		if acc == nil {
+			acc = NewMoments(m)
+		} else if m != acc.m {
+			return nil, fmt.Errorf("stream: chunk has %d columns, want %d", m, acc.m)
+		}
+		if err := ValidateChunk(chunk, rows); err != nil {
+			return nil, err
+		}
+		acc.UpdateChunk(chunk)
+		rows += int64(r)
+	}
+	if acc == nil {
+		acc = NewMoments(0)
+	}
+	return acc, nil
+}
+
+func accumulateParallel(src Source, workers int) (*Moments, error) {
+	type job struct {
+		idx   int
+		base  int64
+		chunk *mat.Dense
+	}
+	type result struct {
+		idx int
+		mo  *Moments
+		err error
+	}
+	jobs := make(chan job)
+	results := make(chan result)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+	defer cancel()
+
+	var wg sync.WaitGroup
+	// Reader: chunks are cloned before hand-off because a Source may
+	// reuse its buffer between Next calls. The copy is O(chunk·m) next to
+	// the O(chunk·m²) sketching the workers do.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(jobs)
+		var base int64
+		for idx := 0; ; idx++ {
+			chunk, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				select {
+				case results <- result{idx: idx, err: err}:
+				case <-stop:
+				}
+				return
+			}
+			r, _ := chunk.Dims()
+			select {
+			case jobs <- job{idx: idx, base: base, chunk: chunk.Clone()}:
+			case <-stop:
+				return
+			}
+			base += int64(r)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				_, m := j.chunk.Dims()
+				res := result{idx: j.idx}
+				if err := ValidateChunk(j.chunk, j.base); err != nil {
+					res.err = err
+				} else {
+					mo := NewMoments(m)
+					mo.UpdateChunk(j.chunk)
+					res.mo = mo
+				}
+				select {
+				case results <- res:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: merge strictly in chunk-index order. In-flight chunks
+	// are bounded by the worker count, so the reorder buffer is O(workers·m²).
+	var acc *Moments
+	var firstErr error
+	pending := make(map[int]*Moments)
+	next := 0
+	for res := range results {
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			cancel()
+			continue
+		}
+		if firstErr != nil {
+			continue
+		}
+		pending[res.idx] = res.mo
+		for {
+			mo, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if acc == nil {
+				acc = mo
+				continue
+			}
+			if err := acc.Merge(mo); err != nil {
+				firstErr = err
+				cancel()
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if acc == nil {
+		acc = NewMoments(0)
+	}
+	return acc, nil
+}
+
+// MatrixSource adapts an in-memory matrix to the Source interface,
+// yielding chunkRows-row chunks. It is the reference source for tests and
+// for equivalence checks against the in-memory attack paths.
+type MatrixSource struct {
+	data      *mat.Dense
+	chunkRows int
+	pos       int
+}
+
+// NewMatrixSource returns a source over data with the given chunk size.
+func NewMatrixSource(data *mat.Dense, chunkRows int) *MatrixSource {
+	if chunkRows < 1 {
+		panic(fmt.Sprintf("stream: chunk size %d, want >= 1", chunkRows))
+	}
+	return &MatrixSource{data: data, chunkRows: chunkRows}
+}
+
+// Next implements Source.
+func (s *MatrixSource) Next() (*mat.Dense, error) {
+	n, m := s.data.Dims()
+	if s.pos >= n {
+		return nil, io.EOF
+	}
+	hi := s.pos + s.chunkRows
+	if hi > n {
+		hi = n
+	}
+	chunk := s.data.Slice(s.pos, hi, 0, m)
+	s.pos = hi
+	return chunk, nil
+}
+
+// Reset implements Source.
+func (s *MatrixSource) Reset() error {
+	s.pos = 0
+	return nil
+}
+
+// Collector is a Sink that concatenates every appended chunk into one
+// in-memory matrix — the inverse of MatrixSource, used by tests and by
+// callers that stream from disk but want the result resident.
+type Collector struct {
+	Data *mat.Dense
+}
+
+// Append implements Sink (the chunk is copied).
+func (c *Collector) Append(chunk *mat.Dense) error {
+	if c.Data == nil {
+		c.Data = chunk.Clone()
+		return nil
+	}
+	c.Data.AppendRows(chunk)
+	return nil
+}

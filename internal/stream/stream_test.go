@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stat"
+)
+
+func randomData(n, m int, seed int64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	data := mat.Zeros(n, m)
+	raw := data.Raw()
+	for i := range raw {
+		// A non-zero mean exercises the centering arithmetic.
+		raw[i] = 100 + 20*rng.NormFloat64()
+	}
+	return data
+}
+
+func maxAbsDiff(a, b *mat.Dense) float64 {
+	return mat.MaxAbs(mat.Sub(a, b))
+}
+
+func TestMomentsMatchesStat(t *testing.T) {
+	data := randomData(403, 7, 1)
+	mo := NewMoments(7)
+	mo.UpdateChunk(data)
+
+	if mo.Count() != 403 {
+		t.Fatalf("count = %d, want 403", mo.Count())
+	}
+	wantMeans := stat.ColumnMeans(data)
+	for j, got := range mo.Means() {
+		if math.Abs(got-wantMeans[j]) > 1e-10 {
+			t.Fatalf("mean[%d] = %v, want %v", j, got, wantMeans[j])
+		}
+	}
+	if d := maxAbsDiff(mo.Covariance(), stat.CovarianceMatrix(data)); d > 1e-9 {
+		t.Fatalf("covariance deviates from stat.CovarianceMatrix by %g", d)
+	}
+}
+
+func TestMomentsRowUpdateMatchesBatch(t *testing.T) {
+	data := randomData(97, 5, 2)
+	byRow := NewMoments(5)
+	for i := 0; i < 97; i++ {
+		byRow.Update(data.RawRow(i))
+	}
+	if d := maxAbsDiff(byRow.Covariance(), stat.CovarianceMatrix(data)); d > 1e-9 {
+		t.Fatalf("row-wise covariance deviates by %g", d)
+	}
+}
+
+func TestMomentsMergeMatchesWhole(t *testing.T) {
+	data := randomData(500, 6, 3)
+	whole := NewMoments(6)
+	whole.UpdateChunk(data)
+
+	// Split into uneven parts, sketch each, merge in order.
+	parts := []*Moments{}
+	for _, bounds := range [][2]int{{0, 1}, {1, 130}, {130, 131}, {131, 500}} {
+		p := NewMoments(6)
+		p.UpdateChunk(data.Slice(bounds[0], bounds[1], 0, 6))
+		parts = append(parts, p)
+	}
+	merged, err := MergeAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), whole.Count())
+	}
+	if d := maxAbsDiff(merged.Covariance(), whole.Covariance()); d > 1e-9 {
+		t.Fatalf("merged covariance deviates by %g", d)
+	}
+}
+
+func TestAccumulateDeterministicAcrossWorkers(t *testing.T) {
+	data := randomData(1000, 8, 4)
+	var baseline *Moments
+	for _, workers := range []int{1, 2, 3, 8} {
+		mo, err := Accumulate(NewMatrixSource(data, 64), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if baseline == nil {
+			baseline = mo
+			continue
+		}
+		// Bit-identical, not approximately equal: the chunk-ordered merge
+		// makes the summation tree independent of the worker count.
+		if !mo.Covariance().Equal(baseline.Covariance()) {
+			t.Fatalf("workers=%d covariance differs bitwise from workers=1", workers)
+		}
+		for j, v := range mo.Means() {
+			if v != baseline.Means()[j] {
+				t.Fatalf("workers=%d mean[%d] differs bitwise", workers, j)
+			}
+		}
+	}
+}
+
+func TestAccumulateChunkSizeSweep(t *testing.T) {
+	data := randomData(211, 5, 5)
+	want := stat.CovarianceMatrix(data)
+	for _, chunk := range []int{1, 7, 64, 211, 500} {
+		mo, err := Accumulate(NewMatrixSource(data, chunk), 1)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if d := maxAbsDiff(mo.Covariance(), want); d > 1e-9 {
+			t.Fatalf("chunk=%d covariance deviates by %g", chunk, d)
+		}
+	}
+}
+
+func TestAccumulateRejectsNonFinite(t *testing.T) {
+	data := randomData(50, 3, 6)
+	data.Set(33, 2, math.NaN())
+	for _, workers := range []int{1, 4} {
+		_, err := Accumulate(NewMatrixSource(data, 7), workers)
+		var nf *NonFiniteError
+		if !errors.As(err, &nf) {
+			t.Fatalf("workers=%d: err = %v, want NonFiniteError", workers, err)
+		}
+		if nf.Row != 33 || nf.Col != 2 {
+			t.Fatalf("workers=%d: error at (%d,%d), want (33,2)", workers, nf.Row, nf.Col)
+		}
+	}
+}
+
+func TestAccumulateEmptySource(t *testing.T) {
+	mo, err := Accumulate(NewMatrixSource(mat.Zeros(0, 4), 8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mo.Count() != 0 {
+		t.Fatalf("count = %d, want 0", mo.Count())
+	}
+}
+
+func TestMomentsReset(t *testing.T) {
+	mo := NewMoments(3)
+	mo.UpdateChunk(randomData(10, 3, 7))
+	mo.Reset()
+	if mo.Count() != 0 {
+		t.Fatalf("count after reset = %d", mo.Count())
+	}
+	if mat.MaxAbs(mo.Covariance()) != 0 {
+		t.Fatal("covariance not zeroed by Reset")
+	}
+}
+
+func TestMergeDimensionMismatch(t *testing.T) {
+	if err := NewMoments(3).Merge(NewMoments(4)); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestCollectorRoundTrip(t *testing.T) {
+	data := randomData(83, 4, 8)
+	src := NewMatrixSource(data, 9)
+	var c Collector
+	for {
+		chunk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Data.Equal(data) {
+		t.Fatal("collector did not reproduce the source matrix")
+	}
+}
