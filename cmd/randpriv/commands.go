@@ -90,23 +90,14 @@ func saveTable(t *dataset.Table, path string) error {
 	return withOutput(path, t.WriteCSV)
 }
 
-// noiseShapeFromCov derives the correlated-noise covariance an adversary
-// assumes when only the disguised data is public: its own correlation
-// shape, scaled to the stated per-attribute energy sigma2. Near-constant
-// disguised data is rejected — the scale σ²·m/trace(Σy) then explodes
-// toward Inf and the resulting "covariance" would be garbage.
+// noiseShapeFromCov is core.NoiseShapeFromCov with the CLI remedy
+// appended to the diagnostic.
 func noiseShapeFromCov(covY *mat.Dense, sigma2 float64) (*mat.Dense, error) {
-	tr := mat.Trace(covY)
-	m := covY.Rows()
-	scale := sigma2 * float64(m) / tr
-	// maxNoiseScale bounds the amplification of the disguised data's own
-	// shape; beyond it the data is (near-)constant and the shape carries
-	// no usable correlation signal.
-	const maxNoiseScale = 1e12
-	if !(tr > 0) || math.IsInf(scale, 0) || math.IsNaN(scale) || scale > maxNoiseScale {
-		return nil, fmt.Errorf("attack: disguised data is (near-)constant (covariance trace %.3g), cannot shape correlated noise from it; rerun without -correlated", tr)
+	shaped, err := core.NoiseShapeFromCov(covY, sigma2)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %w; rerun without -correlated", err)
 	}
-	return mat.Scale(scale, covY), nil
+	return shaped, nil
 }
 
 func runGen(args []string) error {
@@ -203,10 +194,7 @@ func perturbStreaming(in, out string, sigma float64, correlated bool, chunk int,
 		return err
 	}
 	defer src.Close()
-	var scheme interface {
-		PerturbStream(stream.Source, stream.Sink, *rand.Rand) error
-		Describe() string
-	}
+	var scheme randomize.StreamScheme
 	if correlated {
 		mo, err := stream.Accumulate(src, 0)
 		if err != nil {

@@ -1,16 +1,75 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"randpriv/internal/dataset"
 )
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestMain doubles the test binary as the CLI itself: with
+// RANDPRIV_RUN_MAIN=1 it runs main() instead of the tests, so the golden
+// tests can assert real exit codes and the real stdout/stderr split
+// without building a second binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("RANDPRIV_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI executes the randpriv CLI (via the re-exec trick above) and
+// returns its stdout, stderr and exit code.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RANDPRIV_RUN_MAIN=1")
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: output drifted from golden file (rerun with -update if intended)\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
 
 func tempPath(t *testing.T, name string) string {
 	t.Helper()
@@ -305,6 +364,137 @@ func TestAttackStreamBadChunk(t *testing.T) {
 	}
 	if err := runPerturb([]string{"-in", data, "-stream", "-chunk", "-5"}); err == nil {
 		t.Error("negative chunk must error")
+	}
+}
+
+// --- Golden tests: one per subcommand, pinning exit code, the
+// stdout/stderr split, and byte-stable output for fixed seeds. ---
+
+func TestGoldenGen(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "gen", "-n", "6", "-m", "3", "-p", "1", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("gen wrote to stderr: %q", stderr)
+	}
+	checkGolden(t, "gen", stdout)
+}
+
+func TestGoldenPerturb(t *testing.T) {
+	data := tempPath(t, "data.csv")
+	if _, stderr, code := runCLI(t, "gen", "-n", "8", "-m", "3", "-p", "1", "-seed", "7", "-out", data); code != 0 {
+		t.Fatalf("gen: exit %d, stderr: %s", code, stderr)
+	}
+	stdout, stderr, code := runCLI(t, "perturb", "-in", data, "-sigma", "2", "-seed", "5")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if want := "perturbed with additive i.i.d. noise (var=4)\n"; stderr != want {
+		t.Errorf("stderr = %q, want %q", stderr, want)
+	}
+	checkGolden(t, "perturb", stdout)
+}
+
+func TestGoldenAttack(t *testing.T) {
+	data := tempPath(t, "data.csv")
+	disg := tempPath(t, "disg.csv")
+	if _, stderr, code := runCLI(t, "gen", "-n", "200", "-m", "5", "-p", "2", "-seed", "7", "-out", data); code != 0 {
+		t.Fatalf("gen: exit %d, stderr: %s", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, "perturb", "-in", data, "-sigma", "3", "-seed", "5", "-out", disg); code != 0 {
+		t.Fatalf("perturb: exit %d, stderr: %s", code, stderr)
+	}
+	stdout, stderr, code := runCLI(t, "attack", "-original", data, "-disguised", disg, "-sigma", "3")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("attack wrote to stderr: %q", stderr)
+	}
+	checkGolden(t, "attack", stdout)
+}
+
+func TestGoldenExperiment(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "experiment", "-id", "1", "-n", "80", "-seed", "3", "-skip-udr", "-sweep", "6,10")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, "experiment", stdout)
+}
+
+func TestGoldenUtility(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "utility", "-n", "200", "-m", "5", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("utility wrote to stderr: %q", stderr)
+	}
+	checkGolden(t, "utility", stdout)
+}
+
+func TestGoldenSmooth(t *testing.T) {
+	in := tempPath(t, "series.csv")
+	var b strings.Builder
+	b.WriteString("load\n")
+	v := 0.0
+	for i := 0; i < 120; i++ {
+		v = 0.9*v + float64((i*37)%11)/11 - 0.5
+		fmt.Fprintf(&b, "%g\n", 10+v)
+	}
+	if err := os.WriteFile(in, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runCLI(t, "smooth", "-in", in, "-sigma", "0.3")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "AR(1)") {
+		t.Errorf("stderr missing the AR(1) model line: %q", stderr)
+	}
+	checkGolden(t, "smooth", stdout)
+}
+
+// TestCLIExitCodes pins the three exit paths of main for every
+// subcommand: 0 for -h, 2 for flag-parse failures (with the flag
+// package's diagnostic on stderr), 1 for runtime errors (with the
+// randpriv: prefix on stderr).
+func TestCLIExitCodes(t *testing.T) {
+	subcommands := []string{"gen", "perturb", "attack", "experiment", "utility", "smooth"}
+	for _, cmd := range subcommands {
+		if stdout, stderr, code := runCLI(t, cmd, "-h"); code != 0 {
+			t.Errorf("%s -h: exit %d (stderr %q), want 0", cmd, code, stderr)
+		} else if stdout != "" {
+			t.Errorf("%s -h: usage must go to stderr, stdout got %q", cmd, stdout)
+		}
+		_, stderr, code := runCLI(t, cmd, "-definitely-not-a-flag")
+		if code != 2 {
+			t.Errorf("%s with bad flag: exit %d, want 2", cmd, code)
+		}
+		if !strings.Contains(stderr, "flag provided but not defined") {
+			t.Errorf("%s with bad flag: stderr %q missing flag diagnostic", cmd, stderr)
+		}
+	}
+
+	// Runtime errors exit 1 with the randpriv: prefix.
+	_, stderr, code := runCLI(t, "perturb", "-sigma", "5")
+	if code != 1 {
+		t.Errorf("perturb without -in: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "randpriv: perturb: -in is required") {
+		t.Errorf("perturb without -in: stderr %q", stderr)
+	}
+
+	// Unknown command and no command both exit 2 with usage.
+	if _, stderr, code := runCLI(t, "no-such-command"); code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Errorf("unknown command: exit %d, stderr %q", code, stderr)
+	}
+	if _, stderr, code := runCLI(t); code != 2 || !strings.Contains(stderr, "Commands:") {
+		t.Errorf("no command: exit %d, stderr %q", code, stderr)
+	}
+	if _, _, code := runCLI(t, "help"); code != 0 {
+		t.Errorf("help: exit %d, want 0", code)
 	}
 }
 

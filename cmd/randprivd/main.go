@@ -1,0 +1,103 @@
+// Command randprivd serves the privacy-assessment pipeline over HTTP:
+// the "assess privacy before you publish" loop of Huang, Du & Chen
+// (SIGMOD 2005), offered as a long-running service instead of a one-shot
+// CLI.
+//
+// Usage:
+//
+//	randprivd [-addr :8080] [-workers N] [-queue 64] [-max-body 1073741824]
+//	          [-timeout 60s] [-cache 128] [-chunk 4096] [-spool DIR]
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/perturb?sigma=5&seed=1&scheme=additive|correlated   CSV -> CSV
+//	POST /v1/attack?sigma=5&attack=ndr|pcadr|bedr[&correlated=1] CSV -> CSV
+//	POST /v1/assess?sigma=5&seed=1&scheme=...[&stream=1]         CSV -> JSON
+//	GET  /healthz
+//	GET  /v1/schemes
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"randpriv/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "randprivd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("randprivd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "compute pool size (0 = all cores)")
+	queue := fs.Int("queue", 64, "max queued requests beyond the running ones (overload returns 429)")
+	maxBody := fs.Int64("max-body", 1<<30, "max upload size in bytes (beyond returns 413)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request deadline covering queue wait and compute")
+	cache := fs.Int("cache", 128, "assessment LRU cache entries (negative disables)")
+	chunk := fs.Int("chunk", 4096, "default streaming chunk rows (?chunk= overrides)")
+	spool := fs.String("spool", "", "spool directory for uploaded bodies (default: system temp dir)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cache,
+		ChunkRows:      *chunk,
+		SpoolDir:       *spool,
+		Log:            logger,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// The handlers enforce their own compute deadline; these bound
+		// the slow-client side. ReadTimeout covers the whole body, so a
+		// stalled upload cannot outlive the request deadline by much.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *timeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("randprivd: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		logger.Printf("randprivd: %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return nil
+	}
+}

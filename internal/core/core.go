@@ -97,6 +97,25 @@ func CorrelatedNoiseAttacks(noiseCov *mat.Dense, noiseMean []float64) []recon.Re
 	}
 }
 
+// NoiseShapeFromCov derives the correlated-noise covariance an adversary
+// assumes when only the disguised data is public: its own correlation
+// shape, scaled to the stated per-attribute energy sigma2. Near-constant
+// disguised data is rejected — the scale σ²·m/trace(Σy) then explodes
+// toward Inf and the resulting "covariance" would be garbage.
+func NoiseShapeFromCov(covY *mat.Dense, sigma2 float64) (*mat.Dense, error) {
+	tr := mat.Trace(covY)
+	m := covY.Rows()
+	scale := sigma2 * float64(m) / tr
+	// maxNoiseScale bounds the amplification of the disguised data's own
+	// shape; beyond it the data is (near-)constant and the shape carries
+	// no usable correlation signal.
+	const maxNoiseScale = 1e12
+	if !(tr > 0) || math.IsInf(scale, 0) || math.IsNaN(scale) || scale > maxNoiseScale {
+		return nil, fmt.Errorf("core: disguised data is (near-)constant (covariance trace %.3g), cannot shape correlated noise from it", tr)
+	}
+	return mat.Scale(scale, covY), nil
+}
+
 // AssessPrivacy disguises x with the scheme, runs every attack, and
 // reports the reconstruction error of each, sorted most-dangerous-first.
 func AssessPrivacy(x *mat.Dense, scheme randomize.Scheme, attacks []recon.Reconstructor, rng *rand.Rand) (*PrivacyReport, error) {
@@ -129,14 +148,20 @@ func Evaluate(original, disguised *mat.Dense, schemeDesc string, attacks []recon
 }
 
 // sortResults orders attack results most-dangerous-first (ascending
-// RMSE), with failed attacks at the bottom.
+// RMSE), with failed attacks at the bottom. Equal error norms are broken
+// by attack name so the report ordering is stable across runs and
+// platforms even when two attacks tie exactly (e.g. PCA-DR and BE-DR
+// collapsing to the same projection on degenerate data).
 func sortResults(results []AttackResult) {
 	sort.SliceStable(results, func(i, j int) bool {
 		ri, rj := results[i], results[j]
 		if (ri.Err == nil) != (rj.Err == nil) {
 			return ri.Err == nil // failures sink to the bottom
 		}
-		return ri.RMSE < rj.RMSE
+		if ri.RMSE != rj.RMSE {
+			return ri.RMSE < rj.RMSE
+		}
+		return ri.Attack < rj.Attack
 	})
 }
 

@@ -155,3 +155,45 @@ func TestStandardAttacksDegenerateSigma(t *testing.T) {
 		t.Error("PCA-DR with σ²=0 must error at Reconstruct")
 	}
 }
+
+func TestSortResultsBreaksTiesByName(t *testing.T) {
+	// Exact RMSE ties (attacks collapsing to the same estimate on
+	// degenerate data) must order by attack name so reports are stable
+	// across runs and platforms, regardless of input order.
+	mk := func(names ...string) []AttackResult {
+		out := make([]AttackResult, len(names))
+		for i, n := range names {
+			out[i] = AttackResult{Attack: n, RMSE: 1.5}
+		}
+		return out
+	}
+	for _, results := range [][]AttackResult{
+		mk("SF", "BE-DR", "PCA-DR"),
+		mk("PCA-DR", "SF", "BE-DR"),
+		mk("BE-DR", "PCA-DR", "SF"),
+	} {
+		sortResults(results)
+		got := []string{results[0].Attack, results[1].Attack, results[2].Attack}
+		want := []string{"BE-DR", "PCA-DR", "SF"}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tie order = %v, want %v", got, want)
+			}
+		}
+	}
+
+	// Ties sort by name, but RMSE still dominates and failures still sink.
+	results := []AttackResult{
+		{Attack: "A", RMSE: 2},
+		{Attack: "Z", RMSE: 1},
+		{Attack: "B", Err: errFake},
+		{Attack: "C", RMSE: 1},
+	}
+	sortResults(results)
+	want := []string{"C", "Z", "A", "B"}
+	for i, w := range want {
+		if results[i].Attack != w {
+			t.Fatalf("order = %v, want %v", results, want)
+		}
+	}
+}

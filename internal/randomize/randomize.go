@@ -31,6 +31,15 @@ type Scheme interface {
 	Describe() string
 }
 
+// StreamScheme is a Scheme that can also disguise chunked streams
+// out-of-core (both shipped schemes qualify). PerturbStream consumes src
+// chunk by chunk and appends the disguised rows to sink; with the same
+// rng seed it produces the same noise sequence as the in-memory Perturb.
+type StreamScheme interface {
+	Scheme
+	PerturbStream(src stream.Source, sink stream.Sink, rng *rand.Rand) error
+}
+
 // Additive is the classic scheme: each entry gets independent noise drawn
 // from Noise (zero-mean in the standard setup).
 type Additive struct {

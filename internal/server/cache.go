@@ -1,0 +1,79 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a small mutex-guarded LRU used to memoize fitted
+// assessment state: finished privacy reports keyed on
+// (endpoint, scheme, σ, seed, chunking, dataset digest). Repeated
+// assessments of the same upload — the "assess before you publish" loop
+// run after every candidate σ — skip the perturb + attack battery
+// entirely and are served the byte-identical cached response.
+//
+// A zero or negative capacity disables caching (every Get misses).
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	hits  uint64
+	miss  uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+// The returned slice is shared — callers must not mutate it.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.miss++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add inserts (or refreshes) key, evicting the least recently used entry
+// beyond capacity.
+func (c *lruCache) Add(key string, val []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns the hit/miss counters and current entry count.
+func (c *lruCache) Stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss, c.ll.Len()
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by workerPool.Do when the bounded queue cannot
+// accept another job; the HTTP layer maps it to 429 Too Many Requests so
+// overload sheds load instead of stacking unbounded goroutines.
+var ErrQueueFull = errors.New("server: request queue is full")
+
+// workerPool bounds the compute concurrency of the service: at most
+// Workers jobs run at once and at most queueDepth more wait. Handlers
+// block until their job finishes (the job writes the response), so the
+// pool is the single back-pressure point — everything beyond
+// workers+queueDepth in-flight requests is rejected immediately.
+type workerPool struct {
+	jobs     chan poolJob
+	wg       sync.WaitGroup
+	inflight atomic.Int64 // jobs queued or running
+
+	closeOnce sync.Once
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   func() error
+	done chan error
+}
+
+// newWorkerPool starts workers goroutines over a queueDepth-deep queue.
+func newWorkerPool(workers, queueDepth int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &workerPool{jobs: make(chan poolJob, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				// A job whose request deadline already passed while it
+				// sat in the queue is not worth starting.
+				if err := job.ctx.Err(); err != nil {
+					job.done <- err
+				} else {
+					job.done <- runJob(job.fn)
+				}
+				p.inflight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// panicError is a panic caught on a pool worker. Error() is what the
+// client may see (no stack); Stack is for the server log.
+type panicError struct {
+	val   any
+	Stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("server: internal panic: %v", e.val)
+}
+
+// runJob executes fn, converting a panic into a *panicError: the numeric
+// layers panic by design on shape/argument misuse, and a latent bug
+// reachable from one hostile-but-valid upload must fail that request
+// (500), not take down the worker — net/http's per-connection recover
+// does not cover pool goroutines.
+func runJob(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Do submits fn and waits for it to finish. It returns ErrQueueFull
+// without running fn when the queue is saturated, ctx's error when the
+// deadline expired before a worker picked the job up, and fn's error
+// otherwise. Once a worker has started fn, Do always waits for it —
+// cancellation mid-run is fn's responsibility (see ctxSource).
+func (p *workerPool) Do(ctx context.Context, fn func() error) error {
+	job := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	p.inflight.Add(1)
+	select {
+	case p.jobs <- job:
+	default:
+		p.inflight.Add(-1)
+		return ErrQueueFull
+	}
+	return <-job.done
+}
+
+// Inflight returns the number of jobs queued or running.
+func (p *workerPool) Inflight() int64 { return p.inflight.Load() }
+
+// Close stops the workers after draining queued jobs. Do must not be
+// called after Close.
+func (p *workerPool) Close() {
+	p.closeOnce.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}

@@ -1,0 +1,247 @@
+// Package server exposes the library's privacy-assessment pipeline as a
+// long-running HTTP service (command randprivd). The endpoints mirror the
+// CLI verbs over streamed CSV bodies:
+//
+//	POST /v1/perturb  — disguise an uploaded data set, CSV in → CSV out
+//	POST /v1/attack   — reconstruct an uploaded disguised set, CSV in → CSV out
+//	POST /v1/assess   — perturb + full attack battery, CSV in → JSON report
+//	GET  /healthz     — liveness plus pool/cache gauges
+//	GET  /v1/schemes  — the schemes and attacks this build serves
+//
+// Three mechanisms make it a service rather than a CLI in a loop:
+//
+//   - Out-of-core data plane: bodies are spooled to disk and every pass
+//     runs through dataset.ChunkSource in fixed-size chunks, so memory is
+//     O(chunk + m²) no matter how large the upload is.
+//   - Bounded worker pool: compute runs on Workers goroutines behind a
+//     QueueDepth-deep queue with per-request deadlines; overload returns
+//     429 instead of degrading everyone.
+//   - Assessment cache: an LRU keyed on (scheme, σ, seed, chunking,
+//     dataset digest) memoizes finished reports, so the repeated
+//     "assess before you publish" loop is served without recompute.
+//
+// Determinism: a request carries its own seed and builds its own RNG via
+// the experiment.Runner seeding discipline (TrialSeed), so identical
+// requests with identical seeds produce byte-identical responses at any
+// concurrency — the property the -race load test pins.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Config tunes the service; zero values mean the documented defaults.
+type Config struct {
+	// Workers is the compute pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many requests may wait beyond the running ones
+	// before new ones are rejected with 429 (default: 64).
+	QueueDepth int
+	// MaxBodyBytes caps the uploaded CSV size; beyond it the request
+	// fails with 413 (default: 1 GiB).
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request deadline covering queue wait and
+	// compute (default: 60s). Expired requests get 503.
+	RequestTimeout time.Duration
+	// CacheEntries is the assessment LRU capacity (default: 128); any
+	// negative value disables caching.
+	CacheEntries int
+	// ChunkRows is the default streaming chunk size (default: 4096);
+	// requests may override it with ?chunk=.
+	ChunkRows int
+	// SpoolDir is where request bodies are spooled (default: os.TempDir()).
+	SpoolDir string
+	// Log receives request-level diagnostics; nil uses log.Default().
+	Log *log.Logger
+}
+
+const (
+	defaultQueueDepth   = 64
+	defaultMaxBodyBytes = 1 << 30
+	defaultTimeout      = 60 * time.Second
+	defaultChunkRows    = 4096
+	defaultCacheEntries = 128
+)
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = defaultQueueDepth
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = defaultTimeout
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = defaultCacheEntries
+	}
+	if c.ChunkRows <= 0 {
+		c.ChunkRows = defaultChunkRows
+	}
+	if c.SpoolDir == "" {
+		c.SpoolDir = os.TempDir()
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the randprivd HTTP service. Create with New, serve via
+// ServeHTTP (it implements http.Handler), and Close when done.
+type Server struct {
+	cfg   Config
+	pool  *workerPool
+	cache *lruCache
+	mux   *http.ServeMux
+}
+
+// New builds a Server from cfg (zero-value fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		cache: newLRUCache(cfg.CacheEntries),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/schemes", s.handleSchemes)
+	s.mux.HandleFunc("/v1/perturb", s.post(s.handlePerturb))
+	s.mux.HandleFunc("/v1/attack", s.post(s.handleAttack))
+	s.mux.HandleFunc("/v1/assess", s.post(s.handleAssess))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the worker pool.
+func (s *Server) Close() { s.pool.Close() }
+
+// trackingWriter records whether the response has been committed (any
+// header or body write), so the error path can tell a clean failure from
+// a mid-stream one.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(status int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(status)
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(p)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (t *trackingWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
+
+// post wraps a handler with the method check, the overload pre-check,
+// the body size cap, and the per-request deadline shared by every
+// compute endpoint.
+func (s *Server) post(fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		w := &trackingWriter{ResponseWriter: rw}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: use POST"))
+			return
+		}
+		// Shed load before spooling: admission control at the pool only
+		// kicks in after the body is on disk, so a saturated service
+		// must refuse the upload work too, not just the compute.
+		if s.pool.Inflight() >= int64(s.cfg.Workers+s.cfg.QueueDepth) {
+			writeError(w, http.StatusTooManyRequests, ErrQueueFull)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		// MaxBytesReader gets the raw ResponseWriter: it type-asserts a
+		// net/http-internal interface to mark oversized requests for
+		// connection close, which the trackingWriter wrapper would hide.
+		r.Body = http.MaxBytesReader(rw, r.Body, s.cfg.MaxBodyBytes)
+		if err := fn(w, r); err != nil {
+			status := statusOf(err)
+			s.cfg.Log.Printf("randprivd: %s %s -> %d: %v", r.Method, r.URL.Path, status, err)
+			var pe *panicError
+			if errors.As(err, &pe) {
+				s.cfg.Log.Printf("randprivd: worker panic stack:\n%s", pe.Stack)
+			}
+			if w.wrote {
+				// The response is committed (a CSV stream was already
+				// under way): the status cannot change and appending a
+				// JSON envelope would corrupt the payload. Abort the
+				// connection so the client sees a truncated transfer,
+				// never a complete-looking 200.
+				panic(http.ErrAbortHandler)
+			}
+			writeError(w, status, err)
+		}
+	}
+}
+
+// badRequestError marks client-side failures (bad parameters, malformed
+// CSV) so statusOf maps them to 400.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+// badRequest tags err as a 400.
+func badRequest(err error) error {
+	if err == nil {
+		return nil
+	}
+	return badRequestError{err}
+}
+
+// statusOf maps a handler error onto its HTTP status: client data and
+// parameter problems are 400, oversized bodies 413, a saturated queue
+// 429, an expired deadline 503, everything else 500.
+func statusOf(err error) int {
+	var maxBytes *http.MaxBytesError
+	var bad badRequestError
+	switch {
+	case errors.As(err, &maxBytes):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError emits the uniform JSON error envelope on a response that
+// has not started yet (post aborts committed responses instead; the
+// handlers run a validation pass before the first byte precisely so
+// that mid-stream failures are rare).
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stream"
+)
+
+// upload is a request body spooled to a temporary file. Spooling is what
+// keeps the service out-of-core: the two-pass attacks and the correlated
+// scheme need to re-read their input (stream.Source.Reset), which an
+// HTTP body cannot do, so the body is copied once to disk — through a
+// SHA-256 digest, never through memory — and every pass streams from the
+// file in fixed-size chunks.
+type upload struct {
+	path   string
+	digest string // hex SHA-256 of the raw body bytes
+}
+
+// spoolBody copies r to a temp file in dir, hashing as it goes. The
+// caller owns the returned upload and must Remove it.
+func spoolBody(dir string, r io.Reader) (*upload, error) {
+	f, err := os.CreateTemp(dir, "randprivd-*.csv")
+	if err != nil {
+		return nil, fmt.Errorf("server: spool upload: %w", err)
+	}
+	h := sha256.New()
+	_, err = io.Copy(io.MultiWriter(f, h), r)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &upload{
+		path:   f.Name(),
+		digest: hex.EncodeToString(h.Sum(nil)),
+	}, nil
+}
+
+// Remove deletes the spool file.
+func (u *upload) Remove() {
+	if u != nil {
+		os.Remove(u.path)
+	}
+}
+
+// ctxReader bounds a body read by the request deadline: each Read
+// checks the context first, so a client trickling its upload cannot
+// hold a spooling goroutine past the per-request timeout.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
+// ctxSource wraps a stream.Source with per-request deadline checks: a
+// canceled or expired context aborts the stream at the next chunk
+// boundary, so a runaway assessment cannot hold a worker past its
+// deadline.
+type ctxSource struct {
+	ctx context.Context
+	src stream.Source
+}
+
+func (s ctxSource) Next() (*mat.Dense, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.src.Next()
+}
+
+func (s ctxSource) Reset() error {
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	return s.src.Reset()
+}
