@@ -240,23 +240,26 @@ func BenchmarkPartialDisclosure(b *testing.B) {
 }
 
 // BenchmarkAttackBEDR measures the cost of one BE-DR reconstruction at
-// paper scale (n=1000, m=100).
+// paper scale (n=1000, m=100), with a persistent workspace as the server
+// and experiment loops run it — the steady-state allocs/op column is the
+// number PERFORMANCE.md tracks.
 func BenchmarkAttackBEDR(b *testing.B) {
-	ds, pert := benchData(b, 100, 10)
-	attack := recon.NewBEDR(25)
+	_, pert := benchData(b, 100, 10)
+	attack := &recon.BEDR{Sigma2: 25, WS: mat.NewWorkspace()}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := attack.Reconstruct(pert.Y); err != nil {
 			b.Fatal(err)
 		}
 	}
-	_ = ds
 }
 
 // BenchmarkAttackPCADR measures one PCA-DR reconstruction at paper scale.
 func BenchmarkAttackPCADR(b *testing.B) {
 	_, pert := benchData(b, 100, 10)
-	attack := recon.NewPCADR(25)
+	attack := &recon.PCADR{Sigma2: 25, WS: mat.NewWorkspace()}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := attack.Reconstruct(pert.Y); err != nil {
@@ -268,7 +271,8 @@ func BenchmarkAttackPCADR(b *testing.B) {
 // BenchmarkAttackSF measures one spectral-filtering reconstruction.
 func BenchmarkAttackSF(b *testing.B) {
 	_, pert := benchData(b, 100, 10)
-	attack := recon.NewSF(25)
+	attack := &recon.SF{Sigma2: 25, WS: mat.NewWorkspace()}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := attack.Reconstruct(pert.Y); err != nil {
@@ -282,6 +286,7 @@ func BenchmarkAttackSF(b *testing.B) {
 func BenchmarkAttackUDR(b *testing.B) {
 	_, pert := benchData(b, 10, 3)
 	attack := recon.NewUDR(5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := attack.Reconstruct(pert.Y); err != nil {
@@ -295,6 +300,7 @@ func BenchmarkAttackUDR(b *testing.B) {
 func BenchmarkAttackTemporalBEDR(b *testing.B) {
 	_, pert := benchData(b, 10, 3)
 	attack := recon.NewTemporalBEDR(25)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := attack.Reconstruct(pert.Y); err != nil {
@@ -334,7 +340,7 @@ func BenchmarkParallelTrials(b *testing.B) {
 	}
 }
 
-// BenchmarkMatMul measures the (parallel) dense product at the scale of
+// BenchmarkMatMul measures the blocked dense product at the scale of
 // one covariance-recovery step: (1000×100)ᵀ·(1000×100).
 func BenchmarkMatMul(b *testing.B) {
 	rng := rand.New(rand.NewSource(2005))
@@ -344,30 +350,71 @@ func BenchmarkMatMul(b *testing.B) {
 		rows[i] = rng.NormFloat64()
 	}
 	at := mat.Transpose(a)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = mat.Mul(at, a)
 	}
 }
 
-// BenchmarkCovarianceMatrix measures the chunked-parallel sample
-// covariance at paper scale (n=1000, m=100) — the Σy estimate every
-// spectral attack starts from.
-func BenchmarkCovarianceMatrix(b *testing.B) {
+// benchRand returns a seeded n×m standard-normal matrix.
+func benchRand(n, m int) *mat.Dense {
 	rng := rand.New(rand.NewSource(2005))
-	a := mat.Zeros(1000, 100)
-	rows := a.Raw()
-	for i := range rows {
-		rows[i] = rng.NormFloat64()
+	a := mat.Zeros(n, m)
+	raw := a.Raw()
+	for i := range raw {
+		raw[i] = rng.NormFloat64()
 	}
+	return a
+}
+
+// BenchmarkMulABT measures the transpose-free a·bᵀ kernel at the attack
+// projection shapes: (1000×m)·(m×m)ᵀ for m ∈ {50, 100, 200}.
+func BenchmarkMulABT(b *testing.B) {
+	for _, m := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			a := benchRand(1000, m)
+			q := benchRand(m, m)
+			dst := mat.Zeros(1000, m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mat.MulABTInto(dst, a, q)
+			}
+		})
+	}
+}
+
+// BenchmarkSymRankK measures the triangular Gram kernel aᵀ·a at the
+// covariance shapes: 1000×m for m ∈ {50, 100, 200}.
+func BenchmarkSymRankK(b *testing.B) {
+	for _, m := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			a := benchRand(1000, m)
+			dst := mat.Zeros(m, m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mat.SymRankKInto(dst, a, 1.0/999)
+			}
+		})
+	}
+}
+
+// BenchmarkCovarianceMatrix measures the sample covariance at paper
+// scale (n=1000, m=100) — the Σy estimate every spectral attack starts
+// from, now a centered pass plus one SymRankKInto.
+func BenchmarkCovarianceMatrix(b *testing.B) {
+	a := benchRand(1000, 100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = stat.CovarianceMatrix(a)
 	}
 }
 
-// BenchmarkEigenSym measures the Jacobi eigendecomposition at m=100 — the
-// kernel every spectral attack relies on.
+// BenchmarkEigenSym measures the Householder+QL eigendecomposition at
+// m=100 — the kernel every spectral attack relies on.
 func BenchmarkEigenSym(b *testing.B) {
 	rng := rand.New(rand.NewSource(2005))
 	spec := synth.Spectrum{M: 100, P: 10, Principal: 400, Tail: 4}
@@ -376,9 +423,30 @@ func BenchmarkEigenSym(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mat.EigenSym(cov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEigenSymJacobi measures the retained cyclic-Jacobi fallback on
+// the same input, pinning the QL-vs-Jacobi gap the kernel layer exists
+// to close.
+func BenchmarkEigenSymJacobi(b *testing.B) {
+	rng := rand.New(rand.NewSource(2005))
+	spec := synth.Spectrum{M: 100, P: 10, Principal: 400, Tail: 4}
+	vals, _ := spec.Values()
+	cov, err := synth.CovarianceFromSpectrum(vals, mat.RandomOrthogonal(100, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.EigenSymJacobi(cov); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -399,6 +467,11 @@ type syntheticSource struct {
 	rng             *rand.Rand
 	pos             int
 	z, buf          *mat.Dense
+	// zTail, bufTail are row-prefix views of z and buf for the short
+	// final chunk, created once per distinct tail size: allocating fresh
+	// matrices there would pollute the B/op column this source exists to
+	// keep honest.
+	zTail, bufTail *mat.Dense
 }
 
 func newSyntheticSource(n, m, p, chunkRows int, sigma float64, seed int64) *syntheticSource {
@@ -445,8 +518,11 @@ func (s *syntheticSource) Next() (*mat.Dense, error) {
 	}
 	z, buf := s.z, s.buf
 	if rows != s.chunkRows {
-		z = mat.Zeros(rows, s.m)
-		buf = mat.Zeros(rows, s.m)
+		if s.zTail == nil || s.zTail.Rows() != rows {
+			s.zTail = mat.New(rows, s.m, s.z.Raw()[:rows*s.m])
+			s.bufTail = mat.New(rows, s.m, s.buf.Raw()[:rows*s.m])
+		}
+		z, buf = s.zTail, s.bufTail
 	}
 	raw := z.Raw()
 	for i := range raw {

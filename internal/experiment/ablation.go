@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"randpriv/internal/mat"
 	"randpriv/internal/randomize"
 	"randpriv/internal/recon"
 	"randpriv/internal/stat"
@@ -124,7 +125,7 @@ func NoiseSweep(cfg Config, m, p int, sigmas []float64) (*Figure, error) {
 		ID:     "noise-sweep",
 		Title:  fmt.Sprintf("RMSE vs noise level (m=%d, p=%d)", m, p),
 		XLabel: "σ",
-		Series: seriesNames(attackSuite(cfg)),
+		Series: seriesNames(attackSuite(cfg, nil)),
 	}
 	for _, sigma := range sigmas {
 		if sigma <= 0 {
@@ -132,10 +133,10 @@ func NoiseSweep(cfg Config, m, p int, sigmas []float64) (*Figure, error) {
 		}
 	}
 	points := make([]Point, len(sigmas))
-	err = Runner{Workers: cfg.Workers}.Run(len(sigmas), cfg.Seed, func(i int, rng *rand.Rand) error {
+	err = Runner{Workers: cfg.Workers}.RunWS(len(sigmas), cfg.Seed, func(i int, rng *rand.Rand, ws *mat.Workspace) error {
 		ptCfg := cfg
 		ptCfg.Sigma2 = sigmas[i] * sigmas[i]
-		rmse, err := runPoint(ds.X, ptCfg, attackSuite(ptCfg), rng)
+		rmse, err := runPoint(ds.X, ptCfg, attackSuite(ptCfg, ws), rng)
 		if err != nil {
 			return err
 		}

@@ -162,13 +162,16 @@ func (f *Figure) SeriesValues(name string) []float64 {
 }
 
 // attackSuite builds the per-point reconstructors for the i.i.d.-noise
-// experiments (1–3).
-func attackSuite(cfg Config) []recon.Reconstructor {
+// experiments (1–3). ws is the trial's scratch arena (nil when only the
+// attack names are needed); the spectral attacks draw every temporary
+// from it, so a worker sweeping many points settles into a fixed buffer
+// set.
+func attackSuite(cfg Config, ws *mat.Workspace) []recon.Reconstructor {
 	sigma := math.Sqrt(cfg.Sigma2)
 	suite := []recon.Reconstructor{
-		recon.NewSF(cfg.Sigma2),
-		recon.NewPCADR(cfg.Sigma2),
-		recon.NewBEDR(cfg.Sigma2),
+		&recon.SF{Sigma2: cfg.Sigma2, WS: ws},
+		&recon.PCADR{Sigma2: cfg.Sigma2, Select: recon.SelectGap, WS: ws},
+		&recon.BEDR{Sigma2: cfg.Sigma2, WS: ws},
 	}
 	if !cfg.SkipUDR {
 		udr := recon.NewUDR(sigma)
@@ -194,12 +197,12 @@ func seriesNames(attacks []recon.Reconstructor) []string {
 // TrialSeed(cfg.Seed, i), so the figure is identical at any worker count.
 func runSpectrumSweep(cfg Config, xs []float64, spectra [][]float64) ([]Point, error) {
 	points := make([]Point, len(xs))
-	err := Runner{Workers: cfg.Workers}.Run(len(xs), cfg.Seed, func(i int, rng *rand.Rand) error {
+	err := Runner{Workers: cfg.Workers}.RunWS(len(xs), cfg.Seed, func(i int, rng *rand.Rand, ws *mat.Workspace) error {
 		ds, err := synth.Generate(cfg.N, spectra[i], nil, rng)
 		if err != nil {
 			return err
 		}
-		rmse, err := runPoint(ds.X, cfg, attackSuite(cfg), rng)
+		rmse, err := runPoint(ds.X, cfg, attackSuite(cfg, ws), rng)
 		if err != nil {
 			return err
 		}
@@ -243,7 +246,7 @@ func Experiment1(cfg Config, ms []int) (*Figure, error) {
 		ID:     "figure1",
 		Title:  "RMSE vs number of attributes (p=5 fixed)",
 		XLabel: "m",
-		Series: seriesNames(attackSuite(cfg)),
+		Series: seriesNames(attackSuite(cfg, nil)),
 	}
 	xs := make([]float64, len(ms))
 	spectra := make([][]float64, len(ms))
@@ -287,7 +290,7 @@ func experiment2At(cfg Config, m int, ps []int) (*Figure, error) {
 		ID:     "figure2",
 		Title:  fmt.Sprintf("RMSE vs number of principal components (m=%d fixed)", m),
 		XLabel: "p",
-		Series: seriesNames(attackSuite(cfg)),
+		Series: seriesNames(attackSuite(cfg, nil)),
 	}
 	xs := make([]float64, len(ps))
 	spectra := make([][]float64, len(ps))
@@ -332,7 +335,7 @@ func experiment3At(cfg Config, m, p int, principal float64, tails []float64) (*F
 		ID:     "figure3",
 		Title:  fmt.Sprintf("RMSE vs non-principal eigenvalue (m=%d, p=%d, λ=%g)", m, p, principal),
 		XLabel: "tail λ",
-		Series: seriesNames(attackSuite(cfg)),
+		Series: seriesNames(attackSuite(cfg, nil)),
 	}
 	xs := make([]float64, len(tails))
 	spectra := make([][]float64, len(tails))

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"randpriv/internal/mat"
 	"randpriv/internal/randomize"
 	"randpriv/internal/recon"
 	"randpriv/internal/stat"
@@ -75,7 +76,7 @@ func experiment4At(cfg Config, m, p int, ts []float64) (*Figure4, error) {
 	}
 
 	points := make([]Point4, len(ts))
-	err = Runner{Workers: cfg.Workers}.Run(len(ts), cfg.Seed, func(i int, rng *rand.Rand) error {
+	err = Runner{Workers: cfg.Workers}.RunWS(len(ts), cfg.Seed, func(i int, rng *rand.Rand, ws *mat.Workspace) error {
 		t := ts[i]
 		noiseVals, err := randomize.NoiseSpectrumPath(ds.Eigvals, t, totalNoise)
 		if err != nil {
@@ -97,9 +98,9 @@ func experiment4At(cfg Config, m, p int, ts []float64) (*Figure4, error) {
 		dis := stat.CorrelationDissimilarity(ds.X, pert.R)
 
 		attacks := []recon.Reconstructor{
-			recon.NewBEDRCorrelated(noiseCov, nil),
-			recon.NewPCADR(cfg.Sigma2),
-			recon.NewSF(cfg.Sigma2),
+			&recon.BEDR{NoiseCov: noiseCov, WS: ws},
+			&recon.PCADR{Sigma2: cfg.Sigma2, Select: recon.SelectGap, WS: ws},
+			&recon.SF{Sigma2: cfg.Sigma2, WS: ws},
 		}
 		rmse := make(map[string]float64, len(attacks))
 		for _, a := range attacks {

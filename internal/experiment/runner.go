@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"randpriv/internal/mat"
 )
 
 // Runner executes independent trials on a bounded worker pool. Each trial
@@ -57,13 +59,28 @@ func TrialSeed(base int64, trial int) int64 {
 // single trial is at fault, which covers the validation errors the
 // experiments can produce).
 func (r Runner) Run(n int, seed int64, fn func(trial int, rng *rand.Rand) error) error {
+	return r.RunWS(n, seed, func(trial int, rng *rand.Rand, _ *mat.Workspace) error {
+		return fn(trial, rng)
+	})
+}
+
+// RunWS is Run with a scratch arena per worker: every trial additionally
+// receives a mat.Workspace, reset before the trial starts, that the
+// worker reuses across all the trials it claims. Steady-state sweeps
+// (every point allocating the same attack shapes) therefore stop paying
+// per-trial matrix allocations. Workspaces are per-worker and buffers
+// are zeroed on Get, so results remain bit-identical at any worker
+// count.
+func (r Runner) RunWS(n int, seed int64, fn func(trial int, rng *rand.Rand, ws *mat.Workspace) error) error {
 	if n <= 0 {
 		return nil
 	}
 	w := r.effectiveWorkers(n)
 	if w == 1 {
+		ws := mat.NewWorkspace()
 		for i := 0; i < n; i++ {
-			if err := fn(i, rand.New(rand.NewSource(TrialSeed(seed, i)))); err != nil {
+			ws.Reset()
+			if err := fn(i, rand.New(rand.NewSource(TrialSeed(seed, i))), ws); err != nil {
 				return err
 			}
 		}
@@ -99,12 +116,14 @@ func (r Runner) Run(n int, seed int64, fn func(trial int, rng *rand.Rand) error)
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
+			ws := mat.NewWorkspace()
 			for {
 				i, ok := claim()
 				if !ok {
 					return
 				}
-				if err := fn(i, rand.New(rand.NewSource(TrialSeed(seed, i)))); err != nil {
+				ws.Reset()
+				if err := fn(i, rand.New(rand.NewSource(TrialSeed(seed, i))), ws); err != nil {
 					fail(i, err)
 				}
 			}

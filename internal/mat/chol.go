@@ -18,11 +18,20 @@ type Cholesky struct {
 // FactorizeCholesky computes the Cholesky factorization of symmetric
 // positive definite a. Only the lower triangle of a is read.
 func FactorizeCholesky(a *Dense) (*Cholesky, error) {
+	l := Zeros(a.rows, a.rows)
+	if err := factorizeCholeskyInto(l, a); err != nil {
+		return nil, err
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// factorizeCholeskyInto writes the lower-triangular factor of a into the
+// pre-zeroed square matrix l.
+func factorizeCholeskyInto(l, a *Dense) error {
 	n := a.rows
 	if a.cols != n {
-		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
+		return fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
 	}
-	l := Zeros(n, n)
 	ld := l.data
 	for j := 0; j < n; j++ {
 		var diag float64 = a.At(j, j)
@@ -30,7 +39,7 @@ func FactorizeCholesky(a *Dense) (*Cholesky, error) {
 			diag -= ld[j*n+k] * ld[j*n+k]
 		}
 		if diag <= 0 || math.IsNaN(diag) {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 		dj := math.Sqrt(diag)
 		ld[j*n+j] = dj
@@ -42,7 +51,7 @@ func FactorizeCholesky(a *Dense) (*Cholesky, error) {
 			ld[i*n+j] = s / dj
 		}
 	}
-	return &Cholesky{l: l}, nil
+	return nil
 }
 
 // L returns a copy of the lower-triangular factor.
@@ -113,21 +122,47 @@ func (c *Cholesky) LogDet() float64 {
 // via its Cholesky factorization. It falls back to LU if the matrix is not
 // numerically positive definite (e.g. a sample covariance with a tiny
 // negative eigenvalue after the Theorem 5.1 diagonal correction).
-func InverseSPD(a *Dense) (*Dense, error) {
-	ch, err := FactorizeCholesky(a)
-	if err != nil {
+func InverseSPD(a *Dense) (*Dense, error) { return InverseSPDWS(nil, a) }
+
+// InverseSPDWS is InverseSPD with the factor, result and per-column
+// solve scratch drawn from ws — no per-column allocations, which is what
+// keeps the Bayes estimator's steady-state footprint flat. The result is
+// valid until ws.Reset; a nil ws allocates. The LU fallback for
+// non-SPD inputs allocates regardless (it is off the hot path: the
+// estimators repair their covariances to SPD before inverting).
+func InverseSPDWS(ws *Workspace, a *Dense) (*Dense, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	l := ws.Get(n, n)
+	if err := factorizeCholeskyInto(l, a); err != nil {
 		return Inverse(a)
 	}
-	n := a.rows
-	out := Zeros(n, n)
-	e := make([]float64, n)
+	out := ws.Get(n, n)
+	ld := l.data
+	e := ws.Floats(n)
+	y := ws.Floats(n)
+	x := ws.Floats(n)
 	for j := 0; j < n; j++ {
 		e[j] = 1
-		col, err := ch.SolveVec(e)
-		if err != nil {
-			return nil, err
+		// L·y = e, then Lᵀ·x = y. The factorization succeeded, so every
+		// pivot is > 0.
+		for i := 0; i < n; i++ {
+			s := e[i]
+			for k := 0; k < i; k++ {
+				s -= ld[i*n+k] * y[k]
+			}
+			y[i] = s / ld[i*n+i]
 		}
-		out.SetCol(j, col)
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			for k := i + 1; k < n; k++ {
+				s -= ld[k*n+i] * x[k]
+			}
+			x[i] = s / ld[i*n+i]
+		}
+		out.SetCol(j, x)
 		e[j] = 0
 	}
 	return out, nil

@@ -1,13 +1,18 @@
 // Package mat implements the dense linear algebra needed by the
 // randomization/reconstruction library: matrix arithmetic, LU and Cholesky
-// factorizations, Gram–Schmidt orthonormalization, and a cyclic Jacobi
-// eigendecomposition for symmetric matrices.
+// factorizations, Gram–Schmidt orthonormalization, and symmetric
+// eigendecomposition (Householder + implicit-shift QL, with a cyclic
+// Jacobi fallback for cross-validation).
 //
 // The package is self-contained (standard library only) and sized for the
 // problem scales in Huang, Du & Chen (SIGMOD 2005): matrices up to a few
-// hundred columns. Row-major storage is used throughout. Large products
-// (Mul) fan out across goroutines by output-row block, with results
-// bit-identical to the serial kernel at any GOMAXPROCS.
+// hundred columns. Row-major storage is used throughout. Dense products
+// (Mul/MulInto, the transpose-free MulABTInto/MulATBInto, and the
+// symmetric rank-k SymRankKInto) share one blocked kernel layer — kcBlock
+// reduction slabs and packed 2×4 register tiles, see gemm.go — that fans
+// large products out across goroutines with results bit-identical to the
+// serial kernel at any GOMAXPROCS. A Workspace arena recycles scratch
+// buffers for callers on steady-state hot loops.
 package mat
 
 import (

@@ -139,6 +139,35 @@ func TestEigenLargeMatrix(t *testing.T) {
 	}
 }
 
+// TestReconstructTruncated pins the rank-p reconstruction: an Eigen
+// value holding only the top p eigenpairs must reconstruct Σᵢ λᵢqᵢqᵢᵀ,
+// not panic on its rectangular Vectors.
+func TestReconstructTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const n, p = 8, 3
+	q := RandomOrthogonal(n, rng)
+	vals := []float64{40, 30, 20, 4, 3, 2, 1, 0.5}
+	full := &Eigen{Values: vals, Vectors: q}
+	top := &Eigen{Values: vals[:p], Vectors: full.TopVectors(p)}
+	got := top.Reconstruct()
+
+	want := Zeros(n, n)
+	for k := 0; k < p; k++ {
+		col := q.Col(k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want.Set(i, j, want.At(i, j)+vals[k]*col[i]*col[j])
+			}
+		}
+	}
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatal("rank-p Reconstruct differs from explicit eigenpair sum")
+	}
+	if ws := NewWorkspace(); !top.ReconstructWS(ws).EqualApprox(want, 1e-12) {
+		t.Fatal("rank-p ReconstructWS differs from explicit eigenpair sum")
+	}
+}
+
 func TestTopVectors(t *testing.T) {
 	a := Diag([]float64{3, 2, 1})
 	e, _ := EigenSym(a)
@@ -176,6 +205,139 @@ func TestLargestGapSplit(t *testing.T) {
 		e := &Eigen{Values: tc.vals, Vectors: Identity(len(tc.vals))}
 		if got := e.LargestGapSplit(); got != tc.want {
 			t.Errorf("LargestGapSplit(%v) = %d, want %d", tc.vals, got, tc.want)
+		}
+	}
+}
+
+// crossCheckSolvers runs both eigensolvers on a and requires them to
+// agree: eigenvalues to 1e-9 (relative to the spectral scale) and the
+// reconstructions Q·Λ·Qᵀ to the same tolerance. Eigenvectors are not
+// compared directly — they are only determined up to sign, and up to a
+// rotation inside degenerate eigenspaces — but a matching reconstruction
+// plus orthonormal columns pins everything that is well-defined.
+func crossCheckSolvers(t *testing.T, name string, a *Dense) {
+	t.Helper()
+	ql, err := EigenSym(a)
+	if err != nil {
+		t.Fatalf("%s: EigenSym: %v", name, err)
+	}
+	jac, err := EigenSymJacobi(a)
+	if err != nil {
+		t.Fatalf("%s: EigenSymJacobi: %v", name, err)
+	}
+	scale := math.Max(1, MaxAbs(a))
+	tol := 1e-9 * scale
+	for i := range ql.Values {
+		if d := math.Abs(ql.Values[i] - jac.Values[i]); d > tol {
+			t.Fatalf("%s: eigenvalue %d differs by %g (QL %v, Jacobi %v)", name, i, d, ql.Values[i], jac.Values[i])
+		}
+	}
+	if !IsOrthonormalColumns(ql.Vectors, 1e-9) {
+		t.Fatalf("%s: QL eigenvectors not orthonormal", name)
+	}
+	if !ql.Reconstruct().EqualApprox(a, tol) {
+		t.Fatalf("%s: QL reconstruction off by more than %g", name, tol)
+	}
+	if !jac.Reconstruct().EqualApprox(a, tol) {
+		t.Fatalf("%s: Jacobi reconstruction off by more than %g", name, tol)
+	}
+}
+
+// TestEigenSymQLvsJacobiSpiked cross-validates the two solvers on the
+// paper's spiked-covariance shape (few large eigenvalues over a flat
+// tail) at several sizes.
+func TestEigenSymQLvsJacobiSpiked(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for _, n := range []int{3, 10, 40, 100} {
+		q := RandomOrthogonal(n, rng)
+		vals := make([]float64, n)
+		for i := range vals {
+			if i < n/10+1 {
+				vals[i] = 400
+			} else {
+				vals[i] = 4
+			}
+		}
+		e := &Eigen{Values: vals, Vectors: q}
+		crossCheckSolvers(t, "spiked", e.Reconstruct())
+	}
+}
+
+// TestEigenSymQLvsJacobiDegenerate cross-validates on spectra with
+// repeated eigenvalues, where eigenvectors are only defined up to a
+// rotation of the degenerate subspace.
+func TestEigenSymQLvsJacobiDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	q := RandomOrthogonal(12, rng)
+	vals := []float64{9, 9, 9, 9, 4, 4, 4, 1, 1, 1, 1, 1}
+	e := &Eigen{Values: vals, Vectors: q}
+	a := e.Reconstruct()
+	crossCheckSolvers(t, "degenerate", a)
+
+	got, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range vals {
+		if math.Abs(got.Values[i]-want) > 1e-9 {
+			t.Fatalf("degenerate eigenvalue %d = %v, want %v", i, got.Values[i], want)
+		}
+	}
+}
+
+// TestEigenSymQLvsJacobiNearZero cross-validates on (near-)zero matrices
+// — the all-zero matrix, a tiny perturbation of it, and a rank-1 matrix
+// whose remaining spectrum is exactly zero.
+func TestEigenSymQLvsJacobiNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	crossCheckSolvers(t, "zero", Zeros(7, 7))
+
+	tiny := Zeros(6, 6)
+	for i := range tiny.data {
+		tiny.data[i] = 1e-13 * rng.NormFloat64()
+	}
+	// Symmetrize the perturbation.
+	sym := Scale(0.5, Add(tiny, Transpose(tiny)))
+	crossCheckSolvers(t, "near-zero", sym)
+
+	u := make([]float64, 9)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	crossCheckSolvers(t, "rank-1", OuterProduct(u, u))
+}
+
+// TestEigenSymWSReuse runs the workspace-threaded solver repeatedly and
+// checks the results match the allocating path bit-for-bit while the
+// workspace stops growing after the first decomposition.
+func TestEigenSymWSReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	g := randomMatrix(20, 20, rng)
+	a := Mul(Transpose(g), g)
+	want, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	var grown int
+	for i := 0; i < 4; i++ {
+		ws.Reset()
+		got, err := EigenSymWS(ws, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want.Values {
+			if got.Values[k] != want.Values[k] {
+				t.Fatalf("run %d: workspace path changed eigenvalue %d", i, k)
+			}
+		}
+		if !got.Vectors.Equal(want.Vectors) {
+			t.Fatalf("run %d: workspace path changed eigenvectors", i)
+		}
+		if i == 0 {
+			grown = len(ws.bufs)
+		} else if len(ws.bufs) != grown {
+			t.Fatalf("run %d: workspace kept growing (%d -> %d buffers)", i, grown, len(ws.bufs))
 		}
 	}
 }

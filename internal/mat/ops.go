@@ -41,10 +41,11 @@ func Scale(s float64, a *Dense) *Dense {
 	return out
 }
 
-// Mul returns the matrix product a·b. Large products are computed on a
-// goroutine pool, one contiguous block of output rows per worker; every
-// output row is produced by exactly one goroutine in the same ikj order
-// as the serial path, so the result is bit-identical at any parallelism.
+// Mul returns the matrix product a·b, computed by the blocked kernel
+// layer (see gemm.go): kcBlock reduction slabs, packed 4×4 register
+// tiles, large products fanned out one row block per goroutine. Every
+// output element is accumulated by one goroutine in a shape-determined
+// order, so the result is bit-identical at any parallelism.
 func Mul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
@@ -56,7 +57,7 @@ func Mul(a, b *Dense) *Dense {
 // It is the allocation-free form of Mul for callers that reuse an output
 // buffer across many products of the same shape — the streaming attacks
 // project one chunk after another through fixed gain matrices. dst must
-// not alias a or b. The kernel and chunking are identical to Mul, so the
+// not alias a or b. The kernel and blocking are identical to Mul, so the
 // result is bit-identical to the allocating path.
 func MulInto(dst, a, b *Dense) *Dense {
 	if a.cols != b.rows {
@@ -71,33 +72,8 @@ func MulInto(dst, a, b *Dense) *Dense {
 	for i := range dst.data {
 		dst.data[i] = 0
 	}
-	workers := 1
-	if flops := int64(a.rows) * int64(a.cols) * int64(b.cols); flops >= mulParallelMinFlops {
-		workers = maxWorkers()
-	}
-	parallelRows(a.rows, workers, func(r0, r1 int) {
-		mulRows(dst, a, b, r0, r1)
-	})
+	gemm(dst.data, a.data, b.data, a.rows, a.cols, b.cols)
 	return dst
-}
-
-// mulRows computes output rows [r0, r1) of a·b. The ikj loop order keeps
-// the inner loop streaming over contiguous rows of b and out, which
-// matters at m=100, n=1000 experiment scales.
-func mulRows(out, a, b *Dense, r0, r1 int) {
-	for i := r0; i < r1; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
 }
 
 // Transpose returns aᵀ.
@@ -113,19 +89,28 @@ func Transpose(a *Dense) *Dense {
 
 // MulVec returns the matrix-vector product a·x.
 func MulVec(a *Dense, x []float64) []float64 {
+	return MulVecInto(make([]float64, a.rows), a, x)
+}
+
+// MulVecInto computes a·x into dst (len Rows()) and returns dst — the
+// allocation-free form for workspace-threaded callers. dst must not
+// alias x.
+func MulVecInto(dst []float64, a *Dense, x []float64) []float64 {
 	if a.cols != len(x) {
 		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d · %d", a.rows, a.cols, len(x)))
 	}
-	out := make([]float64, a.rows)
+	if len(dst) != a.rows {
+		panic(fmt.Sprintf("mat: MulVecInto destination length %d, want %d", len(dst), a.rows))
+	}
 	for i := 0; i < a.rows; i++ {
 		row := a.data[i*a.cols : (i+1)*a.cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // Dot returns the inner product of x and y.

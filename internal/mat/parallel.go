@@ -3,14 +3,7 @@ package mat
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
-
-// mulParallelMinFlops is the a.rows·a.cols·b.cols size above which Mul
-// fans out across goroutines. Below it the fork/join overhead exceeds
-// the arithmetic; the threshold corresponds to roughly a 100×100·100×100
-// product, well under the n=1000, m=100 experiment scales.
-const mulParallelMinFlops = 1 << 20
 
 // kernelTokens bounds the number of extra goroutines the data-parallel
 // kernels may have in flight process-wide. Kernels often run underneath
@@ -26,7 +19,7 @@ var kernelTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
 // budget allows. Chunk boundaries depend only on rows and the worker
 // count, and callers write disjoint row ranges, so results are
 // deterministic; callers that need bit-identical output at any
-// parallelism (Mul, CovarianceMatrix) additionally keep each output
+// parallelism (the GEMM kernels) additionally keep each output
 // element's arithmetic entirely within one chunk.
 func parallelRows(rows, workers int, work func(r0, r1 int)) {
 	if workers > rows {
@@ -36,10 +29,25 @@ func parallelRows(rows, workers int, work func(r0, r1 int)) {
 		work(0, rows)
 		return
 	}
+	bounds := make([]int, workers+1)
+	for k := 0; k <= workers; k++ {
+		bounds[k] = k * rows / workers
+	}
+	parallelBounds(bounds, work)
+}
+
+// parallelBounds runs work(bounds[k], bounds[k+1]) for every consecutive
+// boundary pair, inline or on a goroutine as the token budget allows.
+// It is the spawn engine under parallelRows and the weighted splits
+// (SymRankKUpperInto's triangular partition); the caller fixes the
+// boundaries, so which goroutine runs a segment never affects results.
+func parallelBounds(bounds []int, work func(r0, r1 int)) {
 	var wg sync.WaitGroup
-	for k := 1; k < workers; k++ {
-		r0 := k * rows / workers
-		r1 := (k + 1) * rows / workers
+	for k := 1; k+1 < len(bounds); k++ {
+		r0, r1 := bounds[k], bounds[k+1]
+		if r0 == r1 {
+			continue
+		}
 		select {
 		case kernelTokens <- struct{}{}:
 			wg.Add(1)
@@ -54,52 +62,7 @@ func parallelRows(rows, workers int, work func(r0, r1 int)) {
 			work(r0, r1)
 		}
 	}
-	work(0, rows/workers)
-	wg.Wait()
-}
-
-// ParallelChunks runs work(c) for every chunk index in [0, chunks),
-// spreading chunks over at most workers concurrent executors (clamped to
-// the same process-wide token budget as parallelRows). It is the shared
-// engine for deterministic chunked reductions: the caller gives each
-// chunk its own output slot and reduces in chunk order afterwards, so
-// the result is independent of how many executors ran.
-func ParallelChunks(chunks, workers int, work func(c int)) {
-	if workers > chunks {
-		workers = chunks
-	}
-	if workers <= 1 {
-		for c := 0; c < chunks; c++ {
-			work(c)
-		}
-		return
-	}
-	var next int64 = -1
-	run := func() {
-		for {
-			c := int(atomic.AddInt64(&next, 1))
-			if c >= chunks {
-				return
-			}
-			work(c)
-		}
-	}
-	var wg sync.WaitGroup
-	for k := 1; k < workers; k++ {
-		select {
-		case kernelTokens <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer func() {
-					<-kernelTokens
-					wg.Done()
-				}()
-				run()
-			}()
-		default:
-		}
-	}
-	run()
+	work(bounds[0], bounds[1])
 	wg.Wait()
 }
 

@@ -7,10 +7,10 @@ import (
 )
 
 // TestMulParallelMatchesSerial drives Mul above the fan-out threshold
-// and checks the result bit-for-bit against the serial kernel.
+// and checks the result bit-for-bit against the single-worker kernel.
 func TestMulParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	const n, m = 300, 80 // n·m·n > mulParallelMinFlops
+	const n, m = 300, 80 // n·m·n > gemmParallelMinFlops
 	a := Zeros(n, m)
 	for i := range a.data {
 		a.data[i] = rng.NormFloat64()
@@ -19,24 +19,10 @@ func TestMulParallelMatchesSerial(t *testing.T) {
 	got := Mul(a, b)
 
 	want := Zeros(n, n)
-	mulRows(want, a, b, 0, n)
+	var packB [nr * kcBlock]float64
+	gemmRows(want.data, a.data, b.data, n, m, n, 0, n, packB[:])
 	if !got.Equal(want) {
 		t.Fatal("parallel Mul differs from serial kernel")
-	}
-}
-
-func TestParallelChunksRunsEveryChunkOnce(t *testing.T) {
-	for _, workers := range []int{1, 2, 7, 64} {
-		const chunks = 37
-		var counts [chunks]int64
-		ParallelChunks(chunks, workers, func(c int) {
-			atomic.AddInt64(&counts[c], 1)
-		})
-		for c, v := range counts {
-			if v != 1 {
-				t.Fatalf("workers=%d: chunk %d ran %d times", workers, c, v)
-			}
-		}
 	}
 }
 

@@ -1,0 +1,103 @@
+package mat
+
+import "fmt"
+
+// Workspace is a reusable scratch arena for the numeric pipelines. The
+// attacks, the experiment trial loop and the server's pool workers
+// allocate the same matrix and vector shapes over and over; a Workspace
+// hands those buffers out of a free list so steady-state allocations per
+// reconstruction drop to (near) zero.
+//
+// Usage contract:
+//
+//   - Get/Floats return zeroed storage owned by the workspace. Everything
+//     handed out is valid until the next Reset, which reclaims all of it
+//     at once — there is no per-buffer release.
+//   - A Workspace is owned by one goroutine at a time (one pool worker,
+//     one trial). It is not safe for concurrent use; concurrent callers
+//     each get their own (per-worker workspaces are what preserves the
+//     experiment runner's bit-identical-at-any-worker-count guarantee —
+//     buffers are zeroed on Get, so workspace reuse never changes a
+//     result).
+//   - A nil *Workspace is valid everywhere and degrades to plain
+//     allocation, so workspace-threaded code needs no special casing.
+type Workspace struct {
+	bufs []*wsBuf
+}
+
+// wsBuf is one pooled slab plus a reusable matrix header.
+type wsBuf struct {
+	data []float64
+	hdr  Dense
+	used bool
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset reclaims every buffer handed out since the last Reset. Matrices
+// and slices previously returned by Get/Floats are invalid afterwards.
+func (w *Workspace) Reset() {
+	if w == nil {
+		return
+	}
+	for _, b := range w.bufs {
+		b.used = false
+	}
+}
+
+// acquire returns a free pooled slab with capacity ≥ n, zeroed to length
+// n, growing the pool on a miss. Exact-capacity slabs are preferred so a
+// steady-state workload (same shapes every trial) settles into a fixed
+// buffer set.
+func (w *Workspace) acquire(n int) *wsBuf {
+	var spare *wsBuf
+	for _, b := range w.bufs {
+		if b.used || cap(b.data) < n {
+			continue
+		}
+		if cap(b.data) == n {
+			spare = b
+			break
+		}
+		if spare == nil || cap(b.data) < cap(spare.data) {
+			spare = b
+		}
+	}
+	if spare == nil {
+		spare = &wsBuf{data: make([]float64, n)}
+		w.bufs = append(w.bufs, spare)
+	}
+	spare.used = true
+	spare.data = spare.data[:n]
+	for i := range spare.data {
+		spare.data[i] = 0
+	}
+	return spare
+}
+
+// Get returns a zeroed r×c matrix backed by pooled storage, valid until
+// Reset. A nil workspace returns a freshly allocated matrix.
+func (w *Workspace) Get(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: Workspace.Get negative dimension %dx%d", r, c))
+	}
+	if w == nil {
+		return Zeros(r, c)
+	}
+	b := w.acquire(r * c)
+	b.hdr = Dense{rows: r, cols: c, data: b.data}
+	return &b.hdr
+}
+
+// Floats returns a zeroed length-n slice backed by pooled storage, valid
+// until Reset. A nil workspace returns a fresh slice.
+func (w *Workspace) Floats(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("mat: Workspace.Floats negative length %d", n))
+	}
+	if w == nil {
+		return make([]float64, n)
+	}
+	return w.acquire(n).data
+}

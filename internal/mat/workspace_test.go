@@ -1,0 +1,84 @@
+package mat
+
+import (
+	"testing"
+)
+
+// TestWorkspaceReuse verifies that a Get/Reset cycle with stable shapes
+// settles into a fixed buffer set (no growth) and always hands back
+// zeroed storage.
+func TestWorkspaceReuse(t *testing.T) {
+	ws := NewWorkspace()
+	var first *Dense
+	for cycle := 0; cycle < 5; cycle++ {
+		ws.Reset()
+		a := ws.Get(7, 3)
+		v := ws.Floats(11)
+		for i := range a.data {
+			if a.data[i] != 0 {
+				t.Fatalf("cycle %d: Get returned dirty storage", cycle)
+			}
+			a.data[i] = 99
+		}
+		for i := range v {
+			if v[i] != 0 {
+				t.Fatalf("cycle %d: Floats returned dirty storage", cycle)
+			}
+			v[i] = -1
+		}
+		if cycle == 0 {
+			first = a
+		}
+	}
+	if len(ws.bufs) != 2 {
+		t.Fatalf("workspace grew to %d buffers, want 2", len(ws.bufs))
+	}
+	if r, c := first.Dims(); r != 7 || c != 3 {
+		t.Fatalf("pooled header reshaped to %dx%d", r, c)
+	}
+}
+
+// TestWorkspaceDistinctBuffers ensures two live Gets never alias.
+func TestWorkspaceDistinctBuffers(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(4, 4)
+	b := ws.Get(4, 4)
+	a.Set(0, 0, 1)
+	if b.At(0, 0) != 0 {
+		t.Fatal("two live workspace matrices share storage")
+	}
+	s := ws.Floats(16)
+	s[0] = 5
+	if a.At(0, 0) != 1 || b.At(0, 0) != 0 {
+		t.Fatal("Floats aliased a live matrix")
+	}
+}
+
+// TestWorkspaceNilDegradesToAllocation covers the nil-workspace contract
+// every threaded call path relies on.
+func TestWorkspaceNilDegradesToAllocation(t *testing.T) {
+	var ws *Workspace
+	ws.Reset() // must not panic
+	m := ws.Get(2, 3)
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("nil Get returned %dx%d", r, c)
+	}
+	if v := ws.Floats(4); len(v) != 4 {
+		t.Fatalf("nil Floats returned len %d", len(v))
+	}
+}
+
+// TestWorkspaceCapacityReuse checks that a smaller request reuses a
+// larger free slab instead of growing the pool.
+func TestWorkspaceCapacityReuse(t *testing.T) {
+	ws := NewWorkspace()
+	ws.Get(10, 10)
+	ws.Reset()
+	small := ws.Get(3, 3)
+	if len(ws.bufs) != 1 {
+		t.Fatalf("small request grew the pool to %d buffers", len(ws.bufs))
+	}
+	if r, c := small.Dims(); r != 3 || c != 3 {
+		t.Fatalf("reused slab has shape %dx%d", r, c)
+	}
+}

@@ -42,6 +42,12 @@ type BEDR struct {
 	// sensitive to tail-eigenvalue sampling noise that the subspace
 	// attacks ignore. Ignored when OracleCov is set.
 	Shrink bool
+	// WS, when set, is the scratch arena every temporary of the
+	// reconstruction is drawn from: steady-state reconstructions of a
+	// fixed shape allocate (near) nothing. The workspace is reset at the
+	// start of each reconstruction, so attacks sharing one WS must not
+	// run concurrently — give each worker its own.
+	WS *mat.Workspace
 }
 
 // NewBEDR returns the standard attack for i.i.d. noise of variance sigma2.
@@ -59,45 +65,43 @@ func (b *BEDR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 		return nil, err
 	}
 	n, m := y.Dims()
+	ws := b.WS
+	ws.Reset()
 
-	constant, gain, err := b.estimator(m,
-		func() []float64 { return stat.ColumnMeans(y) },
-		func() *mat.Dense { return stat.CovarianceMatrix(y) })
+	constant, gain, err := b.estimator(ws, m,
+		func() []float64 { return stat.ColumnMeansInto(ws.Floats(m), y) },
+		func() *mat.Dense { return stat.CovarianceMatrixWS(ws, y) })
 	if err != nil {
 		return nil, err
 	}
 
-	// Data-dependent part: A·Σr⁻¹·y, applied row-wise as y·(A·Σr⁻¹)ᵀ.
-	dataPart := mat.Mul(y, mat.Transpose(gain))
-
-	out := mat.Zeros(n, m)
-	for i := 0; i < n; i++ {
-		row := out.RawRow(i)
-		src := dataPart.RawRow(i)
-		for j := range row {
-			row[j] = constant[j] + src[j]
-		}
-	}
-	return out, nil
+	// Data-dependent part: A·Σr⁻¹·y, applied row-wise as y·(A·Σr⁻¹)ᵀ
+	// without materializing the transpose, then shifted by the constant.
+	xhat := mat.Zeros(n, m)
+	mat.MulABTInto(xhat, y, gain)
+	stat.AddToColumnsInPlace(xhat, constant)
+	return xhat, nil
 }
 
 // estimator builds the affine map of the Bayes estimate,
 // x̂ = constant + gain·y, from the disguised data's first two moments
 // (supplied lazily — the means are skipped under OracleMean, the
-// covariance under OracleCov). The entire estimate beyond the per-row
-// application lives here, so the in-memory and streaming paths are the
-// same attack: only where the moments come from differs.
-func (b *BEDR) estimator(m int, muY func() []float64, covY func() *mat.Dense) ([]float64, *mat.Dense, error) {
-	// Noise precision Σr⁻¹.
+// covariance under OracleCov; the covariance matrix supplied may be
+// consumed). The entire estimate beyond the per-row application lives
+// here, so the in-memory and streaming paths are the same attack: only
+// where the moments come from differs. The returned constant and gain
+// are ws-backed (valid until ws.Reset). The i.i.d. case never
+// materializes Σr or Σr⁻¹ — both are σ²-scaled identities applied as
+// diagonal shifts and scalings.
+func (b *BEDR) estimator(ws *mat.Workspace, m int, muY func() []float64, covY func() *mat.Dense) ([]float64, *mat.Dense, error) {
+	// Noise precision Σr⁻¹ (nil means the i.i.d. σ²·I case).
 	var noiseInv *mat.Dense
-	var noiseCov *mat.Dense
 	if b.NoiseCov != nil {
 		if b.NoiseCov.Rows() != m || b.NoiseCov.Cols() != m {
 			return nil, nil, fmt.Errorf("recon: noise covariance is %dx%d, want %dx%d",
 				b.NoiseCov.Rows(), b.NoiseCov.Cols(), m, m)
 		}
-		noiseCov = b.NoiseCov
-		inv, err := mat.InverseSPD(b.NoiseCov)
+		inv, err := mat.InverseSPDWS(ws, b.NoiseCov)
 		if err != nil {
 			return nil, nil, fmt.Errorf("recon: noise covariance not invertible: %w", err)
 		}
@@ -106,8 +110,6 @@ func (b *BEDR) estimator(m int, muY func() []float64, covY func() *mat.Dense) ([
 		if err := sigma2Valid(b.Sigma2); err != nil {
 			return nil, nil, err
 		}
-		noiseCov = mat.Scale(b.Sigma2, mat.Identity(m))
-		noiseInv = mat.Scale(1/b.Sigma2, mat.Identity(m))
 	}
 
 	// μx: column means of Y minus the noise mean (E[Y] = μx + μr).
@@ -118,17 +120,19 @@ func (b *BEDR) estimator(m int, muY func() []float64, covY func() *mat.Dense) ([
 			if len(b.NoiseMean) != m {
 				return nil, nil, fmt.Errorf("recon: noise mean length %d, want %d", len(b.NoiseMean), m)
 			}
-			mux = append([]float64(nil), mux...)
-			for j := range mux {
-				mux[j] -= b.NoiseMean[j]
+			shifted := ws.Floats(m)
+			for j := range shifted {
+				shifted[j] = mux[j] - b.NoiseMean[j]
 			}
+			mux = shifted
 		}
 	} else if len(mux) != m {
 		return nil, nil, fmt.Errorf("recon: oracle mean length %d, want %d", len(mux), m)
 	}
 
 	// Σx: oracle, or recovered from the disguised covariance
-	// (Theorem 5.1 for i.i.d. noise, Theorem 8.2 in general).
+	// (Theorem 5.1 for i.i.d. noise, Theorem 8.2 in general), applied in
+	// place on the supplied estimate.
 	var sigmaX *mat.Dense
 	if b.OracleCov != nil {
 		if b.OracleCov.Rows() != m || b.OracleCov.Cols() != m {
@@ -137,15 +141,20 @@ func (b *BEDR) estimator(m int, muY func() []float64, covY func() *mat.Dense) ([
 		}
 		sigmaX = b.OracleCov
 	} else {
-		est := stat.RecoverCovarianceGeneral(covY(), noiseCov)
+		est := covY()
+		if b.NoiseCov != nil {
+			stat.RecoverCovarianceGeneralInPlace(est, b.NoiseCov)
+		} else {
+			stat.RecoverCovarianceInPlace(est, b.Sigma2)
+		}
 		if b.Shrink {
-			cleaned, err := clipSpectrum(est)
+			cleaned, err := clipSpectrum(ws, est)
 			if err != nil {
 				return nil, nil, fmt.Errorf("recon: BE-DR spectrum cleaning: %w", err)
 			}
 			sigmaX = cleaned
 		} else {
-			fixed, err := ensurePositiveDefinite(est, 1e-6)
+			fixed, err := ensurePositiveDefinite(ws, est, 1e-6)
 			if err != nil {
 				return nil, nil, fmt.Errorf("recon: BE-DR covariance repair: %w", err)
 			}
@@ -153,30 +162,59 @@ func (b *BEDR) estimator(m int, muY func() []float64, covY func() *mat.Dense) ([
 		}
 	}
 
-	sigmaXInv, err := mat.InverseSPD(sigmaX)
+	sigmaXInv, err := mat.InverseSPDWS(ws, sigmaX)
 	if err != nil {
 		return nil, nil, fmt.Errorf("recon: Σx not invertible: %w", err)
 	}
 
 	// Posterior precision and its inverse: A = (Σx⁻¹ + Σr⁻¹)⁻¹.
-	precision := mat.Add(sigmaXInv, noiseInv)
-	a, err := mat.InverseSPD(precision)
+	precision := ws.Get(m, m)
+	copy(precision.Raw(), sigmaXInv.Raw())
+	if noiseInv != nil {
+		pd, nd := precision.Raw(), noiseInv.Raw()
+		for i := range pd {
+			pd[i] += nd[i]
+		}
+	} else {
+		inv := 1 / b.Sigma2
+		for i := 0; i < m; i++ {
+			precision.Set(i, i, precision.At(i, i)+inv)
+		}
+	}
+	a, err := mat.InverseSPDWS(ws, precision)
 	if err != nil {
 		return nil, nil, fmt.Errorf("recon: posterior precision not invertible: %w", err)
 	}
 
 	// Constant part of the estimate: A·(Σx⁻¹·μx − Σr⁻¹·μr).
-	base := mat.MulVec(sigmaXInv, mux)
+	base := mat.MulVecInto(ws.Floats(m), sigmaXInv, mux)
 	if b.NoiseMean != nil {
-		rterm := mat.MulVec(noiseInv, b.NoiseMean)
-		for j := range base {
-			base[j] -= rterm[j]
+		if noiseInv != nil {
+			rterm := mat.MulVecInto(ws.Floats(m), noiseInv, b.NoiseMean)
+			for j := range base {
+				base[j] -= rterm[j]
+			}
+		} else {
+			inv := 1 / b.Sigma2
+			for j := range base {
+				base[j] -= b.NoiseMean[j] * inv
+			}
 		}
 	}
-	constant := mat.MulVec(a, base)
+	constant := mat.MulVecInto(ws.Floats(m), a, base)
 
-	// The data-dependent gain A·Σr⁻¹.
-	gain := mat.Mul(a, noiseInv)
+	// The data-dependent gain A·Σr⁻¹ (a σ⁻² scaling of A in the i.i.d.
+	// case).
+	gain := ws.Get(m, m)
+	if noiseInv != nil {
+		mat.MulInto(gain, a, noiseInv)
+	} else {
+		inv := 1 / b.Sigma2
+		gd, ad := gain.Raw(), a.Raw()
+		for i := range ad {
+			gd[i] = ad[i] * inv
+		}
+	}
 	return constant, gain, nil
 }
 

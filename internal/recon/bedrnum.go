@@ -101,7 +101,7 @@ func (b *BEDRNumeric) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 		sigmaX = b.OracleCov
 	} else {
 		est := stat.RecoverCovariance(stat.CovarianceMatrix(y), noiseVar)
-		fixed, err := ensurePositiveDefinite(est, 1e-6)
+		fixed, err := ensurePositiveDefinite(nil, est, 1e-6)
 		if err != nil {
 			return nil, fmt.Errorf("recon: covariance repair: %w", err)
 		}

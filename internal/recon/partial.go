@@ -101,7 +101,7 @@ func (a *PartialDisclosure) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 		sigmaX = a.OracleCov
 	} else {
 		est := stat.RecoverCovariance(stat.CovarianceMatrix(y), a.Sigma2)
-		fixed, err := ensurePositiveDefinite(est, 1e-6)
+		fixed, err := ensurePositiveDefinite(nil, est, 1e-6)
 		if err != nil {
 			return nil, fmt.Errorf("recon: covariance repair: %w", err)
 		}
@@ -134,8 +134,8 @@ func (a *PartialDisclosure) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 	}
 	gain := mat.Mul(sigmaUK, kkInv) // Σ_UK·Σ_KK⁻¹, |U|×|K|
 
-	condCov := mat.Sub(sigmaUU, mat.Mul(gain, mat.Transpose(sigmaUK)))
-	condCov, err = ensurePositiveDefinite(condCov, 1e-9)
+	condCov := mat.Sub(sigmaUU, mat.MulABT(gain, sigmaUK))
+	condCov, err = ensurePositiveDefinite(nil, condCov, 1e-9)
 	if err != nil {
 		return nil, fmt.Errorf("recon: conditional covariance repair: %w", err)
 	}

@@ -54,6 +54,12 @@ type PCADR struct {
 	// instead of the Theorem 5.1 estimate — matching the simplification
 	// used in the paper's analysis section (§5.3).
 	OracleCov *mat.Dense
+	// WS, when set, is the scratch arena every temporary of the
+	// reconstruction is drawn from: steady-state reconstructions of a
+	// fixed shape allocate (near) nothing. The workspace is reset at the
+	// start of each reconstruction, so attacks sharing one WS must not
+	// run concurrently — give each worker its own.
+	WS *mat.Workspace
 }
 
 // NewPCADR returns the paper-default attack: Theorem 5.1 covariance
@@ -74,37 +80,59 @@ type Info struct {
 
 // Reconstruct implements Reconstructor.
 func (p *PCADR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
-	xhat, _, err := p.ReconstructWithInfo(y)
+	xhat, _, err := p.reconstruct(y, false)
 	return xhat, err
 }
 
 // ReconstructWithInfo reconstructs and additionally reports the selected
 // component count and recovered spectrum.
 func (p *PCADR) ReconstructWithInfo(y *mat.Dense) (*mat.Dense, Info, error) {
+	return p.reconstruct(y, true)
+}
+
+// reconstruct is the shared body: center once, recover the covariance
+// from the same centered copy through the symmetric rank-k kernel, and
+// project through the transpose-free products. Every temporary comes
+// from p.WS; only the returned estimate (and, when wantInfo is set, the
+// reported spectrum) is freshly allocated for the caller to keep.
+func (p *PCADR) reconstruct(y *mat.Dense, wantInfo bool) (*mat.Dense, Info, error) {
 	if err := validateNonEmpty(y); err != nil {
 		return nil, Info{}, err
 	}
-	_, m := y.Dims()
+	n, m := y.Dims()
+	ws := p.WS
+	ws.Reset()
 
-	centered, means := stat.CenterColumns(y)
-
-	qhat, info, err := p.projector(m, func() *mat.Dense { return stat.CovarianceMatrix(y) })
+	centered, means := centerWS(ws, y)
+	qhat, info, err := p.projector(ws, m, func() *mat.Dense { return gramCovWS(ws, centered) })
 	if err != nil {
 		return nil, Info{}, err
 	}
+	if wantInfo {
+		info.Eigenvalues = append([]float64(nil), info.Eigenvalues...)
+	} else {
+		info.Eigenvalues = nil
+	}
 
-	// X̂ = Yc·Q̂·Q̂ᵀ, then restore the column means.
-	proj := mat.Mul(mat.Mul(centered, qhat), mat.Transpose(qhat))
-	xhat := stat.AddToColumns(proj, means)
+	// X̂ = Yc·Q̂·Q̂ᵀ through the rows×p intermediate, then restore the
+	// column means.
+	comp := qhat.Cols()
+	mid := ws.Get(n, comp)
+	mat.MulInto(mid, centered, qhat)
+	xhat := mat.Zeros(n, m)
+	mat.MulABTInto(xhat, mid, qhat)
+	stat.AddToColumnsInPlace(xhat, means)
 	return xhat, info, nil
 }
 
 // projector derives the principal-subspace basis Q̂ from the disguised
 // covariance (supplied lazily — it is skipped entirely when an oracle
-// covariance is configured). It is shared by the in-memory and streaming
-// paths, so both apply identical covariance recovery, eigendecomposition
-// and component selection.
-func (p *PCADR) projector(m int, covY func() *mat.Dense) (*mat.Dense, Info, error) {
+// covariance is configured; the supplied matrix may be consumed). It is
+// shared by the in-memory and streaming paths, so both apply identical
+// covariance recovery, eigendecomposition and component selection. The
+// returned basis and Info.Eigenvalues are ws-backed (valid until
+// ws.Reset).
+func (p *PCADR) projector(ws *mat.Workspace, m int, covY func() *mat.Dense) (*mat.Dense, Info, error) {
 	if err := sigma2Valid(p.Sigma2); err != nil {
 		return nil, Info{}, err
 	}
@@ -116,10 +144,11 @@ func (p *PCADR) projector(m int, covY func() *mat.Dense) (*mat.Dense, Info, erro
 		}
 		cov = p.OracleCov
 	} else {
-		cov = stat.RecoverCovariance(covY(), p.Sigma2)
+		cov = covY()
+		stat.RecoverCovarianceInPlace(cov, p.Sigma2)
 	}
 
-	eig, err := mat.EigenSym(cov)
+	eig, err := mat.EigenSymWS(ws, cov)
 	if err != nil {
 		return nil, Info{}, fmt.Errorf("recon: PCA-DR eigendecomposition: %w", err)
 	}
@@ -129,7 +158,7 @@ func (p *PCADR) projector(m int, covY func() *mat.Dense) (*mat.Dense, Info, erro
 		return nil, Info{}, err
 	}
 
-	qhat := eig.TopVectors(comp)
+	qhat := eig.TopVectorsWS(ws, comp)
 	info := Info{Components: comp, Eigenvalues: eig.Values, KeptEnergy: keptEnergy(eig.Values, comp)}
 	return qhat, info, nil
 }

@@ -22,7 +22,35 @@ import (
 	"math"
 
 	"randpriv/internal/mat"
+	"randpriv/internal/stat"
 )
+
+// centerWS copies y into a workspace buffer and centers its columns,
+// returning the centered copy and the removed means (both ws-backed,
+// valid until ws.Reset). It is the shared first step of the spectral
+// attacks: the same centered copy feeds the Gram estimate and the
+// projection, so y is only traversed once for centering.
+func centerWS(ws *mat.Workspace, y *mat.Dense) (centered *mat.Dense, means []float64) {
+	n, m := y.Dims()
+	means = ws.Floats(m)
+	centered = ws.Get(n, m)
+	copy(centered.Raw(), y.Raw())
+	stat.CenterColumnsInPlace(centered, means)
+	return centered, means
+}
+
+// gramCovWS returns the unbiased sample covariance of the pre-centered
+// data through the triangular Gram kernel (zeros when n < 2, matching
+// stat.CovarianceMatrix). The result is ws-backed and owned by the
+// caller — the attacks apply their covariance recovery to it in place.
+func gramCovWS(ws *mat.Workspace, centered *mat.Dense) *mat.Dense {
+	n, m := centered.Dims()
+	alpha := 0.0
+	if n > 1 {
+		alpha = 1 / float64(n-1)
+	}
+	return mat.SymRankKInto(ws.Get(m, m), centered, alpha)
+}
 
 // Reconstructor estimates the original data from a disguised data set.
 type Reconstructor interface {
@@ -33,17 +61,19 @@ type Reconstructor interface {
 	Name() string
 }
 
-// ensurePositiveDefinite returns a copy of the symmetric matrix c whose
-// eigenvalues are floored at eps·max(λ). Covariance estimates recovered
-// via Theorem 5.1 can have slightly negative eigenvalues from sampling
-// error; the Bayes estimator needs a proper SPD matrix.
-func ensurePositiveDefinite(c *mat.Dense, eps float64) (*mat.Dense, error) {
-	e, err := mat.EigenSym(c)
+// ensurePositiveDefinite returns the symmetric matrix c with its
+// eigenvalues floored at eps·max(λ). Covariance estimates recovered via
+// Theorem 5.1 can have slightly negative eigenvalues from sampling
+// error; the Bayes estimator needs a proper SPD matrix. The result (and
+// all scratch) is drawn from ws and valid until ws.Reset; when no floor
+// is needed c itself is returned unchanged.
+func ensurePositiveDefinite(ws *mat.Workspace, c *mat.Dense, eps float64) (*mat.Dense, error) {
+	e, err := mat.EigenSymWS(ws, c)
 	if err != nil {
 		return nil, err
 	}
 	if len(e.Values) == 0 {
-		return c.Clone(), nil
+		return c, nil
 	}
 	maxVal := e.Values[0]
 	if maxVal <= 0 {
@@ -51,18 +81,16 @@ func ensurePositiveDefinite(c *mat.Dense, eps float64) (*mat.Dense, error) {
 	}
 	floor := eps * maxVal
 	changed := false
-	vals := append([]float64(nil), e.Values...)
-	for i, v := range vals {
+	for i, v := range e.Values {
 		if v < floor {
-			vals[i] = floor
+			e.Values[i] = floor
 			changed = true
 		}
 	}
 	if !changed {
-		return c.Clone(), nil
+		return c, nil
 	}
-	fixed := &mat.Eigen{Values: vals, Vectors: e.Vectors}
-	return fixed.Reconstruct(), nil
+	return e.ReconstructWS(ws), nil
 }
 
 // clipSpectrum denoises a symmetric covariance estimate by eigenvalue
@@ -72,21 +100,22 @@ func ensurePositiveDefinite(c *mat.Dense, eps float64) (*mat.Dense, error) {
 // spectra this is the matched shrinkage — the tail sampling noise that
 // destabilizes full-matrix inverses averages out, while the signal
 // subspace is untouched. When the spectrum has no dominant gap all
-// eigenvalues are averaged (≈ scaled identity).
-func clipSpectrum(c *mat.Dense) (*mat.Dense, error) {
-	e, err := mat.EigenSym(c)
+// eigenvalues are averaged (≈ scaled identity). The result is drawn
+// from ws and valid until ws.Reset.
+func clipSpectrum(ws *mat.Workspace, c *mat.Dense) (*mat.Dense, error) {
+	e, err := mat.EigenSymWS(ws, c)
 	if err != nil {
 		return nil, err
 	}
 	m := len(e.Values)
 	if m == 0 {
-		return c.Clone(), nil
+		return c, nil
 	}
 	p := 0
 	if dominantGap(e.Values) && m >= 3 {
 		p = e.LargestGapSplit()
 	}
-	vals := append([]float64(nil), e.Values...)
+	vals := e.Values
 	if p < m {
 		var tailSum float64
 		for _, v := range vals[p:] {
@@ -107,8 +136,7 @@ func clipSpectrum(c *mat.Dense) (*mat.Dense, error) {
 			vals[i] = floor
 		}
 	}
-	cleaned := &mat.Eigen{Values: vals, Vectors: e.Vectors}
-	return cleaned.Reconstruct(), nil
+	return e.ReconstructWS(ws), nil
 }
 
 // validateNonEmpty rejects degenerate inputs shared by all attacks:

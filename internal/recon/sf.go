@@ -27,6 +27,10 @@ import (
 type SF struct {
 	// Sigma2 is the per-entry noise variance σ².
 	Sigma2 float64
+	// WS, when set, is the scratch arena every temporary of the
+	// reconstruction is drawn from (reset at the start of each
+	// reconstruction; attacks sharing one WS must not run concurrently).
+	WS *mat.Workspace
 }
 
 // NewSF returns the attack for i.i.d. noise of variance sigma2.
@@ -46,12 +50,18 @@ func NoiseEigenvalueBounds(sigma2 float64, n, m int) (lo, hi float64) {
 
 // Reconstruct implements Reconstructor.
 func (s *SF) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
-	xhat, _, err := s.ReconstructWithInfo(y)
+	xhat, _, err := s.reconstruct(y, false)
 	return xhat, err
 }
 
 // ReconstructWithInfo reconstructs and reports the signal subspace size.
+// Scratch comes from s.WS; the returned estimate and spectrum are owned
+// by the caller.
 func (s *SF) ReconstructWithInfo(y *mat.Dense) (*mat.Dense, Info, error) {
+	return s.reconstruct(y, true)
+}
+
+func (s *SF) reconstruct(y *mat.Dense, wantInfo bool) (*mat.Dense, Info, error) {
 	if err := validateNonEmpty(y); err != nil {
 		return nil, Info{}, err
 	}
@@ -59,10 +69,12 @@ func (s *SF) ReconstructWithInfo(y *mat.Dense) (*mat.Dense, Info, error) {
 		return nil, Info{}, err
 	}
 	n, m := y.Dims()
+	ws := s.WS
+	ws.Reset()
 
-	centered, means := stat.CenterColumns(y)
-	covY := stat.CovarianceMatrix(y)
-	eig, err := mat.EigenSym(covY)
+	centered, means := centerWS(ws, y)
+	covY := gramCovWS(ws, centered)
+	eig, err := mat.EigenSymWS(ws, covY)
 	if err != nil {
 		return nil, Info{}, fmt.Errorf("recon: SF eigendecomposition: %w", err)
 	}
@@ -77,17 +89,24 @@ func (s *SF) ReconstructWithInfo(y *mat.Dense) (*mat.Dense, Info, error) {
 		}
 	}
 
-	info := Info{Components: comp, Eigenvalues: eig.Values, KeptEnergy: keptEnergy(eig.Values, comp)}
+	info := Info{Components: comp, KeptEnergy: keptEnergy(eig.Values, comp)}
+	if wantInfo {
+		info.Eigenvalues = append([]float64(nil), eig.Values...)
+	}
+	xhat := mat.Zeros(n, m)
 	if comp == 0 {
 		// No eigenvalue clears the noise band: the filtered signal is
 		// empty and the best remaining guess is the column means.
-		flat := mat.Zeros(n, m)
-		return stat.AddToColumns(flat, means), info, nil
+		stat.AddToColumnsInPlace(xhat, means)
+		return xhat, info, nil
 	}
 
-	v := eig.TopVectors(comp)
-	proj := mat.Mul(mat.Mul(centered, v), mat.Transpose(v))
-	return stat.AddToColumns(proj, means), info, nil
+	// X̂ = Yc·V·Vᵀ through the rows×p intermediate, transpose-free.
+	v := eig.TopVectorsWS(ws, comp)
+	mid := mat.MulInto(ws.Get(n, comp), centered, v)
+	mat.MulABTInto(xhat, mid, v)
+	stat.AddToColumnsInPlace(xhat, means)
+	return xhat, info, nil
 }
 
 // Name implements Reconstructor.

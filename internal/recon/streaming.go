@@ -159,12 +159,13 @@ func (p *PCADR) ReconstructStream(src stream.Source, sink stream.Sink) error {
 		return err
 	}
 	m := mo.Dim()
+	ws := p.WS
+	ws.Reset()
 	covY := mo.Covariance()
-	qhat, _, err := p.projector(m, func() *mat.Dense { return covY })
+	qhat, _, err := p.projector(ws, m, func() *mat.Dense { return covY })
 	if err != nil {
 		return err
 	}
-	qhatT := mat.Transpose(qhat)
 	comp := qhat.Cols()
 
 	means := mo.Means()
@@ -178,9 +179,10 @@ func (p *PCADR) ReconstructStream(src stream.Source, sink stream.Sink) error {
 		centered, mid, out := bufs[0], bufs[1], bufs[2]
 		copy(centered.Raw(), chunk.Raw())
 		stat.AddToColumnsInPlace(centered, neg)
-		// X̂c = Yc·Q̂·Q̂ᵀ via the rows×p intermediate.
+		// X̂c = Yc·Q̂·Q̂ᵀ via the rows×p intermediate; Q̂ᵀ is never
+		// materialized.
 		mat.MulInto(mid, centered, qhat)
-		mat.MulInto(out, mid, qhatT)
+		mat.MulABTInto(out, mid, qhat)
 		stat.AddToColumnsInPlace(out, means)
 		return out
 	})
@@ -195,18 +197,21 @@ func (b *BEDR) ReconstructStream(src stream.Source, sink stream.Sink) error {
 		return err
 	}
 	m := mo.Dim()
-	constant, gain, err := b.estimator(m,
+	ws := b.WS
+	ws.Reset()
+	constant, gain, err := b.estimator(ws, m,
 		func() []float64 { return mo.Means() },
 		func() *mat.Dense { return mo.Covariance() })
 	if err != nil {
 		return err
 	}
-	gainT := mat.Transpose(gain)
 
 	scratch := newChunkScratch(m)
 	return projectChunks(src, sink, m, func(chunk *mat.Dense) *mat.Dense {
 		out := scratch.get(chunk.Rows())[0]
-		mat.MulInto(out, chunk, gainT)
+		// x̂ = gain·y per row, applied as y·gainᵀ without materializing
+		// the transpose.
+		mat.MulABTInto(out, chunk, gain)
 		stat.AddToColumnsInPlace(out, constant)
 		return out
 	})

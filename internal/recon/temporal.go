@@ -108,9 +108,9 @@ func (a *TemporalBEDR) Reconstruct(y *mat.Dense) (*mat.Dense, error) {
 		est := stat.RecoverCovariance(stat.CovarianceMatrix(y), a.Sigma2)
 		var err error
 		if a.Shrink {
-			sigmaX, err = clipSpectrum(est)
+			sigmaX, err = clipSpectrum(nil, est)
 		} else {
-			sigmaX, err = ensurePositiveDefinite(est, 1e-6)
+			sigmaX, err = ensurePositiveDefinite(nil, est, 1e-6)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("recon: T-BE-DR covariance repair: %w", err)

@@ -226,7 +226,7 @@ func (s *Server) handlePerturb(w http.ResponseWriter, r *http.Request) error {
 	}
 	defer up.Remove()
 	defer src.Close()
-	return s.pool.Do(r.Context(), func() error {
+	return s.pool.Do(r.Context(), func(_ *mat.Workspace) error {
 		cs := ctxSource{ctx: r.Context(), src: src}
 		if _, err := validateUpload(cs, len(src.Names())); err != nil {
 			return err
@@ -243,10 +243,11 @@ func (s *Server) handlePerturb(w http.ResponseWriter, r *http.Request) error {
 	})
 }
 
-// buildAttack constructs the requested streaming reconstructor. The
-// correlated BE-DR variant shapes its assumed noise covariance from the
-// disguised data's own sketch, exactly like the CLI's attack -correlated.
-func buildAttack(p requestParams, src stream.Source) (recon.StreamReconstructor, error) {
+// buildAttack constructs the requested streaming reconstructor, wired to
+// the pool worker's scratch workspace. The correlated BE-DR variant
+// shapes its assumed noise covariance from the disguised data's own
+// sketch, exactly like the CLI's attack -correlated.
+func buildAttack(p requestParams, src stream.Source, ws *mat.Workspace) (recon.StreamReconstructor, error) {
 	sigma2 := p.Sigma * p.Sigma
 	if p.Correlated && p.Attack != "bedr" {
 		// Only BE-DR has a correlated-noise variant; silently running
@@ -258,10 +259,10 @@ func buildAttack(p requestParams, src stream.Source) (recon.StreamReconstructor,
 	case "ndr":
 		return recon.NDR{}, nil
 	case "pcadr":
-		return recon.NewPCADR(sigma2), nil
+		return &recon.PCADR{Sigma2: sigma2, Select: recon.SelectGap, WS: ws}, nil
 	case "bedr":
 		if !p.Correlated {
-			return recon.NewBEDR(sigma2), nil
+			return &recon.BEDR{Sigma2: sigma2, WS: ws}, nil
 		}
 		mo, err := stream.Accumulate(src, 1)
 		if err != nil {
@@ -271,7 +272,7 @@ func buildAttack(p requestParams, src stream.Source) (recon.StreamReconstructor,
 		if err != nil {
 			return nil, badRequest(err)
 		}
-		return recon.NewBEDRCorrelated(noiseCov, nil), nil
+		return &recon.BEDR{NoiseCov: noiseCov, WS: ws}, nil
 	default:
 		return nil, badRequest(fmt.Errorf("server: unknown attack %q", p.Attack))
 	}
@@ -290,12 +291,12 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) error {
 	}
 	defer up.Remove()
 	defer src.Close()
-	return s.pool.Do(r.Context(), func() error {
+	return s.pool.Do(r.Context(), func(ws *mat.Workspace) error {
 		cs := ctxSource{ctx: r.Context(), src: src}
 		if _, err := validateUpload(cs, len(src.Names())); err != nil {
 			return err
 		}
-		attack, err := buildAttack(p, cs)
+		attack, err := buildAttack(p, cs, ws)
 		if err != nil {
 			return err
 		}
@@ -401,13 +402,13 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) error {
 	}
 
 	var body []byte
-	err = s.pool.Do(r.Context(), func() error {
+	err = s.pool.Do(r.Context(), func(ws *mat.Workspace) error {
 		cs := ctxSource{ctx: r.Context(), src: src}
 		rows, err := validateUpload(cs, len(src.Names()))
 		if err != nil {
 			return err
 		}
-		rep, err := s.assess(cs, src.Names(), p)
+		rep, err := s.assess(cs, src.Names(), p, ws)
 		if err != nil {
 			return err
 		}
@@ -430,7 +431,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) error {
 
 // assess perturbs the validated original stream into a spool file and
 // runs the attack battery against it, in the requested mode.
-func (s *Server) assess(orig ctxSource, names []string, p requestParams) (*core.PrivacyReport, error) {
+func (s *Server) assess(orig ctxSource, names []string, p requestParams, ws *mat.Workspace) (*core.PrivacyReport, error) {
 	scheme, err := buildScheme(p, orig)
 	if err != nil {
 		return nil, err
@@ -461,14 +462,14 @@ func (s *Server) assess(orig ctxSource, names []string, p requestParams) (*core.
 	}
 
 	if p.Stream {
-		return s.assessStream(orig, disgPath, scheme, p)
+		return s.assessStream(orig, disgPath, scheme, p, ws)
 	}
-	return s.assessMemory(orig, disgPath, scheme, p)
+	return s.assessMemory(orig, disgPath, scheme, p, ws)
 }
 
 // assessStream runs the out-of-core battery: NDR baseline plus the
 // streamable attacks, never materializing either data set.
-func (s *Server) assessStream(orig ctxSource, disgPath string, scheme randomize.StreamScheme, p requestParams) (*core.PrivacyReport, error) {
+func (s *Server) assessStream(orig ctxSource, disgPath string, scheme randomize.StreamScheme, p requestParams, ws *mat.Workspace) (*core.PrivacyReport, error) {
 	disgSrc, err := dataset.OpenCSVChunks(disgPath, p.Chunk)
 	if err != nil {
 		return nil, err
@@ -479,14 +480,14 @@ func (s *Server) assessStream(orig ctxSource, disgPath string, scheme randomize.
 	var attacks []recon.StreamReconstructor
 	if c, ok := scheme.(*randomize.Correlated); ok {
 		attacks = []recon.StreamReconstructor{
-			recon.NewPCADR(c.AverageVariance()),
-			recon.NewBEDRCorrelated(c.NoiseCovariance(), c.NoiseMean()),
+			&recon.PCADR{Sigma2: c.AverageVariance(), Select: recon.SelectGap, WS: ws},
+			&recon.BEDR{NoiseCov: c.NoiseCovariance(), NoiseMean: c.NoiseMean(), WS: ws},
 		}
 	} else {
 		sigma2 := p.Sigma * p.Sigma
 		attacks = []recon.StreamReconstructor{
-			recon.NewPCADR(sigma2),
-			recon.NewBEDR(sigma2),
+			&recon.PCADR{Sigma2: sigma2, Select: recon.SelectGap, WS: ws},
+			&recon.BEDR{Sigma2: sigma2, WS: ws},
 		}
 	}
 	desc := fmt.Sprintf("%s (streaming, %d-row chunks)", scheme.Describe(), p.Chunk)
@@ -495,7 +496,7 @@ func (s *Server) assessStream(orig ctxSource, disgPath string, scheme randomize.
 
 // assessMemory loads both copies and runs the full battery, including the
 // attacks that need resident data (UDR, SF).
-func (s *Server) assessMemory(orig ctxSource, disgPath string, scheme randomize.StreamScheme, p requestParams) (*core.PrivacyReport, error) {
+func (s *Server) assessMemory(orig ctxSource, disgPath string, scheme randomize.StreamScheme, p requestParams, ws *mat.Workspace) (*core.PrivacyReport, error) {
 	collect := func(src stream.Source) (*mat.Dense, error) {
 		if err := src.Reset(); err != nil {
 			return nil, err
@@ -530,9 +531,9 @@ func (s *Server) assessMemory(orig ctxSource, disgPath string, scheme randomize.
 
 	var attacks []recon.Reconstructor
 	if c, ok := scheme.(*randomize.Correlated); ok {
-		attacks = core.CorrelatedNoiseAttacks(c.NoiseCovariance(), c.NoiseMean())
+		attacks = core.CorrelatedNoiseAttacksWS(ws, c.NoiseCovariance(), c.NoiseMean())
 	} else {
-		attacks = core.StandardAttacks(p.Sigma * p.Sigma)
+		attacks = core.StandardAttacksWS(ws, p.Sigma*p.Sigma)
 	}
 	return core.Evaluate(origData, disgData, scheme.Describe(), attacks)
 }

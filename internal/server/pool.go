@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"randpriv/internal/mat"
 )
 
 // ErrQueueFull is returned by workerPool.Do when the bounded queue cannot
@@ -29,11 +31,18 @@ type workerPool struct {
 
 type poolJob struct {
 	ctx  context.Context
-	fn   func() error
+	fn   func(ws *mat.Workspace) error
 	done chan error
 }
 
 // newWorkerPool starts workers goroutines over a queueDepth-deep queue.
+// Each worker owns a mat.Workspace that is reset and handed to every job
+// it runs: request after request, the numeric layers draw their
+// temporaries from the same per-worker buffer set instead of
+// re-allocating them, so the steady-state allocation cost of an
+// assessment is (near) independent of how many requests the worker has
+// served. Workspaces never cross workers, so no synchronization is
+// involved and results are unaffected (buffers are zeroed on Get).
 func newWorkerPool(workers, queueDepth int) *workerPool {
 	if workers < 1 {
 		workers = 1
@@ -46,13 +55,15 @@ func newWorkerPool(workers, queueDepth int) *workerPool {
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
+			ws := mat.NewWorkspace()
 			for job := range p.jobs {
 				// A job whose request deadline already passed while it
 				// sat in the queue is not worth starting.
 				if err := job.ctx.Err(); err != nil {
 					job.done <- err
 				} else {
-					job.done <- runJob(job.fn)
+					ws.Reset()
+					job.done <- runJob(job.fn, ws)
 				}
 				p.inflight.Add(-1)
 			}
@@ -77,21 +88,23 @@ func (e *panicError) Error() string {
 // reachable from one hostile-but-valid upload must fail that request
 // (500), not take down the worker — net/http's per-connection recover
 // does not cover pool goroutines.
-func runJob(fn func() error) (err error) {
+func runJob(fn func(ws *mat.Workspace) error, ws *mat.Workspace) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &panicError{val: r, Stack: debug.Stack()}
 		}
 	}()
-	return fn()
+	return fn(ws)
 }
 
-// Do submits fn and waits for it to finish. It returns ErrQueueFull
-// without running fn when the queue is saturated, ctx's error when the
-// deadline expired before a worker picked the job up, and fn's error
-// otherwise. Once a worker has started fn, Do always waits for it —
-// cancellation mid-run is fn's responsibility (see ctxSource).
-func (p *workerPool) Do(ctx context.Context, fn func() error) error {
+// Do submits fn and waits for it to finish; fn receives the executing
+// worker's scratch workspace (valid only for the duration of the job).
+// It returns ErrQueueFull without running fn when the queue is
+// saturated, ctx's error when the deadline expired before a worker
+// picked the job up, and fn's error otherwise. Once a worker has started
+// fn, Do always waits for it — cancellation mid-run is fn's
+// responsibility (see ctxSource).
+func (p *workerPool) Do(ctx context.Context, fn func(ws *mat.Workspace) error) error {
 	job := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
 	p.inflight.Add(1)
 	select {

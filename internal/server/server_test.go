@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"randpriv/internal/dataset"
+	"randpriv/internal/mat"
 	"randpriv/internal/synth"
 )
 
@@ -370,7 +371,7 @@ func occupyWorker(t *testing.T, s *Server) (release func()) {
 	go func() {
 		defer wg.Done()
 		for {
-			err := s.pool.Do(context.Background(), func() error {
+			err := s.pool.Do(context.Background(), func(_ *mat.Workspace) error {
 				close(started)
 				<-releaseCh
 				return nil
@@ -392,7 +393,7 @@ func occupyWorker(t *testing.T, s *Server) (release func()) {
 // in request compute must fail that request with 500 and leave the
 // worker alive for the next one, never crash the process.
 func TestWorkerPanicBecomes500(t *testing.T) {
-	err := runJob(func() error { panic("boom") })
+	err := runJob(func(_ *mat.Workspace) error { panic("boom") }, mat.NewWorkspace())
 	var pe *panicError
 	if !errors.As(err, &pe) {
 		t.Fatalf("runJob returned %v, want *panicError", err)
@@ -403,13 +404,13 @@ func TestWorkerPanicBecomes500(t *testing.T) {
 
 	pool := newWorkerPool(1, 1)
 	defer pool.Close()
-	if err := pool.Do(context.Background(), func() error { panic("kaboom") }); err == nil {
+	if err := pool.Do(context.Background(), func(_ *mat.Workspace) error { panic("kaboom") }); err == nil {
 		t.Fatal("panicking job returned nil error")
 	} else if statusOf(err) != http.StatusInternalServerError {
 		t.Errorf("statusOf(panic) = %d, want 500", statusOf(err))
 	}
 	// The worker survived and serves the next job.
-	if err := pool.Do(context.Background(), func() error { return nil }); err != nil {
+	if err := pool.Do(context.Background(), func(_ *mat.Workspace) error { return nil }); err != nil {
 		t.Errorf("job after panic: %v", err)
 	}
 }

@@ -8,7 +8,6 @@ package stat
 import (
 	"fmt"
 	"math"
-	"runtime"
 
 	"randpriv/internal/mat"
 )
@@ -72,21 +71,33 @@ func Correlation(xs, ys []float64) float64 {
 
 // ColumnMeans returns the per-column means of the n×m data matrix.
 func ColumnMeans(data *mat.Dense) []float64 {
+	_, m := data.Dims()
+	return ColumnMeansInto(make([]float64, m), data)
+}
+
+// ColumnMeansInto computes the per-column means into dst (len m) and
+// returns it — the allocation-free form for workspace-threaded callers.
+func ColumnMeansInto(dst []float64, data *mat.Dense) []float64 {
 	n, m := data.Dims()
-	out := make([]float64, m)
+	if len(dst) != m {
+		panic(fmt.Sprintf("stat: ColumnMeansInto destination length %d, want %d", len(dst), m))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	if n == 0 {
-		return out
+		return dst
 	}
 	for i := 0; i < n; i++ {
 		row := data.RawRow(i)
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	for j := range out {
-		out[j] /= float64(n)
+	for j := range dst {
+		dst[j] /= float64(n)
 	}
-	return out
+	return dst
 }
 
 // ColumnVariances returns the per-column unbiased sample variances.
@@ -126,6 +137,21 @@ func CenterColumns(data *mat.Dense) (centered *mat.Dense, means []float64) {
 	return centered, means
 }
 
+// CenterColumnsInPlace shifts every column of data to zero mean, writing
+// the removed means into the caller-provided means slice (len must be
+// Cols()). It is the allocation-free form of CenterColumns for the
+// workspace-threaded attack paths.
+func CenterColumnsInPlace(data *mat.Dense, means []float64) {
+	ColumnMeansInto(means, data)
+	n := data.Rows()
+	for i := 0; i < n; i++ {
+		row := data.RawRow(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+}
+
 // AddToColumns returns a copy of data with means[j] added to column j.
 func AddToColumns(data *mat.Dense, means []float64) *mat.Dense {
 	out := data.Clone()
@@ -150,89 +176,31 @@ func AddToColumnsInPlace(data *mat.Dense, means []float64) {
 	}
 }
 
-// covChunkRows returns the row-chunk size of the parallel covariance
-// accumulation for an n-row input. It is a function of n alone — never
-// of the worker count: per-chunk partial sums are reduced in chunk
-// order, so an n-determined chunking keeps the result bit-identical
-// whether 1 or 16 workers computed the chunks. The chunk count is capped
-// at 256 so the transient partial buffers stay O(256·m²) even at very
-// large n.
-func covChunkRows(n int) int {
-	const minRows, maxChunks = 512, 256
-	rows := (n + maxChunks - 1) / maxChunks
-	if rows < minRows {
-		rows = minRows
-	}
-	return rows
-}
-
 // CovarianceMatrix returns the m×m unbiased sample covariance matrix of
 // the n×m data matrix (rows are records, columns are attributes). The
 // Gram accumulation — the hot spot of every spectral attack (Theorem 5.1
-// needs Σy at every reconstruction) — is chunked over fixed row blocks
-// computed concurrently and reduced in deterministic chunk order.
+// needs Σy at every reconstruction) — runs on mat's blocked symmetric
+// rank-k kernel: one triangle only, register-tiled, parallel over output
+// tiles with a shape-determined accumulation order, so the result is
+// bit-identical at any GOMAXPROCS.
 func CovarianceMatrix(data *mat.Dense) *mat.Dense {
+	return CovarianceMatrixWS(nil, data)
+}
+
+// CovarianceMatrixWS is CovarianceMatrix with the centered copy and the
+// result drawn from ws (valid until ws.Reset; nil ws allocates). It is
+// the form the attacks' steady-state loops use.
+func CovarianceMatrixWS(ws *mat.Workspace, data *mat.Dense) *mat.Dense {
 	n, m := data.Dims()
-	cov := mat.Zeros(m, m)
+	cov := ws.Get(m, m)
 	if n < 2 {
 		return cov
 	}
-	centered, _ := CenterColumns(data)
-	// cov = centeredᵀ·centered / (n-1), upper triangle only.
-	chunkRows := covChunkRows(n)
-	chunks := (n + chunkRows - 1) / chunkRows
-	if chunks == 1 {
-		accumulateGram(cov.Raw(), centered, 0, n)
-	} else {
-		// Per-chunk partials are always reduced in chunk order — even on a
-		// single worker — so the summation tree (and hence every rounding)
-		// is a function of n alone, not of GOMAXPROCS.
-		partials := make([][]float64, chunks)
-		mat.ParallelChunks(chunks, runtime.GOMAXPROCS(0), func(c int) {
-			part := make([]float64, m*m)
-			hi := (c + 1) * chunkRows
-			if hi > n {
-				hi = n
-			}
-			accumulateGram(part, centered, c*chunkRows, hi)
-			partials[c] = part
-		})
-		acc := cov.Raw()
-		for c, part := range partials {
-			for k, v := range part {
-				acc[k] += v
-			}
-			partials[c] = nil
-		}
-	}
-	inv := 1 / float64(n-1)
-	for a := 0; a < m; a++ {
-		for b := a; b < m; b++ {
-			v := cov.At(a, b) * inv
-			cov.Set(a, b, v)
-			cov.Set(b, a, v)
-		}
-	}
+	centered := ws.Get(n, m)
+	copy(centered.Raw(), data.Raw())
+	CenterColumnsInPlace(centered, ws.Floats(m))
+	mat.SymRankKInto(cov, centered, 1/float64(n-1))
 	return cov
-}
-
-// accumulateGram adds rows [r0, r1) of centeredᵀ·centered into the upper
-// triangle of the m×m row-major accumulator acc.
-func accumulateGram(acc []float64, centered *mat.Dense, r0, r1 int) {
-	_, m := centered.Dims()
-	for i := r0; i < r1; i++ {
-		row := centered.RawRow(i)
-		for a := 0; a < m; a++ {
-			va := row[a]
-			if va == 0 {
-				continue
-			}
-			cr := acc[a*m : (a+1)*m]
-			for b := a; b < m; b++ {
-				cr[b] += va * row[b]
-			}
-		}
-	}
 }
 
 // CorrelationMatrix returns the m×m sample correlation matrix. Constant
@@ -267,8 +235,31 @@ func RecoverCovariance(covY *mat.Dense, sigma2 float64) *mat.Dense {
 	return mat.AddScaledIdentity(covY, -sigma2)
 }
 
+// RecoverCovarianceInPlace is RecoverCovariance mutating covY — the
+// zero-allocation form for the workspace-threaded attacks, which own
+// their covariance estimate.
+func RecoverCovarianceInPlace(covY *mat.Dense, sigma2 float64) {
+	m := covY.Rows()
+	for i := 0; i < m; i++ {
+		covY.Set(i, i, covY.At(i, i)-sigma2)
+	}
+}
+
 // RecoverCovarianceGeneral applies Theorem 8.2: Σx = Σy − Σr for
 // correlated noise with known covariance Σr.
 func RecoverCovarianceGeneral(covY, covR *mat.Dense) *mat.Dense {
 	return mat.Sub(covY, covR)
+}
+
+// RecoverCovarianceGeneralInPlace is RecoverCovarianceGeneral mutating
+// covY (covR is read only).
+func RecoverCovarianceGeneralInPlace(covY, covR *mat.Dense) {
+	cd, rd := covY.Raw(), covR.Raw()
+	if len(cd) != len(rd) {
+		panic(fmt.Sprintf("stat: RecoverCovarianceGeneral shape mismatch %dx%d vs %dx%d",
+			covY.Rows(), covY.Cols(), covR.Rows(), covR.Cols()))
+	}
+	for i := range cd {
+		cd[i] -= rd[i]
+	}
 }

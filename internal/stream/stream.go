@@ -70,6 +70,11 @@ type Moments struct {
 	// scratch for Update/UpdateChunk/Merge (no per-call allocation)
 	delta, delta2 []float64
 	bmean, bm2    []float64
+	// centered is the per-chunk centered copy UpdateChunk feeds the
+	// blocked Gram kernel; it is grown to the largest chunk seen and
+	// reused (in a fixed-size chunk stream that is one steady size plus
+	// the final partial chunk).
+	centered *mat.Dense
 }
 
 // NewMoments returns an empty sketch over m columns.
@@ -161,26 +166,26 @@ func (mo *Moments) UpdateChunk(chunk *mat.Dense) {
 	for j := range mo.bmean {
 		mo.bmean[j] /= float64(r)
 	}
-	// Batch centered Gram (upper triangle).
+	// Batch centered Gram (upper triangle) via the blocked symmetric
+	// rank-k kernel: center the chunk into the reused scratch matrix,
+	// then fold centeredᵀ·centered into bm2 — the same triangular layout
+	// the sketch maintains, at register-tile speed.
 	for k := range mo.bm2 {
 		mo.bm2[k] = 0
 	}
+	if mo.centered == nil || mo.centered.Rows() < r {
+		mo.centered = mat.Zeros(r, mo.m)
+	}
+	cd := mo.centered.Raw()[:r*mo.m]
+	src := chunk.Raw()
 	for i := 0; i < r; i++ {
-		row := chunk.RawRow(i)
-		for j := range mo.delta {
-			mo.delta[j] = row[j] - mo.bmean[j]
-		}
-		for a := 0; a < mo.m; a++ {
-			da := mo.delta[a]
-			if da == 0 {
-				continue
-			}
-			g := mo.bm2[a*mo.m : (a+1)*mo.m]
-			for b := a; b < mo.m; b++ {
-				g[b] += da * mo.delta[b]
-			}
+		row := src[i*mo.m : (i+1)*mo.m]
+		out := cd[i*mo.m : (i+1)*mo.m]
+		for j, v := range row {
+			out[j] = v - mo.bmean[j]
 		}
 	}
+	mat.SymRankKUpperInto(mo.bm2, mat.New(r, mo.m, cd))
 	mo.merge(int64(r), mo.bmean, mo.bm2)
 }
 

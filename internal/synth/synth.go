@@ -41,7 +41,10 @@ func CovarianceFromSpectrum(vals []float64, q *mat.Dense) (*mat.Dense, error) {
 			return nil, fmt.Errorf("synth: eigenvalue %d = %v, must be > 0 for a valid covariance", i, v)
 		}
 	}
-	return mat.Mul(mat.Mul(q, mat.Diag(vals)), mat.Transpose(q)), nil
+	// Q·Λ·Qᵀ through the eigendecomposition helper: column scaling plus
+	// one transpose-free product, no Λ or Qᵀ temporaries.
+	e := &mat.Eigen{Values: vals, Vectors: q}
+	return e.Reconstruct(), nil
 }
 
 // Generate draws n records from N(mean, C) where C is built from the given

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench.sh — run the kernel and attack benchmarks and record the numbers
+# as a JSON snapshot, seeding the repo's performance trajectory.
+#
+# Usage:
+#   scripts/bench.sh [output.json] [benchtime]
+#
+# Defaults: output BENCH_PR4.json in the repo root, -benchtime 100x (fixed
+# iteration counts keep a run to a couple of minutes and make successive
+# snapshots comparable; raise it on quiet machines for tighter numbers).
+#
+# The raw `go test -bench` output is also written next to the JSON as
+# <output>.txt in benchstat-compatible format, so two snapshots can be
+# compared with:
+#   benchstat old.json.txt new.json.txt
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR4.json}"
+BENCHTIME="${2:-100x}"
+
+PATTERN='BenchmarkAttackPCADR$|BenchmarkAttackBEDR$|BenchmarkAttackSF$|BenchmarkEigenSym$|BenchmarkEigenSymJacobi$|BenchmarkMatMul$|BenchmarkCovarianceMatrix$|BenchmarkMulABT$|BenchmarkSymRankK$|BenchmarkStreamingAttack$'
+
+RAW="${OUT}.txt"
+echo "running benches (pattern: ${PATTERN}, benchtime: ${BENCHTIME}) ..." >&2
+go test -run '^$' -bench "${PATTERN}" -benchmem -benchtime "${BENCHTIME}" . | tee "${RAW}" >&2
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, os, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+benches = {}
+pat = re.compile(
+    r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?')
+for line in open(raw):
+    m = pat.match(line.strip())
+    if not m:
+        continue
+    name = m.group(1).rsplit('-', 1)[0]  # strip -GOMAXPROCS suffix
+    benches[name] = {
+        "iterations": int(m.group(2)),
+        "ns_per_op": float(m.group(3)),
+        **({"bytes_per_op": float(m.group(4))} if m.group(4) else {}),
+        **({"allocs_per_op": int(m.group(5))} if m.group(5) else {}),
+    }
+
+# A snapshot file carries a pinned "baseline" section (the pre-change
+# numbers the current run is compared against); re-running the script
+# only refreshes "current".
+doc = {}
+if os.path.exists(out):
+    try:
+        doc = json.load(open(out))
+    except ValueError:
+        doc = {}
+doc.setdefault("meta", {})
+doc["current"] = benches
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out} ({len(benches)} benchmarks)", file=sys.stderr)
+EOF
