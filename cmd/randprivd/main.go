@@ -7,14 +7,23 @@
 //
 //	randprivd [-addr :8080] [-workers N] [-queue 64] [-max-body 1073741824]
 //	          [-timeout 60s] [-cache 128] [-chunk 4096] [-spool DIR]
+//	          [-jobs-dir DIR] [-job-workers N] [-job-queue 64] [-job-ttl 24h]
 //
 // Endpoints (see internal/server):
 //
 //	POST /v1/perturb?sigma=5&seed=1&scheme=additive|correlated   CSV -> CSV
 //	POST /v1/attack?sigma=5&attack=ndr|pcadr|bedr[&correlated=1] CSV -> CSV
 //	POST /v1/assess?sigma=5&seed=1&scheme=...[&stream=1]         CSV -> JSON
+//	POST   /v1/jobs?sigma=5&seed=1&scheme=...[&stream=1]         CSV -> job id
+//	GET    /v1/jobs/{id}                                         status JSON
+//	GET    /v1/jobs/{id}/result                                  report JSON
+//	DELETE /v1/jobs/{id}                                         cancel/remove
 //	GET  /healthz
 //	GET  /v1/schemes
+//
+// Jobs submitted to /v1/jobs persist their spec and upload under
+// -jobs-dir; a restarted server re-runs any job the previous process
+// left queued or running, to byte-identical results.
 package main
 
 import (
@@ -52,12 +61,16 @@ func run(args []string) error {
 	cache := fs.Int("cache", 128, "assessment LRU cache entries (negative disables)")
 	chunk := fs.Int("chunk", 4096, "default streaming chunk rows (?chunk= overrides)")
 	spool := fs.String("spool", "", "spool directory for uploaded bodies (default: system temp dir)")
+	jobsDir := fs.String("jobs-dir", "", "async-job state directory; jobs here survive restarts (default: <tmp>/randprivd-jobs)")
+	jobWorkers := fs.Int("job-workers", 0, "background job pool size, separate from -workers (0 = half the cores)")
+	jobQueue := fs.Int("job-queue", 64, "max jobs queued beyond the running ones before POST /v1/jobs returns 429")
+	jobTTL := fs.Duration("job-ttl", 24*time.Hour, "retention of finished jobs and their results (negative keeps forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		MaxBodyBytes:   *maxBody,
@@ -65,8 +78,15 @@ func run(args []string) error {
 		CacheEntries:   *cache,
 		ChunkRows:      *chunk,
 		SpoolDir:       *spool,
+		JobsDir:        *jobsDir,
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobTTL:         *jobTTL,
 		Log:            logger,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 
 	httpSrv := &http.Server{

@@ -1,0 +1,669 @@
+// Package jobs is the durable async-job subsystem behind randprivd's
+// /v1/jobs endpoints: long-running assessments are submitted, polled and
+// fetched instead of holding an HTTP connection open for their whole
+// runtime.
+//
+// The manager is deliberately generic — it knows nothing about privacy
+// assessments. A job is an opaque spec (JSON the caller interprets) plus
+// a spooled upload file; the caller provides one Runner function that
+// turns (ctx, spec, upload) into result bytes. Everything else —
+// persistence, the bounded worker pool, cooperative cancellation,
+// crash recovery and TTL expiry — lives here and is tested here.
+//
+// Durability contract: every job persists its spec and upload under its
+// own directory in the state dir, and its job.json is rewritten (atomic
+// tmp+rename) on each state transition. A process that dies mid-queue or
+// mid-run leaves those jobs on disk in state "queued"/"running"; the next
+// manager over the same dir re-enqueues them and re-runs them from
+// scratch. Because the runner is deterministic in (spec, upload bytes) —
+// the randprivd runner seeds every RNG from the request seed — a
+// recovered job produces byte-identical result bytes to an uninterrupted
+// run.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a state is final (eligible for TTL expiry).
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is chunk-level completion of a running job, as reported by the
+// runner (chunks processed so far across every streaming pass / expected
+// total). Total is 0 until the runner has seen enough of the data to
+// know it.
+type Progress struct {
+	ChunksDone  int64 `json:"chunks_done"`
+	ChunksTotal int64 `json:"chunks_total"`
+}
+
+// Snapshot is a point-in-time copy of a job's public state.
+type Snapshot struct {
+	ID       string
+	State    State
+	Spec     json.RawMessage
+	Digest   string // hex SHA-256 of the upload bytes (set by the caller)
+	Progress Progress
+	Error    string // non-empty iff State == StateFailed
+	Created  time.Time
+	Started  time.Time // zero until the job first runs
+	Finished time.Time // zero until the job reaches a terminal state
+}
+
+// Runner executes one job: spec is the submit-time spec verbatim, upload
+// is the path of the spooled request body, and progress (never nil)
+// publishes chunk counts for the status endpoint. The returned bytes are
+// stored as the job's result and served verbatim. A Runner must honor ctx
+// promptly — cancellation (DELETE) and manager shutdown both arrive as
+// ctx cancellation — and must be deterministic in (spec, upload) if
+// recovered jobs are to reproduce their results.
+type Runner func(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error)
+
+// Sentinel errors mapped onto HTTP statuses by the server layer.
+var (
+	// ErrNotFound: no such job (404).
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrQueueFull: the pending queue is at capacity (429).
+	ErrQueueFull = errors.New("jobs: job queue is full")
+)
+
+// NotReadyError is returned by Result for a job that exists but has no
+// result to serve (409): it is still queued/running, or it failed.
+type NotReadyError struct {
+	State State
+	Err   string // the job's failure message, when State == StateFailed
+}
+
+func (e *NotReadyError) Error() string {
+	if e.State == StateFailed {
+		return fmt.Sprintf("jobs: job failed: %s", e.Err)
+	}
+	return fmt.Sprintf("jobs: job is %s, result not ready", e.State)
+}
+
+// Options tunes a Manager.
+type Options struct {
+	// Dir is the state directory (created if absent). Required.
+	Dir string
+	// Workers is the job-pool size (default 1). This pool is separate
+	// from the HTTP request pool on purpose: background jobs must not
+	// starve interactive endpoints.
+	Workers int
+	// QueueDepth caps how many jobs may be queued beyond the running
+	// ones before Submit returns ErrQueueFull (0 means the default of
+	// 64; negative means no queue slots beyond the workers). Recovery
+	// re-enqueues past jobs regardless of the cap — durability beats
+	// admission control for work already accepted.
+	QueueDepth int
+	// TTL expires terminal jobs (and their result files) this long after
+	// they finish; 0 or negative keeps them forever.
+	TTL time.Duration
+	// Log receives recovery/expiry diagnostics; nil uses log.Default().
+	Log *log.Logger
+}
+
+// job is the manager's mutable record. Fields after mu are guarded by it.
+type job struct {
+	id      string
+	dir     string
+	created time.Time
+
+	doneCh   chan struct{} // closed via finish() when the job stops being worked on
+	doneOnce sync.Once
+
+	progDone, progTotal atomic.Int64
+
+	mu       sync.Mutex
+	spec     json.RawMessage
+	digest   string
+	state    State
+	err      string
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc // non-nil while running
+	deleted  bool               // DELETE arrived; remove dir once off-worker
+}
+
+// Manager owns the state dir, the worker pool and the job table.
+type Manager struct {
+	opts Options
+	run  Runner
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	pending  []*job
+	inflight int // jobs queued or running, the admission-control gauge
+	closing  bool
+}
+
+// NewManager opens (creating if needed) the state dir, recovers any jobs
+// a previous process left behind, starts the worker pool and the TTL
+// sweeper, and returns the manager. Recovered queued/running jobs are
+// re-enqueued in creation order.
+func NewManager(opts Options, run Runner) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("jobs: Options.Dir is required")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.QueueDepth < 0 {
+		opts.QueueDepth = 0
+	}
+	if opts.Log == nil {
+		opts.Log = log.Default()
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create state dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:    opts,
+		run:     run,
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if err := m.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	if opts.TTL > 0 {
+		m.wg.Add(1)
+		go m.sweeper()
+	}
+	return m, nil
+}
+
+// Close stops accepting jobs, cancels running ones and waits for the
+// workers to exit. Disk state is left exactly as the durability contract
+// wants it: queued/running jobs keep their persisted pre-shutdown state,
+// so a new manager over the same dir re-runs them.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closing = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.stop() // cancels every running job's context
+	m.wg.Wait()
+}
+
+// Submit spools body into a new job directory, persists the job in state
+// queued and enqueues it. The digest parameter is the caller-computed
+// identity of the body (randprivd uses the hex SHA-256 it already
+// computes while spooling); Submit verifies nothing about it.
+func (m *Manager) Submit(spec json.RawMessage, digest string, body io.Reader) (Snapshot, error) {
+	return m.submit(spec, digest, func(dst string) error { return spoolUpload(dst, body) })
+}
+
+// SubmitFile is Submit for an upload that is already on disk: the
+// manager takes ownership of path, moving it into the job directory
+// (rename, with a copy-and-remove fallback when the state dir lives on
+// a different filesystem) instead of copying the bytes a second time.
+// On any error the caller still owns whatever remains at path.
+func (m *Manager) SubmitFile(spec json.RawMessage, digest string, path string) (Snapshot, error) {
+	return m.submit(spec, digest, func(dst string) error { return adoptFile(dst, path) })
+}
+
+// Full reports whether a Submit right now would be rejected with
+// ErrQueueFull. It exists so callers can shed overload before doing the
+// expensive part of a submission (spooling a gigabyte upload to disk);
+// the answer is advisory — Submit re-checks under lock.
+func (m *Manager) Full() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inflight >= m.opts.QueueDepth+m.opts.Workers
+}
+
+// submit runs the shared admission + persistence protocol; place writes
+// the upload into the job directory.
+func (m *Manager) submit(spec json.RawMessage, digest string, place func(dst string) error) (Snapshot, error) {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("jobs: manager is closed")
+	}
+	if m.inflight >= m.opts.QueueDepth+m.opts.Workers {
+		m.mu.Unlock()
+		return Snapshot{}, ErrQueueFull
+	}
+	m.mu.Unlock()
+
+	id, err := newID()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	j := &job{
+		id:      id,
+		dir:     filepath.Join(m.opts.Dir, id),
+		created: time.Now().UTC(),
+		doneCh:  make(chan struct{}),
+		spec:    append(json.RawMessage(nil), spec...),
+		digest:  digest,
+		state:   StateQueued,
+	}
+	if err := os.Mkdir(j.dir, 0o755); err != nil {
+		return Snapshot{}, fmt.Errorf("jobs: create job dir: %w", err)
+	}
+	if err := place(j.uploadPath()); err != nil {
+		os.RemoveAll(j.dir)
+		return Snapshot{}, err
+	}
+	if err := writeJobFile(j); err != nil {
+		os.RemoveAll(j.dir)
+		return Snapshot{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closing {
+		os.RemoveAll(j.dir)
+		return Snapshot{}, fmt.Errorf("jobs: manager is closed")
+	}
+	if m.inflight >= m.opts.QueueDepth+m.opts.Workers {
+		os.RemoveAll(j.dir)
+		return Snapshot{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.pending = append(m.pending, j)
+	m.inflight++
+	m.cond.Signal()
+	return j.snapshot(), nil
+}
+
+// Get returns a snapshot of the job, or ErrNotFound.
+func (m *Manager) Get(id string) (Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// Result returns the stored result bytes of a done job. A missing job is
+// ErrNotFound; a job in any other state is a *NotReadyError.
+func (m *Manager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	state, errMsg := j.state, j.err
+	j.mu.Unlock()
+	if state != StateDone {
+		return nil, &NotReadyError{State: state, Err: errMsg}
+	}
+	body, err := os.ReadFile(j.resultPath())
+	if err != nil {
+		// The TTL sweeper may have expired the job between the state
+		// check above and this read; a vanished result is the same
+		// outcome as polling after expiry, not an internal error.
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("jobs: read result: %w", err)
+	}
+	return body, nil
+}
+
+// Delete cancels (if running) and removes the job and its files. A
+// running job's worker observes the canceled context at the next chunk
+// boundary; its directory is removed once it is off the worker. Returns
+// ErrNotFound for unknown ids.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	delete(m.jobs, id)
+	for i, p := range m.pending {
+		if p == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.inflight--
+			break
+		}
+	}
+	m.mu.Unlock()
+
+	j.mu.Lock()
+	j.deleted = true
+	running := j.cancel != nil
+	if running {
+		j.cancel()
+	} else {
+		// Queued or terminal: no worker will ever touch this job again,
+		// so anyone blocked in Wait must be woken here.
+		j.state = StateCanceled
+	}
+	j.mu.Unlock()
+	if !running {
+		// Not on a worker: nothing else references the files.
+		j.finish()
+		os.RemoveAll(j.dir)
+	}
+	return nil
+}
+
+// Wait blocks until the job reaches a terminal state, the context
+// expires, or the job does not exist. It exists for tests and callers
+// that want synchronous completion without polling.
+func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	select {
+	case <-j.doneCh:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+}
+
+// Stats returns the queue gauges for /healthz.
+func (m *Manager) Stats() (queued, running, terminal int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch {
+		case j.state == StateRunning:
+			running++
+		case j.state == StateQueued:
+			queued++
+		default:
+			terminal++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running, terminal
+}
+
+// worker pops pending jobs until the manager closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closing {
+			m.cond.Wait()
+		}
+		if m.closing {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.runOne(j)
+	}
+}
+
+// runOne executes one job through the full transition protocol.
+func (m *Manager) runOne(j *job) {
+	defer func() {
+		m.mu.Lock()
+		m.inflight--
+		m.mu.Unlock()
+	}()
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.deleted {
+		j.mu.Unlock()
+		os.RemoveAll(j.dir)
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.cancel = cancel
+	spec := j.spec
+	j.mu.Unlock()
+	if err := writeJobFile(j); err != nil {
+		m.opts.Log.Printf("jobs: persist %s running: %v", j.id, err)
+	}
+
+	progress := func(done, total int64) {
+		j.progDone.Store(done)
+		j.progTotal.Store(total)
+	}
+	body, err := m.runProtected(ctx, spec, j.uploadPath(), progress)
+	if err == nil {
+		err = writeFileAtomic(j.resultPath(), body)
+	}
+
+	j.mu.Lock()
+	j.cancel = nil
+	deleted := j.deleted
+	switch {
+	case deleted:
+		// DELETE raced the run; whatever happened, the job is gone.
+		j.state = StateCanceled
+	case err == nil:
+		j.state = StateDone
+		j.progTotal.CompareAndSwap(0, j.progDone.Load())
+	case errorIsContext(err) && m.baseCtx.Err() != nil:
+		// Shutdown, not failure (the base context only dies in Close,
+		// after `closing` is set; checking it avoids taking m.mu while
+		// holding j.mu — Stats/expire lock in the other order): leave
+		// the persisted "running" state so the next manager over this
+		// dir re-runs the job.
+		j.state = StateQueued
+		j.mu.Unlock()
+		j.finish()
+		return
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	j.finished = time.Now().UTC()
+	j.mu.Unlock()
+	j.finish()
+
+	if deleted {
+		os.RemoveAll(j.dir)
+		return
+	}
+	if err := writeJobFile(j); err != nil {
+		m.opts.Log.Printf("jobs: persist %s terminal: %v", j.id, err)
+	}
+}
+
+// runProtected calls the runner with panic containment: one poisoned
+// upload must fail its job, not take down the worker goroutine.
+func (m *Manager) runProtected(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) (body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: runner panic: %v", r)
+		}
+	}()
+	return m.run(ctx, spec, upload, progress)
+}
+
+func errorIsContext(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// sweeper expires terminal jobs TTL after they finish.
+func (m *Manager) sweeper() {
+	defer m.wg.Done()
+	interval := m.opts.TTL / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-t.C:
+			m.expire(time.Now().UTC())
+		}
+	}
+}
+
+// expire removes terminal jobs whose Finished time is more than TTL ago.
+func (m *Manager) expire(now time.Time) {
+	m.mu.Lock()
+	var victims []*job
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		if j.state.terminal() && !j.finished.IsZero() && now.Sub(j.finished) > m.opts.TTL {
+			victims = append(victims, j)
+			delete(m.jobs, id)
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	for _, j := range victims {
+		os.RemoveAll(j.dir)
+		m.opts.Log.Printf("jobs: expired %s (finished %s ago)", j.id, now.Sub(j.finished).Round(time.Second))
+	}
+}
+
+// recover scans the state dir and rebuilds the job table: terminal jobs
+// are kept (their results stay servable until TTL), queued/running jobs
+// are reset to queued and re-enqueued in creation order. Unreadable
+// entries are logged and skipped, never deleted — a bug in this code must
+// not destroy user data.
+func (m *Manager) recover() error {
+	entries, err := os.ReadDir(m.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("jobs: scan state dir: %w", err)
+	}
+	var requeue []*job
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(m.opts.Dir, e.Name())
+		j, err := readJobFile(dir)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				// No job.json at all: a crash between Submit's spool and
+				// its first persist. By the durability contract that was
+				// never an accepted job, and nothing else will ever
+				// reclaim the orphaned upload — remove it now.
+				m.opts.Log.Printf("jobs: removing orphan dir %s (no job record)", e.Name())
+				os.RemoveAll(dir)
+			} else {
+				m.opts.Log.Printf("jobs: skipping unreadable job %s: %v", e.Name(), err)
+			}
+			continue
+		}
+		switch {
+		case j.state == StateDone:
+			if _, err := os.Stat(j.resultPath()); err != nil {
+				j.state = StateFailed
+				j.err = "jobs: result file lost"
+			}
+			j.finish()
+		case j.state.terminal():
+			j.finish()
+		default:
+			j.state = StateQueued
+			requeue = append(requeue, j)
+		}
+		m.jobs[j.id] = j
+	}
+	sort.Slice(requeue, func(a, b int) bool { return requeue[a].created.Before(requeue[b].created) })
+	m.pending = append(m.pending, requeue...)
+	m.inflight += len(requeue)
+	if len(requeue) > 0 {
+		m.opts.Log.Printf("jobs: recovered %d unfinished job(s)", len(requeue))
+	}
+	return nil
+}
+
+func (j *job) uploadPath() string { return filepath.Join(j.dir, "upload.csv") }
+func (j *job) resultPath() string { return filepath.Join(j.dir, "result.json") }
+
+// finish wakes Wait-ers, exactly once: a job is finished when it reaches
+// a terminal state, is deleted before ever running, or is abandoned by a
+// shutting-down worker.
+func (j *job) finish() { j.doneOnce.Do(func() { close(j.doneCh) }) }
+
+func (j *job) snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:     j.id,
+		State:  j.state,
+		Spec:   append(json.RawMessage(nil), j.spec...),
+		Digest: j.digest,
+		Progress: Progress{
+			ChunksDone:  j.progDone.Load(),
+			ChunksTotal: j.progTotal.Load(),
+		},
+		Error:    j.err,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+}
+
+// newID returns a 96-bit random hex job id.
+func newID() (string, error) {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: generate id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,162 @@
+// On-disk layout of one job:
+//
+//	<dir>/<id>/job.json    — jobRecord: spec + lifecycle metadata
+//	<dir>/<id>/upload.csv  — the spooled request body, byte-exact
+//	<dir>/<id>/result.json — the runner's output (present iff done)
+//
+// job.json is the recovery unit: it is rewritten with tmp+rename on every
+// state transition, so a crash leaves either the old or the new record,
+// never a torn one.
+
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// jobRecord is the persisted form of a job. Spec is stored as a JSON
+// *string*, not an embedded object: re-marshalling an embedded
+// json.RawMessage re-indents it, and the recovery contract needs the
+// spec bytes back exactly as submitted (the runner's determinism is
+// stated over the byte-identical (spec, upload) pair).
+type jobRecord struct {
+	ID       string    `json:"id"`
+	Spec     string    `json:"spec"`
+	Digest   string    `json:"digest"`
+	State    State     `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Progress Progress  `json:"progress"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+const jobFileName = "job.json"
+
+// writeJobFile persists the job's current state atomically.
+func writeJobFile(j *job) error {
+	j.mu.Lock()
+	rec := jobRecord{
+		ID:     j.id,
+		Spec:   string(j.spec),
+		Digest: j.digest,
+		State:  j.state,
+		Error:  j.err,
+		Progress: Progress{
+			ChunksDone:  j.progDone.Load(),
+			ChunksTotal: j.progTotal.Load(),
+		},
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	j.mu.Unlock()
+	body, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: encode job record: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(j.dir, jobFileName), append(body, '\n'))
+}
+
+// readJobFile loads a job from its directory. The directory name is the
+// source of truth for the id (a copied state dir keeps working); a
+// mismatching record id is corruption and is rejected.
+func readJobFile(dir string) (*job, error) {
+	body, err := os.ReadFile(filepath.Join(dir, jobFileName))
+	if err != nil {
+		return nil, err
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return nil, fmt.Errorf("jobs: decode job record: %w", err)
+	}
+	id := filepath.Base(dir)
+	if rec.ID != id {
+		return nil, fmt.Errorf("jobs: record id %q does not match directory %q", rec.ID, id)
+	}
+	switch rec.State {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		return nil, fmt.Errorf("jobs: unknown state %q", rec.State)
+	}
+	j := &job{
+		id:       id,
+		dir:      dir,
+		created:  rec.Created,
+		doneCh:   make(chan struct{}),
+		spec:     json.RawMessage(rec.Spec),
+		digest:   rec.Digest,
+		state:    rec.State,
+		err:      rec.Error,
+		started:  rec.Started,
+		finished: rec.Finished,
+	}
+	j.progDone.Store(rec.Progress.ChunksDone)
+	j.progTotal.Store(rec.Progress.ChunksTotal)
+	return j, nil
+}
+
+// spoolUpload copies body to path, fsync-free (the durability unit is the
+// job record; a torn upload from a crash mid-Submit is an orphan dir the
+// next recovery skips, because job.json was never written).
+func spoolUpload(path string, body io.Reader) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("jobs: spool upload: %w", err)
+	}
+	_, err = io.Copy(f, body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("jobs: spool upload: %w", err)
+	}
+	return nil
+}
+
+// adoptFile moves src to dst, preferring a rename (no byte copy); when
+// the two live on different filesystems it falls back to copy-and-remove.
+// On success src is gone; on failure the caller keeps whatever remains.
+func adoptFile(dst, src string) error {
+	if err := os.Rename(src, dst); err == nil {
+		return nil
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("jobs: adopt upload: %w", err)
+	}
+	defer f.Close()
+	if err := spoolUpload(dst, f); err != nil {
+		return err
+	}
+	os.Remove(src)
+	return nil
+}
+
+// writeFileAtomic writes body to path via a same-directory temp file and
+// rename, so readers never observe a partial file.
+func writeFileAtomic(path string, body []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobs: write %s: %w", filepath.Base(path), err)
+	}
+	_, err = tmp.Write(body)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: write %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

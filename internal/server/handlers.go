@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -227,7 +228,7 @@ func (s *Server) handlePerturb(w http.ResponseWriter, r *http.Request) error {
 	defer up.Remove()
 	defer src.Close()
 	return s.pool.Do(r.Context(), func(_ *mat.Workspace) error {
-		cs := ctxSource{ctx: r.Context(), src: src}
+		cs := stream.ContextSource{Ctx: r.Context(), Src: src}
 		if _, err := validateUpload(cs, len(src.Names())); err != nil {
 			return err
 		}
@@ -292,7 +293,7 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) error {
 	defer up.Remove()
 	defer src.Close()
 	return s.pool.Do(r.Context(), func(ws *mat.Workspace) error {
-		cs := ctxSource{ctx: r.Context(), src: src}
+		cs := stream.ContextSource{Ctx: r.Context(), Src: src}
 		if _, err := validateUpload(cs, len(src.Names())); err != nil {
 			return err
 		}
@@ -403,21 +404,9 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) error {
 
 	var body []byte
 	err = s.pool.Do(r.Context(), func(ws *mat.Workspace) error {
-		cs := ctxSource{ctx: r.Context(), src: src}
-		rows, err := validateUpload(cs, len(src.Names()))
-		if err != nil {
-			return err
-		}
-		rep, err := s.assess(cs, src.Names(), p, ws)
-		if err != nil {
-			return err
-		}
-		body, err = json.Marshal(toReportJSON(rep, p, rows, len(src.Names()), up.digest))
-		if err != nil {
-			return err
-		}
-		body = append(body, '\n')
-		return nil
+		var err error
+		body, err = s.runAssessment(r.Context(), src, p, up.digest, ws, nil)
+		return err
 	})
 	if err != nil {
 		return err
@@ -429,9 +418,93 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) error {
 	return err
 }
 
+// passesFor counts how many full passes the assessment makes over its
+// two chunk streams (original upload + disguised spool), per mode:
+//
+//	memory:  validate + perturb-read + collect(orig) + collect(disg)  = 4
+//	stream:  validate + perturb-read
+//	         + NDR (1 disg read + 1 orig diff pull)
+//	         + PCA-DR (sketch + project disg, 1 orig diff pull)
+//	         + BE-DR  (sketch + project disg, 1 orig diff pull)       = 10
+//	correlated scheme: +1 (the covariance pass over the original)
+//
+// runAssessment turns this into the progress denominator; the job
+// lifecycle test asserts chunks_done == chunks_total at completion, so a
+// change to the pass structure that forgets to update this count fails
+// loudly instead of silently skewing every progress bar.
+func passesFor(p requestParams) int64 {
+	passes := int64(4)
+	if p.Stream {
+		passes = 10
+	}
+	if p.Scheme == schemeCorrelated {
+		passes++
+	}
+	return passes
+}
+
+// runAssessment is the single compute path behind both the synchronous
+// /v1/assess handler and the async job runner: validate the upload, run
+// the battery in the requested mode, and marshal the report. Because
+// both entry points run exactly these bytes through exactly this code
+// with a request-seeded RNG, a job's stored result is byte-identical to
+// the synchronous response for the same (CSV, params, seed) — including
+// after a crash and re-run.
+//
+// progress, when non-nil, receives cumulative chunk counts across every
+// streaming pass (the async status endpoint's chunks_done/chunks_total);
+// the total becomes known right after the validation pass.
+func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p requestParams, digest string, ws *mat.Workspace, progress func(done, total int64)) ([]byte, error) {
+	var done, total int64
+	note := func() {
+		if progress != nil {
+			progress(done, total)
+		}
+	}
+	wrap := func(raw stream.Source) stream.Source {
+		ctxd := stream.ContextSource{Ctx: ctx, Src: raw}
+		if progress == nil {
+			return ctxd
+		}
+		return &stream.CountingSource{Src: ctxd, OnChunk: func(chunks, rows int64) {
+			done++
+			note()
+		}}
+	}
+	names := src.Names()
+	orig := wrap(src)
+	rows, err := validateUpload(orig, len(names))
+	if err != nil {
+		return nil, err
+	}
+	chunk := int64(p.Chunk)
+	total = (rows + chunk - 1) / chunk * passesFor(p)
+	note()
+	rep, err := s.assess(ctx, orig, names, p, ws, wrap)
+	if err != nil {
+		return nil, err
+	}
+	// A context that died mid-battery is absorbed by the evaluators into
+	// per-attack error fields ("context canceled" as a result!). That
+	// must fail the whole assessment: the synchronous path would
+	// otherwise cache and serve a half-run report, and a job would be
+	// marked done with one — breaking the byte-equality contract when a
+	// shutdown races job completion.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(toReportJSON(rep, p, rows, len(names), digest))
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
 // assess perturbs the validated original stream into a spool file and
-// runs the attack battery against it, in the requested mode.
-func (s *Server) assess(orig ctxSource, names []string, p requestParams, ws *mat.Workspace) (*core.PrivacyReport, error) {
+// runs the attack battery against it, in the requested mode. wrap
+// decorates every additional source the battery opens (the disguised
+// spool) with the caller's cancellation and progress accounting.
+func (s *Server) assess(ctx context.Context, orig stream.Source, names []string, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, error) {
 	scheme, err := buildScheme(p, orig)
 	if err != nil {
 		return nil, err
@@ -462,20 +535,20 @@ func (s *Server) assess(orig ctxSource, names []string, p requestParams, ws *mat
 	}
 
 	if p.Stream {
-		return s.assessStream(orig, disgPath, scheme, p, ws)
+		return s.assessStream(orig, disgPath, scheme, p, ws, wrap)
 	}
-	return s.assessMemory(orig, disgPath, scheme, p, ws)
+	return s.assessMemory(orig, disgPath, scheme, p, ws, wrap)
 }
 
 // assessStream runs the out-of-core battery: NDR baseline plus the
 // streamable attacks, never materializing either data set.
-func (s *Server) assessStream(orig ctxSource, disgPath string, scheme randomize.StreamScheme, p requestParams, ws *mat.Workspace) (*core.PrivacyReport, error) {
+func (s *Server) assessStream(orig stream.Source, disgPath string, scheme randomize.StreamScheme, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, error) {
 	disgSrc, err := dataset.OpenCSVChunks(disgPath, p.Chunk)
 	if err != nil {
 		return nil, err
 	}
 	defer disgSrc.Close()
-	disg := ctxSource{ctx: orig.ctx, src: disgSrc}
+	disg := wrap(disgSrc)
 
 	var attacks []recon.StreamReconstructor
 	if c, ok := scheme.(*randomize.Correlated); ok {
@@ -496,7 +569,7 @@ func (s *Server) assessStream(orig ctxSource, disgPath string, scheme randomize.
 
 // assessMemory loads both copies and runs the full battery, including the
 // attacks that need resident data (UDR, SF).
-func (s *Server) assessMemory(orig ctxSource, disgPath string, scheme randomize.StreamScheme, p requestParams, ws *mat.Workspace) (*core.PrivacyReport, error) {
+func (s *Server) assessMemory(orig stream.Source, disgPath string, scheme randomize.StreamScheme, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, error) {
 	collect := func(src stream.Source) (*mat.Dense, error) {
 		if err := src.Reset(); err != nil {
 			return nil, err
@@ -524,7 +597,7 @@ func (s *Server) assessMemory(orig ctxSource, disgPath string, scheme randomize.
 		return nil, err
 	}
 	defer disgSrc.Close()
-	disgData, err := collect(ctxSource{ctx: orig.ctx, src: disgSrc})
+	disgData, err := collect(wrap(disgSrc))
 	if err != nil {
 		return nil, err
 	}
@@ -542,6 +615,7 @@ func (s *Server) assessMemory(orig ctxSource, disgPath string, scheme randomize.
 // GET /healthz
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.cache.Stats()
+	jobsQueued, jobsRunning, jobsTerminal := s.jobs.Stats()
 	resp := struct {
 		Status        string `json:"status"`
 		Workers       int    `json:"workers"`
@@ -551,6 +625,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheMisses   uint64 `json:"cache_misses"`
 		CacheEntries  int    `json:"cache_entries"`
 		CacheCapacity int    `json:"cache_capacity"`
+		JobWorkers    int    `json:"job_workers"`
+		JobsQueued    int    `json:"jobs_queued"`
+		JobsRunning   int    `json:"jobs_running"`
+		JobsFinished  int    `json:"jobs_finished"`
 	}{
 		Status:        "ok",
 		Workers:       s.cfg.Workers,
@@ -560,6 +638,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:   misses,
 		CacheEntries:  entries,
 		CacheCapacity: s.cfg.CacheEntries,
+		JobWorkers:    s.cfg.JobWorkers,
+		JobsQueued:    jobsQueued,
+		JobsRunning:   jobsRunning,
+		JobsFinished:  jobsTerminal,
 	}
 	writeJSON(w, resp)
 }

@@ -1,0 +1,227 @@
+// The async half of the assessment API. A synchronous /v1/assess holds
+// its HTTP connection for the whole battery runtime — fine for small
+// uploads, a scaling wall for 20k-row streamed assessments. The jobs
+// endpoints trade that connection for a submit/poll/result lifecycle:
+//
+//	POST   /v1/jobs             CSV + assess params -> 202 + job id
+//	GET    /v1/jobs/{id}        status: state, progress, timestamps
+//	GET    /v1/jobs/{id}/result the stored report (409 until done)
+//	DELETE /v1/jobs/{id}        cancel (cooperatively) and remove
+//
+// The compute is the same runAssessment the synchronous path uses, on
+// the jobs.Manager's own bounded worker pool, so a job's result is
+// byte-identical to the synchronous response for the same (CSV, params,
+// seed) — the property TestJobResultMatchesSynchronousAssess pins, and
+// the reason a recovered job after a crash serves the same bytes too.
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"randpriv/internal/dataset"
+	"randpriv/internal/jobs"
+	"randpriv/internal/mat"
+)
+
+// jobSpec is the durable form of an assessment job's parameters — the
+// exact fields that can change a response byte, plus the upload digest
+// the report embeds. It is what jobs.Manager persists and hands back to
+// the runner after a restart.
+type jobSpec struct {
+	Sigma  float64 `json:"sigma"`
+	Seed   int64   `json:"seed"`
+	Scheme string  `json:"scheme"`
+	Chunk  int     `json:"chunk"`
+	Stream bool    `json:"stream"`
+	Digest string  `json:"digest"`
+}
+
+func specFromParams(p requestParams, digest string) jobSpec {
+	return jobSpec{Sigma: p.Sigma, Seed: p.Seed, Scheme: p.Scheme, Chunk: p.Chunk, Stream: p.Stream, Digest: digest}
+}
+
+func (sp jobSpec) params() requestParams {
+	return requestParams{Sigma: sp.Sigma, Seed: sp.Seed, Scheme: sp.Scheme, Chunk: sp.Chunk, Stream: sp.Stream}
+}
+
+// runJob is the jobs.Runner: it re-opens the spooled upload and pushes it
+// through the shared assessment path. The workspace comes from a pool
+// keyed to nothing — job workers are few and long-lived, so arenas are
+// reused across jobs exactly like the request pool's per-worker ones.
+func (s *Server) runJob(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error) {
+	var sp jobSpec
+	if err := json.Unmarshal(spec, &sp); err != nil {
+		return nil, fmt.Errorf("server: decode job spec: %w", err)
+	}
+	p := sp.params()
+	src, err := dataset.OpenCSVChunks(upload, p.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	ws := s.jobWS.Get().(*mat.Workspace)
+	ws.Reset()
+	defer s.jobWS.Put(ws)
+	return s.runAssessment(ctx, src, p, sp.Digest, ws, progress)
+}
+
+// jobError wraps the jobs-endpoint handlers with the same uniform JSON
+// error envelope and logging the compute endpoints use. Unlike post(),
+// there is no pool pre-check (admission control is the job queue itself)
+// and no response-committed tracking (these endpoints never stream).
+func (s *Server) jobError(w http.ResponseWriter, r *http.Request, err error) {
+	status := statusOf(err)
+	s.cfg.Log.Printf("randprivd: %s %s -> %d: %v", r.Method, r.URL.Path, status, err)
+	writeError(w, status, err)
+}
+
+// jobStatusJSON is the GET /v1/jobs/{id} response (and, minus the zero
+// fields, the POST /v1/jobs response).
+type jobStatusJSON struct {
+	ID            string        `json:"id"`
+	State         string        `json:"state"`
+	Progress      jobs.Progress `json:"progress"`
+	Error         string        `json:"error,omitempty"`
+	DatasetSHA256 string        `json:"dataset_sha256"`
+	Created       time.Time     `json:"created"`
+	Started       *time.Time    `json:"started,omitempty"`
+	Finished      *time.Time    `json:"finished,omitempty"`
+	Result        string        `json:"result,omitempty"`
+}
+
+func toJobStatusJSON(snap jobs.Snapshot) jobStatusJSON {
+	out := jobStatusJSON{
+		ID:            snap.ID,
+		State:         string(snap.State),
+		Progress:      snap.Progress,
+		Error:         snap.Error,
+		DatasetSHA256: snap.Digest,
+		Created:       snap.Created,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		out.Started = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		out.Finished = &t
+	}
+	if snap.State == jobs.StateDone {
+		out.Result = "/v1/jobs/" + snap.ID + "/result"
+	}
+	return out
+}
+
+// handleJobsCollection serves POST /v1/jobs: validate the parameters
+// (the same allow-list as /v1/assess), spool the body through the
+// SHA-256 digest, and hand the job to the manager. The response is 202
+// with the queued job's status; the upload connection is released as
+// soon as the body is on disk, which is the whole point of the API.
+func (s *Server) handleJobsCollection(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: use POST"))
+		return
+	}
+	p, err := s.decodeParams(r, "sigma", "seed", "scheme", "chunk", "stream")
+	if err != nil {
+		s.jobError(w, r, err)
+		return
+	}
+	// Shed before spooling, like the sync endpoints' inflight pre-check:
+	// a saturated job queue must refuse the upload work (a gigabyte of
+	// disk writes plus a digest) too, not just the enqueue. Advisory —
+	// Submit re-checks under lock.
+	if s.jobs.Full() {
+		s.jobError(w, r, jobs.ErrQueueFull)
+		return
+	}
+	// The submit request itself is short-lived (spool only), so the
+	// interactive request deadline is the right bound for it; the job's
+	// compute is bounded by cancellation, not by this context.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	up, err := spoolBody(s.cfg.SpoolDir, ctxReader{ctx: ctx, r: r.Body})
+	if err != nil {
+		s.jobError(w, r, err)
+		return
+	}
+	defer up.Remove()
+
+	spec, err := json.Marshal(specFromParams(p, up.digest))
+	if err != nil {
+		s.jobError(w, r, err)
+		return
+	}
+	// SubmitFile adopts the spool file by rename — the upload is written
+	// to disk once, not copied again into the job dir. The deferred
+	// Remove then finds nothing, which is fine.
+	snap, err := s.jobs.SubmitFile(spec, up.digest, up.path)
+	if err != nil {
+		s.jobError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(toJobStatusJSON(snap))
+}
+
+// handleJobsItem serves GET /v1/jobs/{id}, GET /v1/jobs/{id}/result and
+// DELETE /v1/jobs/{id}. Query parameters are rejected outright — every
+// knob of a job is fixed at submit time, and a ?seed= here silently
+// ignored would mislead the caller about what ran.
+func (s *Server) handleJobsItem(w http.ResponseWriter, r *http.Request) {
+	if len(r.URL.Query()) > 0 {
+		s.jobError(w, r, badRequest(fmt.Errorf("server: job endpoints take no query parameters")))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	parts := strings.Split(rest, "/")
+	switch {
+	case len(parts) == 1 && parts[0] != "":
+		id := parts[0]
+		switch r.Method {
+		case http.MethodGet:
+			snap, err := s.jobs.Get(id)
+			if err != nil {
+				s.jobError(w, r, err)
+				return
+			}
+			writeJSON(w, toJobStatusJSON(snap))
+		case http.MethodDelete:
+			if err := s.jobs.Delete(id); err != nil {
+				s.jobError(w, r, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.Header().Set("Allow", "GET, DELETE")
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: use GET or DELETE"))
+		}
+	case len(parts) == 2 && parts[1] == "result":
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: use GET"))
+			return
+		}
+		body, err := s.jobs.Result(parts[0])
+		if err != nil {
+			s.jobError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	default:
+		writeError(w, http.StatusNotFound, jobs.ErrNotFound)
+	}
+}

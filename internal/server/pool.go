@@ -103,7 +103,7 @@ func runJob(fn func(ws *mat.Workspace) error, ws *mat.Workspace) (err error) {
 // saturated, ctx's error when the deadline expired before a worker
 // picked the job up, and fn's error otherwise. Once a worker has started
 // fn, Do always waits for it — cancellation mid-run is fn's
-// responsibility (see ctxSource).
+// responsibility (see stream.ContextSource).
 func (p *workerPool) Do(ctx context.Context, fn func(ws *mat.Workspace) error) error {
 	job := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
 	p.inflight.Add(1)

@@ -33,8 +33,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
 	"time"
+
+	"randpriv/internal/jobs"
+	"randpriv/internal/mat"
 )
 
 // Config tunes the service; zero values mean the documented defaults.
@@ -58,6 +63,21 @@ type Config struct {
 	ChunkRows int
 	// SpoolDir is where request bodies are spooled (default: os.TempDir()).
 	SpoolDir string
+	// JobsDir is the async-job state directory; jobs submitted to
+	// POST /v1/jobs persist here and are recovered after a restart
+	// (default: <os.TempDir()>/randprivd-jobs).
+	JobsDir string
+	// JobWorkers is the background job pool size (default:
+	// max(1, GOMAXPROCS/2)). It is deliberately separate from Workers:
+	// queued assessments must not starve the interactive endpoints.
+	JobWorkers int
+	// JobQueueDepth caps how many jobs may wait beyond the running ones
+	// before POST /v1/jobs returns 429 (default: 64; negative means no
+	// queue slots beyond the workers).
+	JobQueueDepth int
+	// JobTTL expires finished jobs and their stored results this long
+	// after completion (default: 24h; negative keeps them forever).
+	JobTTL time.Duration
 	// Log receives request-level diagnostics; nil uses log.Default().
 	Log *log.Logger
 }
@@ -68,6 +88,7 @@ const (
 	defaultTimeout      = 60 * time.Second
 	defaultChunkRows    = 4096
 	defaultCacheEntries = 128
+	defaultJobTTL       = 24 * time.Hour
 )
 
 func (c Config) withDefaults() Config {
@@ -95,6 +116,26 @@ func (c Config) withDefaults() Config {
 	if c.SpoolDir == "" {
 		c.SpoolDir = os.TempDir()
 	}
+	if c.JobsDir == "" {
+		c.JobsDir = filepath.Join(os.TempDir(), "randprivd-jobs")
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0) / 2
+		if c.JobWorkers < 1 {
+			c.JobWorkers = 1
+		}
+	}
+	if c.JobQueueDepth == 0 {
+		c.JobQueueDepth = defaultQueueDepth
+	}
+	// Negative passes through: jobs.NewManager reads it as "no queue
+	// slots beyond the workers" (its own 0 means "use the default").
+	if c.JobTTL == 0 {
+		c.JobTTL = defaultJobTTL
+	}
+	if c.JobTTL < 0 {
+		c.JobTTL = 0 // jobs.Manager: 0 disables expiry
+	}
 	if c.Log == nil {
 		c.Log = log.Default()
 	}
@@ -107,11 +148,15 @@ type Server struct {
 	cfg   Config
 	pool  *workerPool
 	cache *lruCache
+	jobs  *jobs.Manager
+	jobWS sync.Pool // *mat.Workspace scratch arenas for job workers
 	mux   *http.ServeMux
 }
 
-// New builds a Server from cfg (zero-value fields take defaults).
-func New(cfg Config) *Server {
+// New builds a Server from cfg (zero-value fields take defaults). The
+// error is the jobs subsystem failing to open its state directory —
+// everything else is infallible.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -119,12 +164,27 @@ func New(cfg Config) *Server {
 		cache: newLRUCache(cfg.CacheEntries),
 		mux:   http.NewServeMux(),
 	}
+	s.jobWS.New = func() any { return mat.NewWorkspace() }
+	mgr, err := jobs.NewManager(jobs.Options{
+		Dir:        cfg.JobsDir,
+		Workers:    cfg.JobWorkers,
+		QueueDepth: cfg.JobQueueDepth,
+		TTL:        cfg.JobTTL,
+		Log:        cfg.Log,
+	}, s.runJob)
+	if err != nil {
+		s.pool.Close()
+		return nil, err
+	}
+	s.jobs = mgr
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("/v1/perturb", s.post(s.handlePerturb))
 	s.mux.HandleFunc("/v1/attack", s.post(s.handleAttack))
 	s.mux.HandleFunc("/v1/assess", s.post(s.handleAssess))
-	return s
+	s.mux.HandleFunc("/v1/jobs", s.handleJobsCollection)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobsItem)
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -132,8 +192,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close drains the worker pool.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the job manager (canceling running jobs; their durable
+// state re-runs them on the next start) and drains the request pool.
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.pool.Close()
+}
 
 // trackingWriter records whether the response has been committed (any
 // header or body write), so the error path can tell a clean failure from
@@ -217,16 +281,22 @@ func badRequest(err error) error {
 }
 
 // statusOf maps a handler error onto its HTTP status: client data and
-// parameter problems are 400, oversized bodies 413, a saturated queue
-// 429, an expired deadline 503, everything else 500.
+// parameter problems are 400, an unknown job 404, a not-ready job result
+// 409, oversized bodies 413, a saturated queue (request pool or job
+// queue) 429, an expired deadline 503, everything else 500.
 func statusOf(err error) int {
 	var maxBytes *http.MaxBytesError
 	var bad badRequestError
+	var notReady *jobs.NotReadyError
 	switch {
 	case errors.As(err, &maxBytes):
 		return http.StatusRequestEntityTooLarge
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, jobs.ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrNotFound):
+		return http.StatusNotFound
+	case errors.As(err, &notReady):
+		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	case errors.As(err, &bad):

@@ -50,7 +50,13 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	if cfg.SpoolDir == "" {
 		cfg.SpoolDir = t.TempDir()
 	}
-	s := New(cfg)
+	if cfg.JobsDir == "" {
+		cfg.JobsDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()

@@ -7,9 +7,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-
-	"randpriv/internal/mat"
-	"randpriv/internal/stream"
 )
 
 // upload is a request body spooled to a temporary file. Spooling is what
@@ -54,7 +51,9 @@ func (u *upload) Remove() {
 
 // ctxReader bounds a body read by the request deadline: each Read
 // checks the context first, so a client trickling its upload cannot
-// hold a spooling goroutine past the per-request timeout.
+// hold a spooling goroutine past the per-request timeout. Its chunk
+// stream analogue is stream.ContextSource, which the compute paths wrap
+// around every source.
 type ctxReader struct {
 	ctx context.Context
 	r   io.Reader
@@ -65,27 +64,4 @@ func (c ctxReader) Read(p []byte) (int, error) {
 		return 0, err
 	}
 	return c.r.Read(p)
-}
-
-// ctxSource wraps a stream.Source with per-request deadline checks: a
-// canceled or expired context aborts the stream at the next chunk
-// boundary, so a runaway assessment cannot hold a worker past its
-// deadline.
-type ctxSource struct {
-	ctx context.Context
-	src stream.Source
-}
-
-func (s ctxSource) Next() (*mat.Dense, error) {
-	if err := s.ctx.Err(); err != nil {
-		return nil, err
-	}
-	return s.src.Next()
-}
-
-func (s ctxSource) Reset() error {
-	if err := s.ctx.Err(); err != nil {
-		return err
-	}
-	return s.src.Reset()
 }

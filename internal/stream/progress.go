@@ -1,0 +1,75 @@
+// Source decorators for the service layer: context-aware cancellation
+// and chunk-level progress accounting. Both wrap any Source without
+// changing the data, so the numeric pipeline stays oblivious to how it
+// is being observed or interrupted.
+
+package stream
+
+import (
+	"context"
+
+	"randpriv/internal/mat"
+)
+
+// ContextSource bounds a Source by a context: Next and Reset check
+// Ctx.Err() first, so a canceled or expired context aborts the stream at
+// the next chunk boundary. This is the cooperative-cancellation hook the
+// HTTP handlers and the async job runner thread through every pass
+// (validation, sketching, perturbation, projection) — a canceled request
+// or job releases its worker within one chunk, never mid-kernel.
+type ContextSource struct {
+	Ctx context.Context
+	Src Source
+}
+
+// Next implements Source.
+func (s ContextSource) Next() (*mat.Dense, error) {
+	if err := s.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Src.Next()
+}
+
+// Reset implements Source.
+func (s ContextSource) Reset() error {
+	if err := s.Ctx.Err(); err != nil {
+		return err
+	}
+	return s.Src.Reset()
+}
+
+// CountingSource counts the chunks and rows a Source delivers,
+// cumulatively across every pass (Reset does not zero the counters: a
+// two-pass attack that re-reads its input is doing twice the work, and
+// progress reporting should say so). After each successfully delivered
+// chunk it invokes OnChunk with the running totals.
+//
+// OnChunk is called on the goroutine consuming the source; publishing the
+// numbers to concurrent readers (a job-status endpoint) is the callback's
+// responsibility.
+type CountingSource struct {
+	Src     Source
+	OnChunk func(chunks, rows int64)
+
+	chunks, rows int64
+}
+
+// Next implements Source.
+func (c *CountingSource) Next() (*mat.Dense, error) {
+	chunk, err := c.Src.Next()
+	if err != nil {
+		return nil, err
+	}
+	c.chunks++
+	c.rows += int64(chunk.Rows())
+	if c.OnChunk != nil {
+		c.OnChunk(c.chunks, c.rows)
+	}
+	return chunk, nil
+}
+
+// Reset implements Source.
+func (c *CountingSource) Reset() error { return c.Src.Reset() }
+
+// Counts returns the cumulative chunks and rows delivered so far.
+func (c *CountingSource) Counts() (chunks, rows int64) { return c.chunks, c.rows }

@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"randpriv/internal/mat"
+)
+
+func TestCountingSourceCumulativeAcrossPasses(t *testing.T) {
+	data := mat.Zeros(10, 3)
+	var gotChunks, gotRows int64
+	cs := &CountingSource{
+		Src:     NewMatrixSource(data, 4),
+		OnChunk: func(chunks, rows int64) { gotChunks, gotRows = chunks, rows },
+	}
+	drain := func() {
+		if err := cs.Reset(); err != nil {
+			t.Fatalf("reset: %v", err)
+		}
+		for {
+			if _, err := cs.Next(); err == io.EOF {
+				return
+			} else if err != nil {
+				t.Fatalf("next: %v", err)
+			}
+		}
+	}
+	drain() // 10 rows in chunks of 4 -> 3 chunks
+	if gotChunks != 3 || gotRows != 10 {
+		t.Fatalf("after pass 1: chunks=%d rows=%d, want 3/10", gotChunks, gotRows)
+	}
+	drain() // Reset must not zero the counters
+	if gotChunks != 6 || gotRows != 20 {
+		t.Fatalf("after pass 2: chunks=%d rows=%d, want 6/20", gotChunks, gotRows)
+	}
+	if c, r := cs.Counts(); c != 6 || r != 20 {
+		t.Fatalf("Counts() = %d/%d, want 6/20", c, r)
+	}
+}
+
+func TestContextSourceCancellation(t *testing.T) {
+	data := mat.Zeros(8, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	src := ContextSource{Ctx: ctx, Src: NewMatrixSource(data, 2)}
+	if _, err := src.Next(); err != nil {
+		t.Fatalf("next before cancel: %v", err)
+	}
+	cancel()
+	if _, err := src.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("next after cancel: %v, want context.Canceled", err)
+	}
+	if err := src.Reset(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("reset after cancel: %v, want context.Canceled", err)
+	}
+}
+
+// TestContextSourceThroughAccumulate pins that cancellation propagates
+// through the sketching pass the attacks run: Accumulate over a canceled
+// context must fail with context.Canceled, not hang or succeed.
+func TestContextSourceThroughAccumulate(t *testing.T) {
+	data := mat.Zeros(100, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Accumulate(ContextSource{Ctx: ctx, Src: NewMatrixSource(data, 10)}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Accumulate under canceled ctx: %v, want context.Canceled", err)
+	}
+}

@@ -1,4 +1,4 @@
-#!/usr/bin/env bash
+#!/bin/sh
 # bench.sh — run the kernel and attack benchmarks and record the numbers
 # as a JSON snapshot, seeding the repo's performance trajectory.
 #
@@ -13,7 +13,14 @@
 # <output>.txt in benchstat-compatible format, so two snapshots can be
 # compared with:
 #   benchstat old.json.txt new.json.txt
-set -euo pipefail
+# and gated with:
+#   scripts/bench_gate.py old.json new.json
+#
+# Portability: this is POSIX sh (both Linux and macOS CI legs run it with
+# their stock shells). No pipefail — `go test` writes straight to the raw
+# file so its exit status is checked directly, not laundered through a
+# pipe — and the timestamp uses only date(1) flags BSD and GNU share.
+set -eu
 
 cd "$(dirname "$0")/.."
 
@@ -24,12 +31,16 @@ PATTERN='BenchmarkAttackPCADR$|BenchmarkAttackBEDR$|BenchmarkAttackSF$|Benchmark
 
 RAW="${OUT}.txt"
 echo "running benches (pattern: ${PATTERN}, benchtime: ${BENCHTIME}) ..." >&2
-go test -run '^$' -bench "${PATTERN}" -benchmem -benchtime "${BENCHTIME}" . | tee "${RAW}" >&2
+go test -run '^$' -bench "${PATTERN}" -benchmem -benchtime "${BENCHTIME}" . >"${RAW}"
+cat "${RAW}" >&2
 
-python3 - "$RAW" "$OUT" <<'EOF'
+STAMP="$(date -u '+%Y-%m-%dT%H:%M:%SZ')"
+GO_VERSION="$(go version)"
+
+python3 - "$RAW" "$OUT" "$STAMP" "$GO_VERSION" <<'EOF'
 import json, os, re, sys
 
-raw, out = sys.argv[1], sys.argv[2]
+raw, out, stamp, go_version = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4]
 benches = {}
 pat = re.compile(
     r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?')
@@ -55,6 +66,8 @@ if os.path.exists(out):
     except ValueError:
         doc = {}
 doc.setdefault("meta", {})
+doc["meta"]["recorded"] = stamp
+doc["meta"]["go"] = go_version
 doc["current"] = benches
 with open(out, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

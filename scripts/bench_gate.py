@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""bench_gate.py — fail CI on a kernel-benchmark time/op regression.
+
+Usage:
+    scripts/bench_gate.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Both files are scripts/bench.sh snapshots; the comparison is between the
+"current" section of each (the baseline file's "current" is the recorded
+reference run — BENCH_PR4.json pins the PR 4 numbers). The gate fails
+(exit 1) when any benchmark present in both files regresses by more than
+--threshold in ns/op. allocs/op changes are reported but advisory: CI
+boxes are noisy in time, exact in allocation counts, so a new alloc
+shows up as a clean diff in the printed table without blocking merges on
+its own.
+
+Benchmarks present on only one side are reported and skipped — renaming
+a benchmark away is how a regression would otherwise dodge the gate, so
+removals are listed loudly in the output.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    section = doc.get("current")
+    if not isinstance(section, dict) or not section:
+        sys.exit(f"bench_gate: {path} has no 'current' benchmark section")
+    return section
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed ns/op regression as a fraction (default 0.25 = +25%%)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures = []
+    rows = []
+    for name in sorted(set(base) | set(cur)):
+        b, c = base.get(name), cur.get(name)
+        if b is None or c is None:
+            rows.append((name, "-", "-", "MISSING " + ("in baseline" if b is None else "in current run")))
+            continue
+        bt, ct = b["ns_per_op"], c["ns_per_op"]
+        ratio = ct / bt if bt else float("inf")
+        verdict = "ok"
+        if ratio > 1 + args.threshold:
+            verdict = f"FAIL (+{(ratio - 1) * 100:.1f}%)"
+            failures.append(name)
+        elif ratio < 1 - args.threshold:
+            verdict = f"improved ({(ratio - 1) * 100:.1f}%)"
+        note = ""
+        ba, ca = b.get("allocs_per_op"), c.get("allocs_per_op")
+        if ba is not None and ca is not None and ca != ba:
+            note = f" allocs {ba}->{ca}"
+        rows.append((name, f"{bt:.0f}", f"{ct:.0f}", verdict + note))
+
+    w = max(len(r[0]) for r in rows)
+    print(f"{'benchmark'.ljust(w)}  {'base ns/op':>12}  {'cur ns/op':>12}  verdict")
+    for name, bt, ct, verdict in rows:
+        print(f"{name.ljust(w)}  {bt:>12}  {ct:>12}  {verdict}")
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold * 100:.0f}% in time/op: {', '.join(failures)}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_gate: ok (threshold +{args.threshold * 100:.0f}% time/op)")
+
+
+if __name__ == "__main__":
+    main()
