@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"randpriv/internal/dtree"
+	"randpriv/internal/mat"
+	"randpriv/internal/stat"
+)
+
+// booleanize thresholds every column of x at its own median, turning a
+// numeric matrix into the boolean records the ID3 machinery consumes.
+// Each data set is thresholded against itself: the disguised copy's
+// medians shift with the noise, which is exactly the distortion the
+// probe is pricing.
+func booleanize(x *mat.Dense) [][]bool {
+	n, m := x.Dims()
+	medians := make([]float64, m)
+	for j := 0; j < m; j++ {
+		medians[j] = stat.Quantile(x.Col(j), 0.5)
+	}
+	rows := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		row := make([]bool, m)
+		for j := 0; j < m; j++ {
+			row[j] = x.At(i, j) > medians[j]
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// dtreeProbe builds an ID3 tree over median-thresholded attributes from
+// the original and from the disguised data (class = last column) and
+// scores both trees on the original records — the decision-tree utility
+// loss of the Du–Zhan style miner under the assessed defense.
+func dtreeProbe(ctx UtilityContext, original, disguised *mat.Dense) (map[string]float64, error) {
+	if err := validUtilityPair(original, disguised); err != nil {
+		return nil, err
+	}
+	if _, m := original.Dims(); m < 2 {
+		return nil, fmt.Errorf("core: dtree probe needs at least 2 columns (features + class source), got %d", m)
+	}
+	if err := ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	origRows := booleanize(original)
+	disgRows := booleanize(disguised)
+
+	origTree, err := buildTree(origRows)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	disgTree, err := buildTree(disgRows)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	accOrig, accDisg, agree, err := scoreTrees(origTree, disgTree, origRows)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"accuracy_original":  accOrig,
+		"accuracy_disguised": accDisg,
+		"agreement":          agree,
+	}, nil
+}
+
+func buildTree(rows [][]bool) (*dtree.Tree, error) {
+	est, err := dtree.NewExactEstimator(rows)
+	if err != nil {
+		return nil, err
+	}
+	return dtree.Build(est, dtree.Config{})
+}
+
+// scoreTrees evaluates both trees on the original booleanized records:
+// accuracy against the true class bit, plus how often the two trees
+// agree with each other.
+func scoreTrees(origTree, disgTree *dtree.Tree, origRows [][]bool) (accOrig, accDisg, agree float64, err error) {
+	n := len(origRows)
+	cols := len(origRows[0])
+	var okOrig, okDisg, same int
+	for _, row := range origRows {
+		features, class := row[:cols-1], row[cols-1]
+		po, err := origTree.Predict(features)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		pd, err := disgTree.Predict(features)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if po == class {
+			okOrig++
+		}
+		if pd == class {
+			okDisg++
+		}
+		if po == pd {
+			same++
+		}
+	}
+	return float64(okOrig) / float64(n), float64(okDisg) / float64(n), float64(same) / float64(n), nil
+}

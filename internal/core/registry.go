@@ -1,0 +1,747 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"randpriv/internal/dist"
+	"randpriv/internal/dp"
+	"randpriv/internal/mat"
+	"randpriv/internal/mining"
+	"randpriv/internal/randomize"
+	"randpriv/internal/recon"
+	"randpriv/internal/stat"
+)
+
+// This file turns the hardcoded attack battery into an operator algebra:
+// a registry of pluggable attacks (reconstructors), defenses
+// (randomization schemes) and utility probes (downstream mining quality),
+// each registered with its capabilities and parameter validation. The
+// service layer enumerates and dispatches from the registry, so a new
+// operator becomes a new /v1/assess mode by registration alone — and the
+// registry-wide conformance suite (registry_conformance_test.go) makes
+// sure it cannot be registered without inheriting the determinism,
+// stream-agreement, cancellation and validation properties every
+// operator must hold.
+
+// Caps describes what an operator can do; the service layer routes
+// requests (and the conformance suite selects properties) from it.
+type Caps struct {
+	// Streaming operators can run out-of-core over chunked sources.
+	Streaming bool `json:"streaming"`
+	// NeedsCov operators require the data's covariance (one extra
+	// streaming pass) before they can be built.
+	NeedsCov bool `json:"needs_cov"`
+	// Seeded operators consume randomness; equal seeds must produce
+	// byte-identical output at any concurrency.
+	Seeded bool `json:"seeded"`
+}
+
+// NoiseModel is the effective per-row noise a defense injects —
+// everything an attack is allowed to assume public under the paper's
+// randomization model (the scheme and its parameters are published, the
+// realization is not).
+type NoiseModel struct {
+	// Sigma2 is the average per-attribute noise variance.
+	Sigma2 float64
+	// Dist is the per-entry marginal noise distribution for attacks that
+	// integrate over it (UDR); nil means N(0, Sigma2).
+	Dist dist.Continuous
+	// Cov is the noise covariance Σr for correlated-noise defenses; nil
+	// means i.i.d. noise.
+	Cov *mat.Dense
+	// Mean is the noise mean vector (nil = zero).
+	Mean []float64
+}
+
+// EntryDist returns the per-entry noise distribution, defaulting to
+// N(0, Sigma2).
+func (n NoiseModel) EntryDist() dist.Continuous {
+	if n.Dist != nil {
+		return n.Dist
+	}
+	return dist.NewNormal(0, math.Sqrt(n.Sigma2))
+}
+
+// AttackContext carries everything an attack build needs: the assumed
+// noise model and the caller's scratch workspace.
+type AttackContext struct {
+	Noise NoiseModel
+	WS    *mat.Workspace
+}
+
+// AttackSpec registers one reconstruction attack.
+type AttackSpec struct {
+	// Mode is the registry key, the identifier requests use (e.g.
+	// "pcadr", "asr").
+	Mode string
+	// Attack is the display name reports use (e.g. "PCA-DR", "UDR").
+	Attack string
+	// Description is the one-line catalogue entry for /v1/schemes.
+	Description string
+	Caps        Caps
+	// StreamPasses is how many full passes a streamed run makes over the
+	// assessment's counted sources (disguised reads plus the original
+	// diff pull) — the progress-denominator contribution. Zero for
+	// memory-only attacks.
+	StreamPasses int64
+	// Build returns the in-memory reconstructor. Invalid parameters in
+	// ctx must be rejected here or at Reconstruct, never absorbed.
+	Build func(ctx AttackContext) (recon.Reconstructor, error)
+	// BuildStream returns the out-of-core reconstructor; nil exactly when
+	// !Caps.Streaming.
+	BuildStream func(ctx AttackContext) (recon.StreamReconstructor, error)
+}
+
+// DefenseContext carries the validated request parameters a defense
+// build may consume.
+type DefenseContext struct {
+	// Sigma is the noise standard deviation for variance-parameterized
+	// schemes.
+	Sigma float64
+	// Epsilon, Delta, Sensitivity parameterize the differential-privacy
+	// mechanisms.
+	Epsilon     float64
+	Delta       float64
+	Sensitivity float64
+	// DataCov lazily supplies the data's covariance (one streaming pass);
+	// only NeedsCov defenses may call it. An error it returns must be
+	// passed through unwrapped so the caller can tell an I/O failure from
+	// a parameter rejection.
+	DataCov func() (*mat.Dense, error)
+}
+
+// BuiltDefense is a constructed defense plus the noise model it exposes
+// to the attacks.
+type BuiltDefense struct {
+	Scheme randomize.StreamScheme
+	Noise  NoiseModel
+	// Noiseless marks the identity defense: it publishes the data
+	// unchanged, so utility probes (which price what a defense costs)
+	// have nothing to measure against it.
+	Noiseless bool
+}
+
+// DefenseSpec registers one randomization scheme.
+type DefenseSpec struct {
+	Mode        string
+	Description string
+	Caps        Caps
+	// Noiseless marks the identity defense (see BuiltDefense.Noiseless).
+	Noiseless bool
+	Build     func(ctx DefenseContext) (BuiltDefense, error)
+}
+
+// UtilityContext carries the parameters of a utility probe run.
+type UtilityContext struct {
+	// Ctx cancels the probe; a canceled context must fail the run, never
+	// yield a partial result.
+	Ctx context.Context
+	// K is the cluster count for the clustering probes (0 = default 3).
+	K int
+	// Seed drives any randomness the probe consumes; equal seeds must
+	// reproduce the metrics exactly.
+	Seed int64
+}
+
+// UtilitySpec registers one utility probe: a measure of how much
+// downstream mining quality survives on the disguised data.
+type UtilitySpec struct {
+	Mode        string
+	Description string
+	Caps        Caps
+	// Run computes the probe's metrics on an aligned (original,
+	// disguised) pair. Metric keys are stable identifiers; JSON encoding
+	// orders them alphabetically, so reports stay byte-stable.
+	Run func(ctx UtilityContext, original, disguised *mat.Dense) (map[string]float64, error)
+}
+
+// UtilityResult is one probe's outcome in a privacy report.
+type UtilityResult struct {
+	Probe   string
+	Metrics map[string]float64
+	Err     error
+}
+
+// Registry is an immutable-after-construction catalogue of operators.
+// Lookup methods are safe for concurrent use once registration is done.
+type Registry struct {
+	attacks   map[string]AttackSpec
+	defenses  map[string]DefenseSpec
+	utilities map[string]UtilitySpec
+
+	attackOrder  []string
+	defenseOrder []string
+	utilityOrder []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		attacks:   make(map[string]AttackSpec),
+		defenses:  make(map[string]DefenseSpec),
+		utilities: make(map[string]UtilitySpec),
+	}
+}
+
+func validMode(mode string) error {
+	if mode == "" {
+		return fmt.Errorf("core: empty operator mode")
+	}
+	if strings.ContainsAny(mode, ", \t\n") {
+		return fmt.Errorf("core: operator mode %q contains separators", mode)
+	}
+	return nil
+}
+
+// RegisterAttack adds an attack; registration order is the catalogue
+// order.
+func (r *Registry) RegisterAttack(s AttackSpec) error {
+	if err := validMode(s.Mode); err != nil {
+		return err
+	}
+	if _, dup := r.attacks[s.Mode]; dup {
+		return fmt.Errorf("core: attack %q already registered", s.Mode)
+	}
+	if s.Attack == "" || s.Description == "" {
+		return fmt.Errorf("core: attack %q needs a display name and description", s.Mode)
+	}
+	if s.Build == nil {
+		return fmt.Errorf("core: attack %q has no Build", s.Mode)
+	}
+	if s.Caps.Streaming != (s.BuildStream != nil) {
+		return fmt.Errorf("core: attack %q: Caps.Streaming must match BuildStream presence", s.Mode)
+	}
+	if s.Caps.Streaming && s.StreamPasses < 1 {
+		return fmt.Errorf("core: streaming attack %q must declare its pass count", s.Mode)
+	}
+	r.attacks[s.Mode] = s
+	r.attackOrder = append(r.attackOrder, s.Mode)
+	return nil
+}
+
+// RegisterDefense adds a defense.
+func (r *Registry) RegisterDefense(s DefenseSpec) error {
+	if err := validMode(s.Mode); err != nil {
+		return err
+	}
+	if _, dup := r.defenses[s.Mode]; dup {
+		return fmt.Errorf("core: defense %q already registered", s.Mode)
+	}
+	if s.Description == "" || s.Build == nil {
+		return fmt.Errorf("core: defense %q needs a description and Build", s.Mode)
+	}
+	r.defenses[s.Mode] = s
+	r.defenseOrder = append(r.defenseOrder, s.Mode)
+	return nil
+}
+
+// RegisterUtility adds a utility probe.
+func (r *Registry) RegisterUtility(s UtilitySpec) error {
+	if err := validMode(s.Mode); err != nil {
+		return err
+	}
+	if _, dup := r.utilities[s.Mode]; dup {
+		return fmt.Errorf("core: utility %q already registered", s.Mode)
+	}
+	if s.Description == "" || s.Run == nil {
+		return fmt.Errorf("core: utility %q needs a description and Run", s.Mode)
+	}
+	r.utilities[s.Mode] = s
+	r.utilityOrder = append(r.utilityOrder, s.Mode)
+	return nil
+}
+
+// AttackModes returns the registered attack modes in catalogue order.
+func (r *Registry) AttackModes() []string { return append([]string(nil), r.attackOrder...) }
+
+// DefenseModes returns the registered defense modes in catalogue order.
+func (r *Registry) DefenseModes() []string { return append([]string(nil), r.defenseOrder...) }
+
+// UtilityModes returns the registered utility modes in catalogue order.
+func (r *Registry) UtilityModes() []string { return append([]string(nil), r.utilityOrder...) }
+
+// sortedClone returns modes sorted for stable error messages.
+func sortedClone(modes []string) []string {
+	out := append([]string(nil), modes...)
+	sort.Strings(out)
+	return out
+}
+
+// LookupAttack resolves an attack mode; an unknown mode's error lists
+// the allowed set.
+func (r *Registry) LookupAttack(mode string) (AttackSpec, error) {
+	s, ok := r.attacks[mode]
+	if !ok {
+		return AttackSpec{}, fmt.Errorf("core: unknown attack %q (have %s)",
+			mode, strings.Join(sortedClone(r.attackOrder), ", "))
+	}
+	return s, nil
+}
+
+// LookupDefense resolves a defense mode; an unknown mode's error lists
+// the allowed set.
+func (r *Registry) LookupDefense(mode string) (DefenseSpec, error) {
+	s, ok := r.defenses[mode]
+	if !ok {
+		return DefenseSpec{}, fmt.Errorf("core: unknown defense %q (have %s)",
+			mode, strings.Join(sortedClone(r.defenseOrder), ", "))
+	}
+	return s, nil
+}
+
+// LookupUtility resolves a utility mode; an unknown mode's error lists
+// the allowed set.
+func (r *Registry) LookupUtility(mode string) (UtilitySpec, error) {
+	s, ok := r.utilities[mode]
+	if !ok {
+		return UtilitySpec{}, fmt.Errorf("core: unknown utility %q (have %s)",
+			mode, strings.Join(sortedClone(r.utilityOrder), ", "))
+	}
+	return s, nil
+}
+
+// DefaultAttackModes is the battery assessed when a request names no
+// attacks. It reproduces the pre-registry hardcoded suites exactly, so
+// default assessments stay byte-identical across the refactor: the full
+// resident battery in memory mode (minus UDR under correlated noise,
+// which its i.i.d. model cannot price), the two-pass spectral attacks in
+// streaming mode.
+func DefaultAttackModes(noise NoiseModel, streaming bool) []string {
+	if streaming {
+		return []string{"pcadr", "bedr"}
+	}
+	if noise.Cov != nil {
+		return []string{"sf", "pcadr", "bedr"}
+	}
+	return []string{"asr", "sf", "pcadr", "bedr"}
+}
+
+// BuildAttacks resolves and builds the named attack modes in order.
+func (r *Registry) BuildAttacks(modes []string, ctx AttackContext) ([]recon.Reconstructor, error) {
+	out := make([]recon.Reconstructor, 0, len(modes))
+	for _, mode := range modes {
+		spec, err := r.LookupAttack(mode)
+		if err != nil {
+			return nil, err
+		}
+		a, err := spec.Build(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: build attack %q: %w", mode, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// BuildStreamAttacks resolves and builds the named attack modes for the
+// out-of-core battery; a memory-only mode is rejected by name.
+func (r *Registry) BuildStreamAttacks(modes []string, ctx AttackContext) ([]recon.StreamReconstructor, error) {
+	out := make([]recon.StreamReconstructor, 0, len(modes))
+	for _, mode := range modes {
+		spec, err := r.LookupAttack(mode)
+		if err != nil {
+			return nil, err
+		}
+		if !spec.Caps.Streaming {
+			return nil, fmt.Errorf("core: attack %q cannot stream (streamable: %s)",
+				mode, strings.Join(r.StreamingAttackModes(), ", "))
+		}
+		a, err := spec.BuildStream(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: build attack %q: %w", mode, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// StreamingAttackModes lists the attacks that can run out-of-core,
+// sorted.
+func (r *Registry) StreamingAttackModes() []string {
+	var out []string
+	for _, mode := range r.attackOrder {
+		if r.attacks[mode].Caps.Streaming {
+			out = append(out, mode)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunUtilities executes the named probes against an aligned (original,
+// disguised) pair. Probe failures are recorded per entry, like attack
+// failures in a privacy report; seedFor supplies each probe's RNG seed
+// by position so equal request seeds reproduce every metric.
+func (r *Registry) RunUtilities(ctx context.Context, modes []string, original, disguised *mat.Dense, k int, seedFor func(i int) int64) ([]UtilityResult, error) {
+	if len(modes) == 0 {
+		return nil, nil
+	}
+	out := make([]UtilityResult, 0, len(modes))
+	for i, mode := range modes {
+		spec, err := r.LookupUtility(mode)
+		if err != nil {
+			return nil, err
+		}
+		uctx := UtilityContext{Ctx: ctx, K: k, Seed: seedFor(i)}
+		metrics, err := spec.Run(uctx, original, disguised)
+		res := UtilityResult{Probe: mode, Metrics: metrics, Err: err}
+		if err != nil {
+			res.Metrics = nil
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// describedScheme overrides a scheme's self-description — the DP
+// defenses reuse the additive machinery but must report their mechanism
+// calibration, not the raw noise variance.
+type describedScheme struct {
+	randomize.StreamScheme
+	desc string
+}
+
+func (d describedScheme) Describe() string { return d.desc }
+
+// Builtins returns the registry of every operator this build ships. It
+// panics on a registration conflict — that is a programmer error, and
+// the conformance suite exercises the full catalogue on every test run.
+func Builtins() *Registry {
+	r := NewRegistry()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	// --- Attacks ---------------------------------------------------------
+	must(r.RegisterAttack(AttackSpec{
+		Mode:         "ndr",
+		Attack:       "NDR",
+		Description:  "noise-distribution baseline x̂ = y (§4.1)",
+		Caps:         Caps{Streaming: true},
+		StreamPasses: 2, // disguised copy-through + original diff pull
+		Build: func(ctx AttackContext) (recon.Reconstructor, error) {
+			return recon.NDR{}, nil
+		},
+		BuildStream: func(ctx AttackContext) (recon.StreamReconstructor, error) {
+			return recon.NDR{}, nil
+		},
+	}))
+	must(r.RegisterAttack(AttackSpec{
+		Mode:        "asr",
+		Attack:      "UDR",
+		Description: "Agrawal–Srikant iterative Bayesian marginal + posterior mean (UDR, §4.2)",
+		Build: func(ctx AttackContext) (recon.Reconstructor, error) {
+			if err := validSigma2(ctx.Noise.Sigma2); err != nil {
+				return nil, err
+			}
+			return &recon.UDR{Noise: ctx.Noise.EntryDist()}, nil
+		},
+	}))
+	must(r.RegisterAttack(AttackSpec{
+		Mode:        "sf",
+		Attack:      "SF",
+		Description: "Kargupta et al. spectral filtering with Marčenko–Pastur bounds (the paper's comparator)",
+		Build: func(ctx AttackContext) (recon.Reconstructor, error) {
+			return &recon.SF{Sigma2: ctx.Noise.Sigma2, WS: ctx.WS}, nil
+		},
+	}))
+	must(r.RegisterAttack(AttackSpec{
+		Mode:         "pcadr",
+		Attack:       "PCA-DR",
+		Description:  "PCA-based reconstruction via Theorem 5.1 (§5)",
+		Caps:         Caps{Streaming: true},
+		StreamPasses: 3, // sketch + project disguised + original diff pull
+		Build: func(ctx AttackContext) (recon.Reconstructor, error) {
+			return &recon.PCADR{Sigma2: ctx.Noise.Sigma2, Select: recon.SelectGap, WS: ctx.WS}, nil
+		},
+		BuildStream: func(ctx AttackContext) (recon.StreamReconstructor, error) {
+			return &recon.PCADR{Sigma2: ctx.Noise.Sigma2, Select: recon.SelectGap, WS: ctx.WS}, nil
+		},
+	}))
+	buildBEDR := func(ctx AttackContext) *recon.BEDR {
+		if ctx.Noise.Cov != nil {
+			return &recon.BEDR{NoiseCov: ctx.Noise.Cov, NoiseMean: ctx.Noise.Mean, WS: ctx.WS}
+		}
+		return &recon.BEDR{Sigma2: ctx.Noise.Sigma2, WS: ctx.WS}
+	}
+	must(r.RegisterAttack(AttackSpec{
+		Mode:         "bedr",
+		Attack:       "BE-DR",
+		Description:  "Bayes-estimate reconstruction, i.i.d. or correlated noise (§6, §8)",
+		Caps:         Caps{Streaming: true, NeedsCov: true},
+		StreamPasses: 3,
+		Build: func(ctx AttackContext) (recon.Reconstructor, error) {
+			return buildBEDR(ctx), nil
+		},
+		BuildStream: func(ctx AttackContext) (recon.StreamReconstructor, error) {
+			return buildBEDR(ctx), nil
+		},
+	}))
+	must(r.RegisterAttack(AttackSpec{
+		Mode:        "tseries",
+		Attack:      "TS-DR",
+		Description: "sample-dependency attack: per-attribute AR(1) Kalman/RTS smoothing (§3)",
+		Build: func(ctx AttackContext) (recon.Reconstructor, error) {
+			return &recon.TSDR{Sigma2: ctx.Noise.Sigma2}, nil
+		},
+	}))
+
+	// --- Defenses --------------------------------------------------------
+	must(r.RegisterDefense(DefenseSpec{
+		Mode:        "none",
+		Description: "identity (no randomization): the full-disclosure control",
+		Caps:        Caps{Streaming: true},
+		Noiseless:   true,
+		Build: func(ctx DefenseContext) (BuiltDefense, error) {
+			if err := validSigma(ctx.Sigma); err != nil {
+				return BuiltDefense{}, err
+			}
+			return BuiltDefense{
+				Scheme:    randomize.Identity{},
+				Noise:     NoiseModel{Sigma2: ctx.Sigma * ctx.Sigma},
+				Noiseless: true,
+			}, nil
+		},
+	}))
+	must(r.RegisterDefense(DefenseSpec{
+		Mode:        "additive",
+		Description: "classic i.i.d. additive Gaussian noise",
+		Caps:        Caps{Streaming: true, Seeded: true},
+		Build: func(ctx DefenseContext) (BuiltDefense, error) {
+			if err := validSigma(ctx.Sigma); err != nil {
+				return BuiltDefense{}, err
+			}
+			return BuiltDefense{
+				Scheme: randomize.NewAdditiveGaussian(ctx.Sigma),
+				Noise:  NoiseModel{Sigma2: ctx.Sigma * ctx.Sigma, Dist: dist.NewNormal(0, ctx.Sigma)},
+			}, nil
+		},
+	}))
+	must(r.RegisterDefense(DefenseSpec{
+		Mode:        "correlated",
+		Description: "improved scheme: noise shaped like the data covariance (§8)",
+		Caps:        Caps{Streaming: true, Seeded: true, NeedsCov: true},
+		Build: func(ctx DefenseContext) (BuiltDefense, error) {
+			if err := validSigma(ctx.Sigma); err != nil {
+				return BuiltDefense{}, err
+			}
+			cov, err := ctx.DataCov()
+			if err != nil {
+				return BuiltDefense{}, err
+			}
+			c, err := randomize.NewCorrelatedLike(cov, ctx.Sigma*ctx.Sigma)
+			if err != nil {
+				return BuiltDefense{}, err
+			}
+			return BuiltDefense{
+				Scheme: c,
+				Noise:  NoiseModel{Sigma2: c.AverageVariance(), Cov: c.NoiseCovariance(), Mean: c.NoiseMean()},
+			}, nil
+		},
+	}))
+	must(r.RegisterDefense(DefenseSpec{
+		Mode:        "dp-laplace",
+		Description: "ε-DP Laplace mechanism, per-entry release at L1 sensitivity",
+		Caps:        Caps{Streaming: true, Seeded: true},
+		Build: func(ctx DefenseContext) (BuiltDefense, error) {
+			mech, err := dp.NewLaplaceMechanism(ctx.Epsilon, ctx.Sensitivity)
+			if err != nil {
+				return BuiltDefense{}, err
+			}
+			lap := dist.NewLaplace(0, mech.Scale())
+			return BuiltDefense{
+				Scheme: describedScheme{
+					StreamScheme: randomize.Additive{Noise: lap},
+					desc: fmt.Sprintf("dp-laplace mechanism (ε=%g, sensitivity=%g, noise var=%.4g)",
+						ctx.Epsilon, ctx.Sensitivity, mech.NoiseVariance()),
+				},
+				Noise: NoiseModel{Sigma2: mech.NoiseVariance(), Dist: lap},
+			}, nil
+		},
+	}))
+	must(r.RegisterDefense(DefenseSpec{
+		Mode:        "dp-gaussian",
+		Description: "(ε,δ)-DP Gaussian mechanism, per-entry release at L2 sensitivity",
+		Caps:        Caps{Streaming: true, Seeded: true},
+		Build: func(ctx DefenseContext) (BuiltDefense, error) {
+			mech, err := dp.NewGaussianMechanism(ctx.Epsilon, ctx.Delta, ctx.Sensitivity)
+			if err != nil {
+				return BuiltDefense{}, err
+			}
+			sigma := mech.Sigma()
+			return BuiltDefense{
+				Scheme: describedScheme{
+					StreamScheme: randomize.NewAdditiveGaussian(sigma),
+					desc: fmt.Sprintf("dp-gaussian mechanism (ε=%g, δ=%g, sensitivity=%g, σ=%.4g)",
+						ctx.Epsilon, ctx.Delta, ctx.Sensitivity, sigma),
+				},
+				Noise: NoiseModel{Sigma2: sigma * sigma, Dist: dist.NewNormal(0, sigma)},
+			}, nil
+		},
+	}))
+
+	// --- Utility probes --------------------------------------------------
+	must(r.RegisterUtility(UtilitySpec{
+		Mode:        "kmeans",
+		Description: "k-means clustering drift: centroid movement and inertia on disguised vs original data",
+		Caps:        Caps{Seeded: true},
+		Run:         kmeansProbe,
+	}))
+	must(r.RegisterUtility(UtilitySpec{
+		Mode:        "nbayes",
+		Description: "Gaussian naive Bayes accuracy when training on disguised instead of original data",
+		Run:         nbayesProbe,
+	}))
+	must(r.RegisterUtility(UtilitySpec{
+		Mode:        "dtree",
+		Description: "decision-tree quality: ID3 over median-thresholded attributes, trained on disguised data",
+		Run:         dtreeProbe,
+	}))
+	return r
+}
+
+func validSigma(sigma float64) error {
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return fmt.Errorf("core: sigma %v, must be finite and > 0", sigma)
+	}
+	return nil
+}
+
+func validSigma2(sigma2 float64) error {
+	if !(sigma2 > 0) || math.IsInf(sigma2, 0) {
+		return fmt.Errorf("core: noise variance %v, must be finite and > 0", sigma2)
+	}
+	return nil
+}
+
+// validUtilityPair rejects degenerate probe inputs at the boundary.
+func validUtilityPair(original, disguised *mat.Dense) error {
+	if original == nil || disguised == nil {
+		return fmt.Errorf("core: utility probe needs both data sets")
+	}
+	n, m := original.Dims()
+	dn, dm := disguised.Dims()
+	if n == 0 || m == 0 {
+		return fmt.Errorf("core: utility probe on empty data (%dx%d)", n, m)
+	}
+	if n != dn || m != dm {
+		return fmt.Errorf("core: utility probe data sets differ in shape: %dx%d vs %dx%d", n, m, dn, dm)
+	}
+	return nil
+}
+
+// kmeansProbe clusters both copies with equal seeds and reports how far
+// the centroid structure moved — the aggregate-mining survival measure
+// of §8.1.
+func kmeansProbe(ctx UtilityContext, original, disguised *mat.Dense) (map[string]float64, error) {
+	if err := validUtilityPair(original, disguised); err != nil {
+		return nil, err
+	}
+	if err := ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	k := ctx.K
+	if k == 0 {
+		k = 3
+	}
+	base, err := mining.KMeans(original, k, 100, rand.New(rand.NewSource(ctx.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	disg, err := mining.KMeans(disguised, k, 100, rand.New(rand.NewSource(ctx.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	drift, err := mining.MatchCentroids(base.Centroids, disg.Centroids)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"centroid_drift":    drift,
+		"inertia_original":  base.Inertia,
+		"inertia_disguised": disg.Inertia,
+	}, nil
+}
+
+// thresholdLabels splits rows into two classes on the last column's
+// median — the label derivation every classifier probe shares, so an
+// unlabeled upload still supports classification probes.
+func thresholdLabels(x *mat.Dense) []int {
+	n, m := x.Dims()
+	last := x.Col(m - 1)
+	med := stat.Quantile(last, 0.5)
+	labels := make([]int, n)
+	for i, v := range last {
+		if v > med {
+			labels[i] = 1
+		}
+	}
+	return labels
+}
+
+// features returns the view of x without its last (class-deriving)
+// column, as a copy.
+func features(x *mat.Dense) *mat.Dense {
+	_, m := x.Dims()
+	return x.Slice(0, x.Rows(), 0, m-1)
+}
+
+// nbayesProbe trains Gaussian naive Bayes on the original and on the
+// disguised features against median-threshold labels and reports the
+// accuracy cost of training on disguised data.
+func nbayesProbe(ctx UtilityContext, original, disguised *mat.Dense) (map[string]float64, error) {
+	if err := validUtilityPair(original, disguised); err != nil {
+		return nil, err
+	}
+	if _, m := original.Dims(); m < 2 {
+		return nil, fmt.Errorf("core: nbayes probe needs at least 2 columns (features + class source), got %d", m)
+	}
+	if err := ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	labels := thresholdLabels(original)
+	origF, disgF := features(original), features(disguised)
+	accOrig, err := trainTestAccuracy(origF, origF, labels)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	accDisg, err := trainTestAccuracy(disgF, origF, labels)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"accuracy_original":  accOrig,
+		"accuracy_disguised": accDisg,
+		"accuracy_drop":      accOrig - accDisg,
+	}, nil
+}
+
+// trainTestAccuracy trains on train and scores predictions on test
+// against the row-aligned labels.
+func trainTestAccuracy(train, test *mat.Dense, labels []int) (float64, error) {
+	nb, err := mining.TrainNaiveBayes(train, labels)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := nb.PredictAll(test)
+	if err != nil {
+		return 0, err
+	}
+	return mining.Accuracy(pred, labels)
+}

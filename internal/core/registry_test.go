@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/recon"
+)
+
+func dummyAttack(mode string) AttackSpec {
+	return AttackSpec{
+		Mode: mode, Attack: strings.ToUpper(mode), Description: "test attack",
+		Build: func(AttackContext) (recon.Reconstructor, error) { return recon.NDR{}, nil },
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"empty mode", NewRegistry().RegisterAttack(dummyAttack(""))},
+		{"mode with separator", NewRegistry().RegisterAttack(dummyAttack("a,b"))},
+		{"missing build", NewRegistry().RegisterAttack(AttackSpec{Mode: "x", Attack: "X", Description: "d"})},
+		{"missing description", NewRegistry().RegisterAttack(AttackSpec{
+			Mode: "x", Attack: "X",
+			Build: func(AttackContext) (recon.Reconstructor, error) { return recon.NDR{}, nil },
+		})},
+		{"streaming cap without BuildStream", func() error {
+			s := dummyAttack("x")
+			s.Caps.Streaming = true
+			s.StreamPasses = 2
+			return NewRegistry().RegisterAttack(s)
+		}()},
+		{"streaming without pass count", func() error {
+			s := dummyAttack("x")
+			s.Caps.Streaming = true
+			s.BuildStream = func(AttackContext) (recon.StreamReconstructor, error) { return recon.NDR{}, nil }
+			return NewRegistry().RegisterAttack(s)
+		}()},
+		{"duplicate mode", func() error {
+			r := NewRegistry()
+			if err := r.RegisterAttack(dummyAttack("x")); err != nil {
+				t.Fatalf("first registration: %v", err)
+			}
+			return r.RegisterAttack(dummyAttack("x"))
+		}()},
+		{"defense without build", NewRegistry().RegisterDefense(DefenseSpec{Mode: "d", Description: "x"})},
+		{"utility without run", NewRegistry().RegisterUtility(UtilitySpec{Mode: "u", Description: "x"})},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: registration accepted", tc.name)
+		}
+	}
+}
+
+func TestRegistryLookupErrorsListAllowedSet(t *testing.T) {
+	r := Builtins()
+	if _, err := r.LookupAttack("nope"); err == nil || !strings.Contains(err.Error(), "asr, bedr, ndr, pcadr, sf, tseries") {
+		t.Errorf("attack lookup error %v does not list the allowed set", err)
+	}
+	if _, err := r.LookupDefense("nope"); err == nil || !strings.Contains(err.Error(), "additive, correlated, dp-gaussian, dp-laplace, none") {
+		t.Errorf("defense lookup error %v does not list the allowed set", err)
+	}
+	if _, err := r.LookupUtility("nope"); err == nil || !strings.Contains(err.Error(), "dtree, kmeans, nbayes") {
+		t.Errorf("utility lookup error %v does not list the allowed set", err)
+	}
+}
+
+func TestDefaultAttackModesMirrorLegacyBatteries(t *testing.T) {
+	iid := NoiseModel{Sigma2: 25}
+	corr := NoiseModel{Sigma2: 25, Cov: mat.Identity(3)}
+	cases := []struct {
+		name      string
+		noise     NoiseModel
+		streaming bool
+		want      string
+	}{
+		{"memory additive", iid, false, "asr,sf,pcadr,bedr"},
+		{"memory correlated", corr, false, "sf,pcadr,bedr"},
+		{"stream additive", iid, true, "pcadr,bedr"},
+		{"stream correlated", corr, true, "pcadr,bedr"},
+	}
+	for _, tc := range cases {
+		got := strings.Join(DefaultAttackModes(tc.noise, tc.streaming), ",")
+		if got != tc.want {
+			t.Errorf("%s: %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDefaultBatteryMatchesLegacyConstructors pins the refactor's core
+// byte-identity claim at the source: the registry's default battery
+// builds the same reconstructors, in the same order, with the same
+// parameters as the deleted hardcoded suites.
+func TestDefaultBatteryMatchesLegacyConstructors(t *testing.T) {
+	r := Builtins()
+	const sigma2 = 25.0
+
+	iid := NoiseModel{Sigma2: sigma2}
+	got, err := r.BuildAttacks(DefaultAttackModes(iid, false), AttackContext{Noise: iid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StandardAttacks(sigma2)
+	if len(got) != len(want) {
+		t.Fatalf("battery size %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Name() != want[i].Name() {
+			t.Errorf("slot %d: %s, want %s", i, got[i].Name(), want[i].Name())
+		}
+	}
+
+	cov := mat.Identity(3)
+	mean := []float64{0, 0, 0}
+	corr := NoiseModel{Sigma2: mat.Trace(cov) / 3, Cov: cov, Mean: mean}
+	gotC, err := r.BuildAttacks(DefaultAttackModes(corr, false), AttackContext{Noise: corr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC := CorrelatedNoiseAttacks(cov, mean)
+	if len(gotC) != len(wantC) {
+		t.Fatalf("correlated battery size %d, want %d", len(gotC), len(wantC))
+	}
+	for i := range gotC {
+		if gotC[i].Name() != wantC[i].Name() {
+			t.Errorf("correlated slot %d: %s, want %s", i, gotC[i].Name(), wantC[i].Name())
+		}
+	}
+}
+
+func TestBuildStreamAttacksRejectsResidentOnlyModes(t *testing.T) {
+	r := Builtins()
+	_, err := r.BuildStreamAttacks([]string{"pcadr", "sf"}, AttackContext{Noise: NoiseModel{Sigma2: 25}})
+	if err == nil || !strings.Contains(err.Error(), `"sf" cannot stream`) {
+		t.Errorf("resident-only mode accepted for streaming: %v", err)
+	}
+}
+
+func TestRunUtilitiesRecordsProbeFailures(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterUtility(UtilitySpec{
+		Mode: "boom", Description: "always fails",
+		Run: func(UtilityContext, *mat.Dense, *mat.Dense) (map[string]float64, error) {
+			return map[string]float64{"partial": 1}, fmt.Errorf("probe exploded")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Zeros(4, 2)
+	out, err := r.RunUtilities(context.Background(), []string{"boom"}, x, x, 0, func(int) int64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Err == nil {
+		t.Fatalf("failure not recorded: %+v", out)
+	}
+	if out[0].Metrics != nil {
+		t.Errorf("failed probe kept partial metrics %v", out[0].Metrics)
+	}
+}

@@ -1,0 +1,46 @@
+package randomize
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stream"
+)
+
+// Identity is the null defense: it publishes the data unchanged. It
+// exists as a control point for the scenario matrix — running the attack
+// battery against an undefended release shows the full-disclosure
+// baseline every real scheme is judged against — and it deliberately
+// satisfies the same Scheme/StreamScheme contracts so the registry can
+// treat it like any other defense. It draws nothing from the RNG.
+type Identity struct{}
+
+// Perturb implements Scheme: Y = X, R = 0.
+func (Identity) Perturb(x *mat.Dense, rng *rand.Rand) (*Perturbed, error) {
+	n, m := x.Dims()
+	return &Perturbed{Y: x.Clone(), R: mat.Zeros(n, m)}, nil
+}
+
+// PerturbStream implements StreamScheme: a validated copy-through pass.
+func (Identity) PerturbStream(src stream.Source, sink stream.Sink, rng *rand.Rand) error {
+	if err := src.Reset(); err != nil {
+		return fmt.Errorf("randomize: reset source: %w", err)
+	}
+	for {
+		chunk, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("randomize: read chunk: %w", err)
+		}
+		if err := sink.Append(chunk); err != nil {
+			return fmt.Errorf("randomize: sink: %w", err)
+		}
+	}
+}
+
+// Describe implements Scheme.
+func (Identity) Describe() string { return "no randomization (identity)" }

@@ -1,0 +1,69 @@
+package recon
+
+import (
+	"fmt"
+	"io"
+
+	"randpriv/internal/stream"
+)
+
+// AsStream adapts any Reconstructor to the StreamReconstructor interface.
+// Attacks that already stream (NDR, PCA-DR, BE-DR) are returned as-is;
+// resident-data attacks (UDR, SF, TS-DR) are wrapped in a collect-then-
+// reconstruct shim that materializes the stream, runs the in-memory
+// attack, and emits X̂ as a single chunk. The shim trades the O(chunk)
+// memory bound for availability — it is how the registry serves the
+// non-streamable half of the battery over the chunked HTTP data plane —
+// so callers that must stay out-of-core should check Caps.Streaming
+// before reaching for it.
+func AsStream(r Reconstructor) StreamReconstructor {
+	if sr, ok := r.(StreamReconstructor); ok {
+		return sr
+	}
+	return &collectedStream{r: r}
+}
+
+type collectedStream struct {
+	r Reconstructor
+}
+
+// Name implements StreamReconstructor.
+func (c *collectedStream) Name() string { return c.r.Name() }
+
+// ReconstructStream implements StreamReconstructor by materializing the
+// source. Chunks are validated on the way in so a malformed stream fails
+// with the same errors the true streaming attacks produce.
+func (c *collectedStream) ReconstructStream(src stream.Source, sink stream.Sink) error {
+	if err := src.Reset(); err != nil {
+		return fmt.Errorf("recon: streaming reset: %w", err)
+	}
+	var col stream.Collector
+	var rows int64
+	for {
+		chunk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("recon: streaming read: %w", err)
+		}
+		if err := stream.ValidateChunk(chunk, rows); err != nil {
+			return asReconError(err)
+		}
+		rows += int64(chunk.Rows())
+		if err := col.Append(chunk); err != nil {
+			return fmt.Errorf("recon: streaming collect: %w", err)
+		}
+	}
+	if col.Data == nil {
+		return fmt.Errorf("recon: empty disguised data (0x0)")
+	}
+	xhat, err := c.r.Reconstruct(col.Data)
+	if err != nil {
+		return err
+	}
+	if err := sink.Append(xhat); err != nil {
+		return fmt.Errorf("recon: streaming sink: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package recon
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"randpriv/internal/mat"
+	"randpriv/internal/stream"
+)
+
+// TestAsStreamPassesThroughStreamingAttacks pins that a Reconstructor
+// which already streams is returned unwrapped — the collect shim must
+// never cost a true streaming attack its O(chunk) memory bound.
+func TestAsStreamPassesThroughStreamingAttacks(t *testing.T) {
+	var r Reconstructor = NDR{}
+	if _, ok := AsStream(r).(NDR); !ok {
+		t.Errorf("AsStream wrapped NDR instead of passing it through")
+	}
+	p := &PCADR{Sigma2: 25, Select: SelectGap}
+	if got := AsStream(p); got != StreamReconstructor(p) {
+		t.Errorf("AsStream wrapped PCA-DR instead of passing it through")
+	}
+}
+
+// TestAsStreamMatchesResidentReconstruction is the shim's correctness
+// contract: for each resident-only attack, streaming the disguised data
+// through the adapter at several chunk sizes yields exactly the matrix
+// the in-memory Reconstruct call produces.
+func TestAsStreamMatchesResidentReconstruction(t *testing.T) {
+	y := streamTestData(t, 300, 6, 2, 5)
+	attacks := []Reconstructor{
+		&SF{Sigma2: 25},
+		&TSDR{Sigma2: 25},
+	}
+	for _, a := range attacks {
+		want, err := a.Reconstruct(y)
+		if err != nil {
+			t.Fatalf("%s resident: %v", a.Name(), err)
+		}
+		sr := AsStream(a)
+		if sr.Name() != a.Name() {
+			t.Errorf("adapter renamed %s to %s", a.Name(), sr.Name())
+		}
+		for _, chunk := range []int{1, 7, 64, 300} {
+			got := reconstructStreamed(t, sr, y, chunk)
+			wr, gr := want.Raw(), got.Raw()
+			if len(wr) != len(gr) {
+				t.Fatalf("%s chunk=%d: size %d, want %d", a.Name(), chunk, len(gr), len(wr))
+			}
+			for i := range wr {
+				if wr[i] != gr[i] {
+					t.Fatalf("%s chunk=%d: entry %d is %v, want %v", a.Name(), chunk, i, gr[i], wr[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// errStep describes one Next() outcome of the scripted source below.
+type errStep struct {
+	chunk *mat.Dense
+	err   error
+}
+
+// scriptedSource replays a fixed sequence of Next() results, then EOF.
+type scriptedSource struct {
+	steps []errStep
+	pos   int
+}
+
+func (s *scriptedSource) Reset() error { s.pos = 0; return nil }
+
+func (s *scriptedSource) Next() (*mat.Dense, error) {
+	if s.pos >= len(s.steps) {
+		return nil, io.EOF
+	}
+	st := s.steps[s.pos]
+	s.pos++
+	return st.chunk, st.err
+}
+
+// TestAsStreamValidatesTheStream pins that the collect shim fails with
+// the same error surface as the true streaming attacks: empty streams,
+// non-finite chunks, and read errors all abort the reconstruction.
+func TestAsStreamValidatesTheStream(t *testing.T) {
+	sr := AsStream(&SF{Sigma2: 25})
+	var sink stream.Collector
+
+	t.Run("empty stream", func(t *testing.T) {
+		err := sr.ReconstructStream(&scriptedSource{}, &sink)
+		if err == nil || !strings.Contains(err.Error(), "empty disguised data") {
+			t.Errorf("err = %v, want empty-data rejection", err)
+		}
+	})
+
+	t.Run("non-finite chunk", func(t *testing.T) {
+		bad := mat.Zeros(2, 3)
+		bad.Set(1, 2, math.NaN())
+		src := &scriptedSource{steps: []errStep{{chunk: mat.Zeros(2, 3)}, {chunk: bad}}}
+		err := sr.ReconstructStream(src, &sink)
+		if err == nil || !strings.Contains(err.Error(), "non-finite value") {
+			t.Fatalf("err = %v, want non-finite rejection", err)
+		}
+		// Row index must be global across chunks, not chunk-local.
+		if !strings.Contains(err.Error(), "row 3, col 2") {
+			t.Errorf("err = %v, want the global position row 3, col 2", err)
+		}
+	})
+
+	t.Run("read error", func(t *testing.T) {
+		src := &scriptedSource{steps: []errStep{{chunk: mat.Zeros(2, 3)}, {err: io.ErrUnexpectedEOF}}}
+		err := sr.ReconstructStream(src, &sink)
+		if err == nil || !strings.Contains(err.Error(), "streaming read") {
+			t.Errorf("err = %v, want wrapped read error", err)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Goldens pin the exact response bytes: the battery
+// refactor contract is that a pre-existing mode's /v1/assess response
+// never moves by a byte at equal (CSV, params, seed).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: response drifted from golden file (rerun with -update if intended)\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenCSV is the fixed upload shared by every golden case: a seeded
+// correlated data set small enough to keep the suite fast but wide
+// enough that every attack and probe has signal to work with.
+func goldenCSV(t testing.TB) []byte {
+	return testCSV(t, 96, 4, 2, 11)
+}
+
+// assessGoldenCases enumerates the /v1/assess parameter sets pinned as
+// goldens. The first four are the pre-registry battery modes whose bytes
+// must survive any refactor; the rest cover the registry-era modes
+// (operator selection, DP defenses, utility probes, dormant attacks).
+var assessGoldenCases = []struct {
+	name  string
+	query string
+}{
+	{"assess_memory_additive", "sigma=5&seed=3&chunk=32"},
+	{"assess_memory_correlated", "sigma=5&seed=3&chunk=32&scheme=correlated"},
+	{"assess_stream_additive", "sigma=5&seed=3&chunk=32&stream=1"},
+	{"assess_stream_correlated", "sigma=5&seed=3&chunk=32&stream=1&scheme=correlated"},
+	{"assess_memory_none", "sigma=5&seed=3&chunk=32&scheme=none"},
+	{"assess_memory_dp_laplace", "seed=3&chunk=32&scheme=dp-laplace&epsilon=0.5&sensitivity=2"},
+	{"assess_memory_dp_gaussian", "seed=3&chunk=32&scheme=dp-gaussian&epsilon=0.8&delta=1e-6"},
+	{"assess_memory_attack_selection", "sigma=5&seed=3&chunk=32&attacks=asr,tseries,bedr"},
+	{"assess_memory_utility", "sigma=5&seed=3&chunk=32&utility=kmeans,nbayes,dtree&k=3"},
+	{"assess_stream_attack_selection", "sigma=5&seed=3&chunk=32&stream=1&attacks=ndr,pcadr"},
+}
+
+// TestAssessGolden pins the /v1/assess response bytes for every golden
+// parameter set at a fixed (CSV, params, seed).
+func TestAssessGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	in := goldenCSV(t)
+	for _, tc := range assessGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, out := post(t, ts, "/v1/assess?"+tc.query, in)
+			if status != http.StatusOK {
+				t.Fatalf("status = %d, body %s", status, out)
+			}
+			checkGolden(t, tc.name, out)
+		})
+	}
+}
+
+// TestJobResultMatchesGolden submits every golden parameter set through
+// the async jobs API and asserts the stored result is byte-identical to
+// the synchronous golden — the cross-path half of the byte-stability
+// contract.
+func TestJobResultMatchesGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, JobWorkers: 2})
+	in := goldenCSV(t)
+	for _, tc := range assessGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, out := post(t, ts, "/v1/jobs?"+tc.query, in)
+			if status != http.StatusAccepted {
+				t.Fatalf("submit status = %d, body %s", status, out)
+			}
+			var snap struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(out, &snap); err != nil {
+				t.Fatalf("decode submit response: %v", err)
+			}
+			result := waitJobResult(t, ts, snap.ID)
+			checkGolden(t, tc.name, result)
+		})
+	}
+}
+
+// waitJobResult polls the job until its result is served.
+func waitJobResult(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatalf("GET result: %v", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read result: %v", err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			return body
+		}
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("result status = %d, body %s", resp.StatusCode, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish in time", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSchemesGolden pins the /v1/schemes payload — the service's
+// self-description of its operator inventory.
+func TestSchemesGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/schemes")
+	if err != nil {
+		t.Fatalf("GET /v1/schemes: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	checkGolden(t, "schemes", out)
+}

@@ -11,37 +11,75 @@ import (
 	"net/url"
 	"os"
 	"strconv"
+	"strings"
 
 	"randpriv/internal/core"
 	"randpriv/internal/dataset"
 	"randpriv/internal/experiment"
 	"randpriv/internal/mat"
-	"randpriv/internal/randomize"
 	"randpriv/internal/recon"
 	"randpriv/internal/stream"
 )
 
-// Scheme and attack identifiers accepted in query parameters.
+// Scheme identifiers the handlers special-case (the full accepted sets
+// live in the operator registry).
 const (
 	schemeAdditive   = "additive"
 	schemeCorrelated = "correlated"
+	schemeNone       = "none"
 )
+
+// defaultRegistry is the operator catalogue every endpoint enumerates
+// and dispatches from. Builtins() is immutable after construction, so
+// sharing one instance across requests is safe.
+var defaultRegistry = core.Builtins()
 
 // requestParams are the decoded query parameters shared by the compute
 // endpoints. Defaults mirror the CLI: σ=5, seed=1, additive scheme.
 type requestParams struct {
-	Sigma      float64 // noise standard deviation
-	Seed       int64   // RNG seed (perturb/assess)
-	Scheme     string  // additive | correlated (perturb/assess)
-	Attack     string  // ndr | pcadr | bedr (attack)
-	Chunk      int     // streaming chunk rows
-	Stream     bool    // assess: streaming battery instead of in-memory
-	Correlated bool    // attack: shape the assumed noise from the data
+	Sigma       float64  // noise standard deviation
+	Seed        int64    // RNG seed (perturb/assess)
+	Scheme      string   // defense mode from the registry (perturb/assess)
+	Attack      string   // attack mode from the registry (attack)
+	Chunk       int      // streaming chunk rows
+	Stream      bool     // assess: streaming battery instead of in-memory
+	Correlated  bool     // attack: shape the assumed noise from the data
+	Attacks     []string // assess: explicit battery selection (empty = default)
+	Utility     []string // assess: utility probes to run after the battery
+	Epsilon     float64  // dp-* schemes: privacy budget ε
+	Delta       float64  // dp-gaussian scheme: failure probability δ
+	Sensitivity float64  // dp-* schemes: per-entry query sensitivity
+	K           int      // kmeans probe: cluster count (0 = probe default)
 }
 
 // maxChunkRows caps ?chunk= so a hostile request cannot make the server
 // allocate an arbitrarily large chunk buffer.
 const maxChunkRows = 1 << 20
+
+// maxClusterK caps ?k=: the clustering probes are O(n·k) per iteration
+// and a request must not pick a k the data cannot support anyway.
+const maxClusterK = 1 << 10
+
+// splitModes parses a comma-separated operator list, rejecting empty
+// items and duplicates (a repeated mode would run — and be billed and
+// cached — twice) and validating every mode through lookup.
+func splitModes(v string, lookup func(string) error) ([]string, error) {
+	parts := strings.Split(v, ",")
+	seen := make(map[string]bool, len(parts))
+	for _, mode := range parts {
+		if mode == "" {
+			return nil, fmt.Errorf("empty mode in list")
+		}
+		if seen[mode] {
+			return nil, fmt.Errorf("mode %q listed twice", mode)
+		}
+		seen[mode] = true
+		if err := lookup(mode); err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
 
 // parseRequestParams decodes and validates query parameters, rejecting
 // keys outside the endpoint's allowed set — a typoed or misplaced
@@ -56,6 +94,7 @@ func parseRequestParams(q url.Values, defaults requestParams, allowed ...string)
 		allowedSet[k] = true
 	}
 	p := defaults
+	seen := make(map[string]bool, len(q))
 	for key, vals := range q {
 		if !allowedSet[key] {
 			return p, fmt.Errorf("server: parameter %q is not valid for this endpoint", key)
@@ -63,6 +102,7 @@ func parseRequestParams(q url.Values, defaults requestParams, allowed ...string)
 		if len(vals) != 1 {
 			return p, fmt.Errorf("server: parameter %q given %d times", key, len(vals))
 		}
+		seen[key] = true
 		v := vals[0]
 		var err error
 		switch key {
@@ -71,16 +111,44 @@ func parseRequestParams(q url.Values, defaults requestParams, allowed ...string)
 		case "seed":
 			p.Seed, err = strconv.ParseInt(v, 10, 64)
 		case "scheme":
-			if v != schemeAdditive && v != schemeCorrelated {
-				err = fmt.Errorf("want %q or %q", schemeAdditive, schemeCorrelated)
+			if _, lerr := defaultRegistry.LookupDefense(v); lerr != nil {
+				err = lerr
 			}
 			p.Scheme = v
 		case "attack":
-			switch v {
-			case "ndr", "pcadr", "bedr":
-				p.Attack = v
-			default:
-				err = fmt.Errorf("want ndr, pcadr or bedr")
+			if _, lerr := defaultRegistry.LookupAttack(v); lerr != nil {
+				err = lerr
+			}
+			p.Attack = v
+		case "attacks":
+			p.Attacks, err = splitModes(v, func(mode string) error {
+				_, lerr := defaultRegistry.LookupAttack(mode)
+				return lerr
+			})
+		case "utility":
+			p.Utility, err = splitModes(v, func(mode string) error {
+				_, lerr := defaultRegistry.LookupUtility(mode)
+				return lerr
+			})
+		case "epsilon":
+			p.Epsilon, err = strconv.ParseFloat(v, 64)
+			if err == nil && (!(p.Epsilon > 0) || math.IsInf(p.Epsilon, 0)) {
+				err = fmt.Errorf("want a positive finite number")
+			}
+		case "delta":
+			p.Delta, err = strconv.ParseFloat(v, 64)
+			if err == nil && (!(p.Delta > 0) || p.Delta >= 1) {
+				err = fmt.Errorf("want a number in (0, 1)")
+			}
+		case "sensitivity":
+			p.Sensitivity, err = strconv.ParseFloat(v, 64)
+			if err == nil && (!(p.Sensitivity > 0) || math.IsInf(p.Sensitivity, 0)) {
+				err = fmt.Errorf("want a positive finite number")
+			}
+		case "k":
+			p.K, err = strconv.Atoi(v)
+			if err == nil && (p.K < 1 || p.K > maxClusterK) {
+				err = fmt.Errorf("want 1..%d", maxClusterK)
 			}
 		case "chunk":
 			p.Chunk, err = strconv.Atoi(v)
@@ -101,13 +169,72 @@ func parseRequestParams(q url.Values, defaults requestParams, allowed ...string)
 	if !(p.Sigma > 0) || math.IsInf(p.Sigma, 0) {
 		return p, fmt.Errorf("server: sigma must be a positive finite number, got %v", p.Sigma)
 	}
-	return p, nil
+	return p, checkParamCoherence(p, seen)
+}
+
+// checkParamCoherence enforces the cross-parameter rules a single-key
+// switch cannot see. Each rule exists because silently ignoring the
+// offending key would misreport what actually ran: a ?sigma= under a DP
+// scheme has no effect on the noise, a utility probe without a defense
+// has nothing to price, a resident-only attack cannot join a streamed
+// battery.
+func checkParamCoherence(p requestParams, seen map[string]bool) error {
+	isDP := strings.HasPrefix(p.Scheme, "dp-")
+	if !isDP {
+		for _, key := range []string{"epsilon", "delta", "sensitivity"} {
+			if seen[key] {
+				return fmt.Errorf("server: parameter %q applies only to the dp-* schemes, not %q", key, p.Scheme)
+			}
+		}
+	}
+	if seen["delta"] && p.Scheme != "dp-gaussian" {
+		return fmt.Errorf("server: parameter \"delta\" applies only to scheme=dp-gaussian, not %q", p.Scheme)
+	}
+	if seen["sigma"] && isDP {
+		return fmt.Errorf("server: parameter \"sigma\" has no effect under %q (the noise scale is calibrated from epsilon)", p.Scheme)
+	}
+	if len(p.Utility) > 0 {
+		if p.Scheme == schemeNone {
+			return fmt.Errorf("server: utility probes require a defense (scheme=%s leaves nothing to measure)", schemeNone)
+		}
+		if p.Stream {
+			return fmt.Errorf("server: utility probes run in memory mode only (drop stream=1)")
+		}
+	}
+	if seen["k"] && !containsMode(p.Utility, "kmeans") {
+		return fmt.Errorf("server: parameter \"k\" requires the kmeans utility probe")
+	}
+	if p.Stream {
+		for _, mode := range p.Attacks {
+			spec, err := defaultRegistry.LookupAttack(mode)
+			if err != nil {
+				return err
+			}
+			if !spec.Caps.Streaming {
+				return fmt.Errorf("server: attack %q needs resident data and cannot join a streamed battery (streamable: %s)",
+					mode, strings.Join(defaultRegistry.StreamingAttackModes(), ", "))
+			}
+		}
+	}
+	return nil
+}
+
+func containsMode(modes []string, want string) bool {
+	for _, m := range modes {
+		if m == want {
+			return true
+		}
+	}
+	return false
 }
 
 // decodeParams applies the server defaults, restricts the query to the
 // endpoint's parameter set, and tags failures as 400s.
 func (s *Server) decodeParams(r *http.Request, allowed ...string) (requestParams, error) {
-	defaults := requestParams{Sigma: 5, Seed: 1, Scheme: schemeAdditive, Attack: "pcadr", Chunk: s.cfg.ChunkRows}
+	defaults := requestParams{
+		Sigma: 5, Seed: 1, Scheme: schemeAdditive, Attack: "pcadr", Chunk: s.cfg.ChunkRows,
+		Epsilon: 1, Delta: 1e-5, Sensitivity: 1,
+	}
 	p, err := parseRequestParams(r.URL.Query(), defaults, allowed...)
 	if err != nil {
 		return p, badRequest(err)
@@ -167,22 +294,38 @@ func validateUpload(src stream.Source, cols int) (rows int64, err error) {
 	return rows, nil
 }
 
-// buildScheme constructs the randomization scheme for a request. The
-// correlated scheme needs the data's covariance, sketched in one
-// streaming pass.
-func buildScheme(p requestParams, src stream.Source) (randomize.StreamScheme, error) {
-	if p.Scheme == schemeAdditive {
-		return randomize.NewAdditiveGaussian(p.Sigma), nil
-	}
-	mo, err := stream.Accumulate(src, 1)
+// buildDefense constructs the requested defense through the registry. A
+// covariance-hungry defense sketches the data in one streaming pass via
+// the DataCov hook; a failure of that pass is an I/O (or cancellation)
+// problem and keeps its 500-family status, while every other build error
+// is a parameter rejection and maps to 400.
+func buildDefense(p requestParams, src stream.Source) (core.BuiltDefense, error) {
+	spec, err := defaultRegistry.LookupDefense(p.Scheme)
 	if err != nil {
-		return nil, fmt.Errorf("server: covariance pass: %w", err)
+		return core.BuiltDefense{}, badRequest(err)
 	}
-	c, err := randomize.NewCorrelatedLike(mo.Covariance(), p.Sigma*p.Sigma)
+	var passErr error
+	bd, err := spec.Build(core.DefenseContext{
+		Sigma:       p.Sigma,
+		Epsilon:     p.Epsilon,
+		Delta:       p.Delta,
+		Sensitivity: p.Sensitivity,
+		DataCov: func() (*mat.Dense, error) {
+			mo, err := stream.Accumulate(src, 1)
+			if err != nil {
+				passErr = fmt.Errorf("server: covariance pass: %w", err)
+				return nil, passErr
+			}
+			return mo.Covariance(), nil
+		},
+	})
 	if err != nil {
-		return nil, badRequest(err)
+		if passErr != nil && err == passErr {
+			return core.BuiltDefense{}, err
+		}
+		return core.BuiltDefense{}, badRequest(err)
 	}
-	return c, nil
+	return bd, nil
 }
 
 // lazyCSVSink defers the CSV header until the first reconstructed chunk
@@ -215,9 +358,9 @@ func (l *lazyCSVSink) Flush() error {
 }
 
 // handlePerturb streams a disguised copy of the uploaded CSV back:
-// POST /v1/perturb?sigma=&seed=&scheme=&chunk=
+// POST /v1/perturb?sigma=&seed=&scheme=&chunk=[&epsilon=&delta=&sensitivity=]
 func (s *Server) handlePerturb(w http.ResponseWriter, r *http.Request) error {
-	p, err := s.decodeParams(r, "sigma", "seed", "scheme", "chunk")
+	p, err := s.decodeParams(r, "sigma", "seed", "scheme", "chunk", "epsilon", "delta", "sensitivity")
 	if err != nil {
 		return err
 	}
@@ -232,51 +375,57 @@ func (s *Server) handlePerturb(w http.ResponseWriter, r *http.Request) error {
 		if _, err := validateUpload(cs, len(src.Names())); err != nil {
 			return err
 		}
-		scheme, err := buildScheme(p, cs)
+		bd, err := buildDefense(p, cs)
 		if err != nil {
 			return err
 		}
 		sink := &lazyCSVSink{w: w, names: src.Names()}
-		if err := scheme.PerturbStream(cs, sink, requestRNG(p.Seed)); err != nil {
+		if err := bd.Scheme.PerturbStream(cs, sink, requestRNG(p.Seed)); err != nil {
 			return err
 		}
 		return sink.Flush()
 	})
 }
 
-// buildAttack constructs the requested streaming reconstructor, wired to
-// the pool worker's scratch workspace. The correlated BE-DR variant
-// shapes its assumed noise covariance from the disguised data's own
-// sketch, exactly like the CLI's attack -correlated.
+// buildAttack constructs the requested reconstructor through the
+// registry, wired to the pool worker's scratch workspace. Streamable
+// attacks run out-of-core; resident-data attacks are served through the
+// recon.AsStream collect shim, so every registered attack is reachable
+// over the chunked data plane. The correlated BE-DR variant shapes its
+// assumed noise covariance from the disguised data's own sketch, exactly
+// like the CLI's attack -correlated.
 func buildAttack(p requestParams, src stream.Source, ws *mat.Workspace) (recon.StreamReconstructor, error) {
-	sigma2 := p.Sigma * p.Sigma
-	if p.Correlated && p.Attack != "bedr" {
-		// Only BE-DR has a correlated-noise variant; silently running
-		// the i.i.d. attack instead would hand the caller conclusions
-		// about an attack that never ran.
-		return nil, badRequest(fmt.Errorf("server: correlated=true requires attack=bedr (%s has no correlated-noise variant)", p.Attack))
+	spec, err := defaultRegistry.LookupAttack(p.Attack)
+	if err != nil {
+		return nil, badRequest(err)
 	}
-	switch p.Attack {
-	case "ndr":
-		return recon.NDR{}, nil
-	case "pcadr":
-		return &recon.PCADR{Sigma2: sigma2, Select: recon.SelectGap, WS: ws}, nil
-	case "bedr":
-		if !p.Correlated {
-			return &recon.BEDR{Sigma2: sigma2, WS: ws}, nil
+	noise := core.NoiseModel{Sigma2: p.Sigma * p.Sigma}
+	if p.Correlated {
+		if p.Attack != "bedr" {
+			// Only BE-DR has a correlated-noise variant; silently running
+			// the i.i.d. attack instead would hand the caller conclusions
+			// about an attack that never ran.
+			return nil, badRequest(fmt.Errorf("server: correlated=true requires attack=bedr (%s has no correlated-noise variant)", p.Attack))
 		}
 		mo, err := stream.Accumulate(src, 1)
 		if err != nil {
 			return nil, fmt.Errorf("server: covariance pass: %w", err)
 		}
-		noiseCov, err := core.NoiseShapeFromCov(mo.Covariance(), sigma2)
+		noiseCov, err := core.NoiseShapeFromCov(mo.Covariance(), noise.Sigma2)
 		if err != nil {
 			return nil, badRequest(err)
 		}
-		return &recon.BEDR{NoiseCov: noiseCov, WS: ws}, nil
-	default:
-		return nil, badRequest(fmt.Errorf("server: unknown attack %q", p.Attack))
+		noise = core.NoiseModel{Cov: noiseCov}
 	}
+	actx := core.AttackContext{Noise: noise, WS: ws}
+	if spec.Caps.Streaming {
+		return spec.BuildStream(actx)
+	}
+	a, err := spec.Build(actx)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return recon.AsStream(a), nil
 }
 
 // handleAttack reconstructs an uploaded disguised CSV with one attack and
@@ -318,20 +467,32 @@ type attackJSON struct {
 	Error      string    `json:"error,omitempty"`
 }
 
-// reportJSON is the /v1/assess response body.
-type reportJSON struct {
-	Scheme        string       `json:"scheme"`
-	Mode          string       `json:"mode"` // "memory" or "stream"
-	Rows          int64        `json:"rows"`
-	Cols          int          `json:"cols"`
-	Seed          int64        `json:"seed"`
-	DatasetSHA256 string       `json:"dataset_sha256"`
-	NDRBaseline   float64      `json:"ndr_baseline_rmse"`
-	MostDangerous string       `json:"most_dangerous,omitempty"`
-	Results       []attackJSON `json:"results"`
+// utilityJSON is one utility probe's entry in the assessment report.
+// Metric keys are marshaled in sorted order by encoding/json, so the
+// section is byte-stable for a given seed.
+type utilityJSON struct {
+	Probe   string             `json:"probe"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Error   string             `json:"error,omitempty"`
 }
 
-func toReportJSON(rep *core.PrivacyReport, p requestParams, rows int64, cols int, digest string) reportJSON {
+// reportJSON is the /v1/assess response body. The utility section is
+// omitted entirely when no probes were requested, which keeps every
+// pre-registry response byte-identical to its golden.
+type reportJSON struct {
+	Scheme        string        `json:"scheme"`
+	Mode          string        `json:"mode"` // "memory" or "stream"
+	Rows          int64         `json:"rows"`
+	Cols          int           `json:"cols"`
+	Seed          int64         `json:"seed"`
+	DatasetSHA256 string        `json:"dataset_sha256"`
+	NDRBaseline   float64       `json:"ndr_baseline_rmse"`
+	MostDangerous string        `json:"most_dangerous,omitempty"`
+	Results       []attackJSON  `json:"results"`
+	Utility       []utilityJSON `json:"utility,omitempty"`
+}
+
+func toReportJSON(rep *core.PrivacyReport, utilities []core.UtilityResult, p requestParams, rows int64, cols int, digest string) reportJSON {
 	mode := "memory"
 	if p.Stream {
 		mode = "stream"
@@ -359,15 +520,25 @@ func toReportJSON(rep *core.PrivacyReport, p requestParams, rows int64, cols int
 		}
 		out.Results = append(out.Results, aj)
 	}
+	for _, u := range utilities {
+		uj := utilityJSON{Probe: u.Probe, Metrics: u.Metrics}
+		if u.Err != nil {
+			uj.Error = u.Err.Error()
+		}
+		out.Utility = append(out.Utility, uj)
+	}
 	return out
 }
 
 // assessCacheKey identifies a fitted assessment: every parameter that can
-// change a single response byte — scheme, σ, seed, chunking, battery
-// mode and the dataset digest — is part of the key.
+// change a single response byte — scheme, σ, seed, chunking, battery and
+// probe selection, DP calibration and the dataset digest — is part of
+// the key.
 func assessCacheKey(p requestParams, digest string) string {
-	return fmt.Sprintf("assess|v1|%s|sigma=%g|seed=%d|chunk=%d|stream=%t|%s",
-		p.Scheme, p.Sigma, p.Seed, p.Chunk, p.Stream, digest)
+	return fmt.Sprintf("assess|v2|%s|sigma=%g|seed=%d|chunk=%d|stream=%t|eps=%g|delta=%g|sens=%g|k=%d|attacks=%s|utility=%s|%s",
+		p.Scheme, p.Sigma, p.Seed, p.Chunk, p.Stream,
+		p.Epsilon, p.Delta, p.Sensitivity, p.K,
+		strings.Join(p.Attacks, ","), strings.Join(p.Utility, ","), digest)
 }
 
 // handleAssess runs the paper's full loop on an uploaded original data
@@ -376,14 +547,15 @@ func assessCacheKey(p requestParams, digest string) string {
 // POST /v1/assess?sigma=&seed=&scheme=&chunk=&stream=
 //
 // stream=false (default) loads both copies and runs the in-memory
-// battery: UDR, SF, PCA-DR and BE-DR for the additive scheme; SF,
-// PCA-DR and correlated BE-DR for the correlated scheme (UDR models
-// i.i.d. noise and has no correlated variant — see
-// core.CorrelatedNoiseAttacks). stream=true keeps the assessment
-// out-of-core end to end — only the streamable attacks (PCA-DR, BE-DR)
-// run, and memory stays O(chunk + m²) at any upload size.
+// battery — by default every resident attack the registry pairs with the
+// scheme's noise model (UDR has no correlated-noise variant and drops
+// out under scheme=correlated), or exactly the modes named in ?attacks=.
+// Utility probes (?utility=kmeans,nbayes,dtree) run after the battery in
+// memory mode and price what the defense costs the miner. stream=true
+// keeps the assessment out-of-core end to end — only streamable attacks
+// may run, and memory stays O(chunk + m²) at any upload size.
 func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) error {
-	p, err := s.decodeParams(r, "sigma", "seed", "scheme", "chunk", "stream")
+	p, err := s.decodeParams(r, assessParamKeys...)
 	if err != nil {
 		return err
 	}
@@ -418,26 +590,52 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) error {
 	return err
 }
 
+// assessParamKeys is the query allow-list shared by /v1/assess and
+// POST /v1/jobs — the two entry points of the same assessment path.
+var assessParamKeys = []string{
+	"sigma", "seed", "scheme", "chunk", "stream",
+	"attacks", "utility", "epsilon", "delta", "sensitivity", "k",
+}
+
+// assessAttackModes resolves which battery the request runs: the
+// explicit ?attacks= selection, or the registry's default suite for the
+// scheme's noise shape.
+func assessAttackModes(p requestParams, noise core.NoiseModel) []string {
+	if len(p.Attacks) > 0 {
+		return p.Attacks
+	}
+	return core.DefaultAttackModes(noise, p.Stream)
+}
+
 // passesFor counts how many full passes the assessment makes over its
 // two chunk streams (original upload + disguised spool), per mode:
 //
 //	memory:  validate + perturb-read + collect(orig) + collect(disg)  = 4
+//	         (utility probes run on the resident copies: no extra pass)
 //	stream:  validate + perturb-read
-//	         + NDR (1 disg read + 1 orig diff pull)
-//	         + PCA-DR (sketch + project disg, 1 orig diff pull)
-//	         + BE-DR  (sketch + project disg, 1 orig diff pull)       = 10
-//	correlated scheme: +1 (the covariance pass over the original)
+//	         + NDR baseline (1 disg read + 1 orig diff pull)
+//	         + each selected attack's registered StreamPasses
+//	         (default battery PCA-DR + BE-DR: 2+2+2+3+3 = 10)
+//	covariance-hungry scheme: +1 (the sketch pass over the original)
 //
 // runAssessment turns this into the progress denominator; the job
 // lifecycle test asserts chunks_done == chunks_total at completion, so a
-// change to the pass structure that forgets to update this count fails
-// loudly instead of silently skewing every progress bar.
+// change to the pass structure — or a registered StreamPasses that lies
+// about its attack — fails loudly instead of silently skewing every
+// progress bar.
 func passesFor(p requestParams) int64 {
-	passes := int64(4)
+	var passes int64
 	if p.Stream {
-		passes = 10
+		passes = 2 + 2 // validate + perturb-read, then the NDR baseline
+		for _, mode := range assessAttackModes(p, core.NoiseModel{}) {
+			if spec, err := defaultRegistry.LookupAttack(mode); err == nil {
+				passes += spec.StreamPasses
+			}
+		}
+	} else {
+		passes = 4
 	}
-	if p.Scheme == schemeCorrelated {
+	if spec, err := defaultRegistry.LookupDefense(p.Scheme); err == nil && spec.Caps.NeedsCov {
 		passes++
 	}
 	return passes
@@ -480,7 +678,7 @@ func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p 
 	chunk := int64(p.Chunk)
 	total = (rows + chunk - 1) / chunk * passesFor(p)
 	note()
-	rep, err := s.assess(ctx, orig, names, p, ws, wrap)
+	rep, utilities, err := s.assess(ctx, orig, names, p, ws, wrap)
 	if err != nil {
 		return nil, err
 	}
@@ -493,7 +691,7 @@ func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	body, err := json.Marshal(toReportJSON(rep, p, rows, len(names), digest))
+	body, err := json.Marshal(toReportJSON(rep, utilities, p, rows, len(names), digest))
 	if err != nil {
 		return nil, err
 	}
@@ -504,45 +702,46 @@ func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p 
 // runs the attack battery against it, in the requested mode. wrap
 // decorates every additional source the battery opens (the disguised
 // spool) with the caller's cancellation and progress accounting.
-func (s *Server) assess(ctx context.Context, orig stream.Source, names []string, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, error) {
-	scheme, err := buildScheme(p, orig)
+func (s *Server) assess(ctx context.Context, orig stream.Source, names []string, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, []core.UtilityResult, error) {
+	bd, err := buildDefense(p, orig)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Disguise into a second spool file so the attacks can re-read it.
 	disgFile, err := os.CreateTemp(s.cfg.SpoolDir, "randprivd-disg-*.csv")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	disgPath := disgFile.Name()
 	defer os.Remove(disgPath)
 	cw, err := dataset.NewChunkWriter(disgFile, names)
 	if err != nil {
 		disgFile.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	if err := scheme.PerturbStream(orig, cw, requestRNG(p.Seed)); err != nil {
+	if err := bd.Scheme.PerturbStream(orig, cw, requestRNG(p.Seed)); err != nil {
 		disgFile.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if err := cw.Flush(); err != nil {
 		disgFile.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if err := disgFile.Close(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	if p.Stream {
-		return s.assessStream(orig, disgPath, scheme, p, ws, wrap)
+		rep, err := s.assessStream(orig, disgPath, bd, p, ws, wrap)
+		return rep, nil, err
 	}
-	return s.assessMemory(orig, disgPath, scheme, p, ws, wrap)
+	return s.assessMemory(ctx, orig, disgPath, bd, p, ws, wrap)
 }
 
 // assessStream runs the out-of-core battery: NDR baseline plus the
-// streamable attacks, never materializing either data set.
-func (s *Server) assessStream(orig stream.Source, disgPath string, scheme randomize.StreamScheme, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, error) {
+// selected streamable attacks, never materializing either data set.
+func (s *Server) assessStream(orig stream.Source, disgPath string, bd core.BuiltDefense, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, error) {
 	disgSrc, err := dataset.OpenCSVChunks(disgPath, p.Chunk)
 	if err != nil {
 		return nil, err
@@ -550,26 +749,19 @@ func (s *Server) assessStream(orig stream.Source, disgPath string, scheme random
 	defer disgSrc.Close()
 	disg := wrap(disgSrc)
 
-	var attacks []recon.StreamReconstructor
-	if c, ok := scheme.(*randomize.Correlated); ok {
-		attacks = []recon.StreamReconstructor{
-			&recon.PCADR{Sigma2: c.AverageVariance(), Select: recon.SelectGap, WS: ws},
-			&recon.BEDR{NoiseCov: c.NoiseCovariance(), NoiseMean: c.NoiseMean(), WS: ws},
-		}
-	} else {
-		sigma2 := p.Sigma * p.Sigma
-		attacks = []recon.StreamReconstructor{
-			&recon.PCADR{Sigma2: sigma2, Select: recon.SelectGap, WS: ws},
-			&recon.BEDR{Sigma2: sigma2, WS: ws},
-		}
+	modes := assessAttackModes(p, bd.Noise)
+	attacks, err := defaultRegistry.BuildStreamAttacks(modes, core.AttackContext{Noise: bd.Noise, WS: ws})
+	if err != nil {
+		return nil, badRequest(err)
 	}
-	desc := fmt.Sprintf("%s (streaming, %d-row chunks)", scheme.Describe(), p.Chunk)
+	desc := fmt.Sprintf("%s (streaming, %d-row chunks)", bd.Scheme.Describe(), p.Chunk)
 	return core.EvaluateStream(orig, disg, desc, attacks)
 }
 
-// assessMemory loads both copies and runs the full battery, including the
-// attacks that need resident data (UDR, SF).
-func (s *Server) assessMemory(orig stream.Source, disgPath string, scheme randomize.StreamScheme, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, error) {
+// assessMemory loads both copies, runs the selected battery (including
+// the attacks that need resident data), then prices the defense with the
+// requested utility probes on the same resident pair.
+func (s *Server) assessMemory(ctx context.Context, orig stream.Source, disgPath string, bd core.BuiltDefense, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, []core.UtilityResult, error) {
 	collect := func(src stream.Source) (*mat.Dense, error) {
 		if err := src.Reset(); err != nil {
 			return nil, err
@@ -590,25 +782,37 @@ func (s *Server) assessMemory(orig stream.Source, disgPath string, scheme random
 	}
 	origData, err := collect(orig)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	disgSrc, err := dataset.OpenCSVChunks(disgPath, p.Chunk)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer disgSrc.Close()
 	disgData, err := collect(wrap(disgSrc))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	var attacks []recon.Reconstructor
-	if c, ok := scheme.(*randomize.Correlated); ok {
-		attacks = core.CorrelatedNoiseAttacksWS(ws, c.NoiseCovariance(), c.NoiseMean())
-	} else {
-		attacks = core.StandardAttacksWS(ws, p.Sigma*p.Sigma)
+	modes := assessAttackModes(p, bd.Noise)
+	attacks, err := defaultRegistry.BuildAttacks(modes, core.AttackContext{Noise: bd.Noise, WS: ws})
+	if err != nil {
+		return nil, nil, badRequest(err)
 	}
-	return core.Evaluate(origData, disgData, scheme.Describe(), attacks)
+	rep, err := core.Evaluate(origData, disgData, bd.Scheme.Describe(), attacks)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Each probe gets its own trial-derived seed, disjoint from the
+	// perturbation's trial 0, so adding or reordering probes never moves
+	// the noise bytes (and equal request seeds reproduce every metric).
+	utilities, err := defaultRegistry.RunUtilities(ctx, p.Utility, origData, disgData, p.K, func(i int) int64 {
+		return experiment.TrialSeed(p.Seed, 1000+i)
+	})
+	if err != nil {
+		return nil, nil, badRequest(err)
+	}
+	return rep, utilities, nil
 }
 
 // handleHealthz reports liveness plus the pool and cache gauges:
@@ -646,28 +850,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// handleSchemes lists what this build serves: GET /v1/schemes
+// handleSchemes lists what this build serves, enumerated straight from
+// the operator registry so the catalogue can never drift from what
+// actually dispatches: GET /v1/schemes
 func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
 	type entry struct {
 		Name        string `json:"name"`
 		Streaming   bool   `json:"streaming"`
+		NeedsCov    bool   `json:"needs_cov,omitempty"`
+		Seeded      bool   `json:"seeded,omitempty"`
 		Description string `json:"description"`
 	}
 	resp := struct {
-		Schemes []entry `json:"schemes"`
-		Attacks []entry `json:"attacks"`
-	}{
-		Schemes: []entry{
-			{Name: schemeAdditive, Streaming: true, Description: "classic i.i.d. additive Gaussian noise"},
-			{Name: schemeCorrelated, Streaming: true, Description: "improved scheme: noise shaped like the data covariance"},
-		},
-		Attacks: []entry{
-			{Name: "ndr", Streaming: true, Description: "noise-distribution baseline x̂ = y (§4.1)"},
-			{Name: "udr", Streaming: false, Description: "univariate Bayes posterior mean (§4.2); /v1/assess memory mode with the additive scheme only"},
-			{Name: "sf", Streaming: false, Description: "spectral filtering comparator; /v1/assess memory mode only"},
-			{Name: "pcadr", Streaming: true, Description: "PCA-based reconstruction via Theorem 5.1 (§5)"},
-			{Name: "bedr", Streaming: true, Description: "Bayes-estimate reconstruction, i.i.d. or correlated noise (§6, §8)"},
-		},
+		Schemes   []entry `json:"schemes"`
+		Attacks   []entry `json:"attacks"`
+		Utilities []entry `json:"utilities"`
+	}{}
+	for _, mode := range defaultRegistry.DefenseModes() {
+		spec, _ := defaultRegistry.LookupDefense(mode)
+		resp.Schemes = append(resp.Schemes, entry{
+			Name: mode, Streaming: spec.Caps.Streaming, NeedsCov: spec.Caps.NeedsCov,
+			Seeded: spec.Caps.Seeded, Description: spec.Description,
+		})
+	}
+	for _, mode := range defaultRegistry.AttackModes() {
+		spec, _ := defaultRegistry.LookupAttack(mode)
+		resp.Attacks = append(resp.Attacks, entry{
+			Name: mode, Streaming: spec.Caps.Streaming, NeedsCov: spec.Caps.NeedsCov,
+			Seeded: spec.Caps.Seeded, Description: spec.Description,
+		})
+	}
+	for _, mode := range defaultRegistry.UtilityModes() {
+		spec, _ := defaultRegistry.LookupUtility(mode)
+		resp.Utilities = append(resp.Utilities, entry{
+			Name: mode, Streaming: spec.Caps.Streaming,
+			Seeded: spec.Caps.Seeded, Description: spec.Description,
+		})
 	}
 	writeJSON(w, resp)
 }

@@ -39,15 +39,32 @@ type jobSpec struct {
 	Scheme string  `json:"scheme"`
 	Chunk  int     `json:"chunk"`
 	Stream bool    `json:"stream"`
-	Digest string  `json:"digest"`
+	// Registry-era fields; omitempty keeps pre-registry specs readable
+	// and newly written specs for legacy parameter sets byte-compatible.
+	Attacks     []string `json:"attacks,omitempty"`
+	Utility     []string `json:"utility,omitempty"`
+	Epsilon     float64  `json:"epsilon,omitempty"`
+	Delta       float64  `json:"delta,omitempty"`
+	Sensitivity float64  `json:"sensitivity,omitempty"`
+	K           int      `json:"k,omitempty"`
+	Digest      string   `json:"digest"`
 }
 
 func specFromParams(p requestParams, digest string) jobSpec {
-	return jobSpec{Sigma: p.Sigma, Seed: p.Seed, Scheme: p.Scheme, Chunk: p.Chunk, Stream: p.Stream, Digest: digest}
+	return jobSpec{
+		Sigma: p.Sigma, Seed: p.Seed, Scheme: p.Scheme, Chunk: p.Chunk, Stream: p.Stream,
+		Attacks: p.Attacks, Utility: p.Utility,
+		Epsilon: p.Epsilon, Delta: p.Delta, Sensitivity: p.Sensitivity, K: p.K,
+		Digest: digest,
+	}
 }
 
 func (sp jobSpec) params() requestParams {
-	return requestParams{Sigma: sp.Sigma, Seed: sp.Seed, Scheme: sp.Scheme, Chunk: sp.Chunk, Stream: sp.Stream}
+	return requestParams{
+		Sigma: sp.Sigma, Seed: sp.Seed, Scheme: sp.Scheme, Chunk: sp.Chunk, Stream: sp.Stream,
+		Attacks: sp.Attacks, Utility: sp.Utility,
+		Epsilon: sp.Epsilon, Delta: sp.Delta, Sensitivity: sp.Sensitivity, K: sp.K,
+	}
 }
 
 // runJob is the jobs.Runner: it re-opens the spooled upload and pushes it
@@ -129,7 +146,7 @@ func (s *Server) handleJobsCollection(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: use POST"))
 		return
 	}
-	p, err := s.decodeParams(r, "sigma", "seed", "scheme", "chunk", "stream")
+	p, err := s.decodeParams(r, assessParamKeys...)
 	if err != nil {
 		s.jobError(w, r, err)
 		return

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRegistryParamErrors pins the registry-era request-validation
+// surface: every rejection is a 400 whose message tells the caller what
+// would have been accepted, and every cross-parameter incoherence fails
+// loudly instead of silently ignoring a key.
+func TestRegistryParamErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := testCSV(t, 48, 3, 1, 5)
+	cases := []struct {
+		name     string
+		path     string
+		wantSub  string
+		wantCode int
+	}{
+		{
+			"unknown scheme lists allowed set",
+			"/v1/assess?scheme=rot13",
+			"(have additive, correlated, dp-gaussian, dp-laplace, none)",
+			http.StatusBadRequest,
+		},
+		{
+			"unknown attack mode lists allowed set",
+			"/v1/attack?attack=oracle",
+			"(have asr, bedr, ndr, pcadr, sf, tseries)",
+			http.StatusBadRequest,
+		},
+		{
+			"unknown battery mode lists allowed set",
+			"/v1/assess?attacks=pcadr,oracle",
+			"unknown attack",
+			http.StatusBadRequest,
+		},
+		{
+			"duplicate battery mode",
+			"/v1/assess?attacks=pcadr,pcadr",
+			"listed twice",
+			http.StatusBadRequest,
+		},
+		{
+			"empty battery mode",
+			"/v1/assess?attacks=pcadr,",
+			"empty mode in list",
+			http.StatusBadRequest,
+		},
+		{
+			"unknown utility probe lists allowed set",
+			"/v1/assess?utility=regress",
+			"(have dtree, kmeans, nbayes)",
+			http.StatusBadRequest,
+		},
+		{
+			"utility probe without a defense",
+			"/v1/assess?scheme=none&utility=kmeans",
+			"utility probes require a defense",
+			http.StatusBadRequest,
+		},
+		{
+			"utility probe in streaming mode",
+			"/v1/assess?utility=kmeans&stream=1",
+			"utility probes run in memory mode",
+			http.StatusBadRequest,
+		},
+		{
+			"resident-only attack in streamed battery",
+			"/v1/assess?attacks=sf&stream=1",
+			"needs resident data and cannot join a streamed battery (streamable: bedr, ndr, pcadr)",
+			http.StatusBadRequest,
+		},
+		{
+			"epsilon without a dp scheme",
+			"/v1/assess?epsilon=0.5",
+			"applies only to the dp-* schemes",
+			http.StatusBadRequest,
+		},
+		{
+			"delta under dp-laplace",
+			"/v1/assess?scheme=dp-laplace&delta=1e-6",
+			"applies only to scheme=dp-gaussian",
+			http.StatusBadRequest,
+		},
+		{
+			"sigma under a dp scheme",
+			"/v1/assess?scheme=dp-laplace&sigma=5",
+			"has no effect under",
+			http.StatusBadRequest,
+		},
+		{
+			"k without the kmeans probe",
+			"/v1/assess?k=4",
+			"requires the kmeans utility probe",
+			http.StatusBadRequest,
+		},
+		{
+			"k out of range",
+			"/v1/assess?utility=kmeans&k=0",
+			"want 1..1024",
+			http.StatusBadRequest,
+		},
+		{
+			"epsilon out of range",
+			"/v1/assess?scheme=dp-laplace&epsilon=-2",
+			"want a positive finite number",
+			http.StatusBadRequest,
+		},
+		{
+			"delta out of range",
+			"/v1/assess?scheme=dp-gaussian&delta=1",
+			"want a number in (0, 1)",
+			http.StatusBadRequest,
+		},
+		{
+			"dp-gaussian epsilon above 1 rejected by the mechanism",
+			"/v1/assess?scheme=dp-gaussian&epsilon=2",
+			"epsilon",
+			http.StatusBadRequest,
+		},
+		{
+			"attacks param misplaced on perturb",
+			"/v1/perturb?attacks=pcadr",
+			"is not valid for this endpoint",
+			http.StatusBadRequest,
+		},
+		{
+			"utility param misplaced on attack",
+			"/v1/attack?utility=kmeans",
+			"is not valid for this endpoint",
+			http.StatusBadRequest,
+		},
+		{
+			"jobs share the assess validation",
+			"/v1/jobs?scheme=none&utility=kmeans",
+			"utility probes require a defense",
+			http.StatusBadRequest,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, body := post(t, ts, tc.path, in)
+			if status != tc.wantCode {
+				t.Fatalf("status = %d, want %d (body %s)", status, tc.wantCode, body)
+			}
+			if !strings.Contains(string(body), tc.wantSub) {
+				t.Errorf("body %s does not mention %q", body, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestRegistryModesOverHTTP exercises the formerly dormant operators
+// end to end through the synchronous API: each mode must produce a 200
+// with a plausible report, and the resident-only attacks must be
+// reachable on /v1/attack through the collect shim.
+func TestRegistryModesOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	in := testCSV(t, 64, 4, 2, 9)
+
+	t.Run("assess dormant attacks", func(t *testing.T) {
+		status, _, body := post(t, ts, "/v1/assess?sigma=5&seed=2&attacks=asr,tseries", in)
+		if status != http.StatusOK {
+			t.Fatalf("status = %d, body %s", status, body)
+		}
+		for _, name := range []string{`"attack":"UDR"`, `"attack":"TS-DR"`} {
+			if !strings.Contains(string(body), name) {
+				t.Errorf("report %s missing %s", body, name)
+			}
+		}
+	})
+
+	t.Run("assess dp schemes", func(t *testing.T) {
+		for _, q := range []string{
+			"scheme=dp-laplace&epsilon=0.5&seed=2",
+			"scheme=dp-gaussian&epsilon=0.9&delta=1e-6&seed=2",
+		} {
+			status, _, body := post(t, ts, "/v1/assess?"+q, in)
+			if status != http.StatusOK {
+				t.Fatalf("%s: status = %d, body %s", q, status, body)
+			}
+			if !strings.Contains(string(body), `"scheme":"dp-`) {
+				t.Errorf("%s: report does not carry the dp scheme description: %s", q, body)
+			}
+		}
+	})
+
+	t.Run("assess utility probes", func(t *testing.T) {
+		status, _, body := post(t, ts, "/v1/assess?sigma=5&seed=2&utility=kmeans,nbayes,dtree&k=2", in)
+		if status != http.StatusOK {
+			t.Fatalf("status = %d, body %s", status, body)
+		}
+		for _, probe := range []string{`"probe":"kmeans"`, `"probe":"nbayes"`, `"probe":"dtree"`} {
+			if !strings.Contains(string(body), probe) {
+				t.Errorf("report missing %s: %s", probe, body)
+			}
+		}
+	})
+
+	t.Run("resident attacks via collect shim", func(t *testing.T) {
+		for _, attack := range []string{"asr", "sf", "tseries"} {
+			status, hdr, body := post(t, ts, "/v1/attack?sigma=5&attack="+attack, in)
+			if status != http.StatusOK {
+				t.Fatalf("%s: status = %d, body %s", attack, status, body)
+			}
+			if ct := hdr.Get("Content-Type"); ct != "text/csv" {
+				t.Errorf("%s: Content-Type = %q, want text/csv", attack, ct)
+			}
+		}
+	})
+
+	t.Run("perturb with identity and dp schemes", func(t *testing.T) {
+		status, _, body := post(t, ts, "/v1/perturb?scheme=none&seed=2", in)
+		if status != http.StatusOK {
+			t.Fatalf("none: status = %d, body %s", status, body)
+		}
+		if string(body) != string(in) {
+			t.Error("scheme=none did not return the upload unchanged")
+		}
+		status, _, body = post(t, ts, "/v1/perturb?scheme=dp-laplace&epsilon=0.7&seed=2", in)
+		if status != http.StatusOK {
+			t.Fatalf("dp-laplace: status = %d, body %s", status, body)
+		}
+		if string(body) == string(in) {
+			t.Error("dp-laplace returned the upload unchanged")
+		}
+	})
+}

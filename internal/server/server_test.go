@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"randpriv/internal/core"
 	"randpriv/internal/dataset"
 	"randpriv/internal/mat"
 	"randpriv/internal/synth"
@@ -111,14 +112,22 @@ func TestSchemes(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var body struct {
-		Schemes []struct{ Name string }
-		Attacks []struct{ Name string }
+		Schemes   []struct{ Name string }
+		Attacks   []struct{ Name string }
+		Utilities []struct{ Name string }
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if len(body.Schemes) != 2 || len(body.Attacks) != 5 {
-		t.Errorf("schemes=%d attacks=%d, want 2/5", len(body.Schemes), len(body.Attacks))
+	// The catalogue is enumerated from the registry: its sizes move in
+	// lock-step with core.Builtins().
+	reg := core.Builtins()
+	if len(body.Schemes) != len(reg.DefenseModes()) ||
+		len(body.Attacks) != len(reg.AttackModes()) ||
+		len(body.Utilities) != len(reg.UtilityModes()) {
+		t.Errorf("schemes=%d attacks=%d utilities=%d, want %d/%d/%d",
+			len(body.Schemes), len(body.Attacks), len(body.Utilities),
+			len(reg.DefenseModes()), len(reg.AttackModes()), len(reg.UtilityModes()))
 	}
 }
 
@@ -615,16 +624,23 @@ func FuzzRequestParams(f *testing.F) {
 		"sigma=1e999", "scheme=correlated&stream=1", "attack=bedr&correlated=true",
 		"chunk=0", "chunk=99999999999999999999", "seed=-9223372036854775808",
 		"stream=TRUE&stream=1", "a=b", "sigma=5&sigma=6", "%zz", "chunk=1&chunk=2",
+		// Registry-era surface: operator lists, DP calibration, probes.
+		"attacks=asr,tseries", "attacks=pcadr,pcadr", "attacks=,", "attacks=sf&stream=1",
+		"utility=kmeans,nbayes,dtree&k=3", "utility=kmeans&stream=1", "scheme=none&utility=dtree",
+		"scheme=dp-laplace&epsilon=0.5&sensitivity=2", "scheme=dp-gaussian&epsilon=2&delta=0.5",
+		"scheme=dp-laplace&sigma=5", "epsilon=0", "delta=1", "sensitivity=-1", "k=0",
+		"k=9999999999999999999", "scheme=none", "attack=tseries&correlated=1",
 	} {
 		f.Add(seed)
 	}
+	reg := core.Builtins()
 	f.Fuzz(func(t *testing.T, query string) {
 		q, err := url.ParseQuery(query)
 		if err != nil {
 			return
 		}
-		defaults := requestParams{Sigma: 5, Seed: 1, Scheme: schemeAdditive, Attack: "pcadr", Chunk: 4096}
-		p, err := parseRequestParams(q, defaults, "sigma", "seed", "scheme", "attack", "chunk", "stream", "correlated")
+		defaults := requestParams{Sigma: 5, Seed: 1, Scheme: schemeAdditive, Attack: "pcadr", Chunk: 4096, Epsilon: 1, Delta: 1e-5, Sensitivity: 1}
+		p, err := parseRequestParams(q, defaults, append(assessParamKeys, "attack", "correlated")...)
 		if err != nil {
 			return
 		}
@@ -634,13 +650,44 @@ func FuzzRequestParams(f *testing.F) {
 		if p.Chunk < 1 || p.Chunk > maxChunkRows {
 			t.Fatalf("accepted chunk %d from %q", p.Chunk, query)
 		}
-		if p.Scheme != schemeAdditive && p.Scheme != schemeCorrelated {
+		if _, err := reg.LookupDefense(p.Scheme); err != nil {
 			t.Fatalf("accepted scheme %q from %q", p.Scheme, query)
 		}
-		switch p.Attack {
-		case "ndr", "pcadr", "bedr":
-		default:
+		if _, err := reg.LookupAttack(p.Attack); err != nil {
 			t.Fatalf("accepted attack %q from %q", p.Attack, query)
+		}
+		if !(p.Epsilon > 0) || !(p.Delta > 0) || p.Delta >= 1 || !(p.Sensitivity > 0) {
+			t.Fatalf("accepted dp calibration ε=%v δ=%v sens=%v from %q", p.Epsilon, p.Delta, p.Sensitivity, query)
+		}
+		if p.K != 0 && (p.K < 1 || p.K > maxClusterK) {
+			t.Fatalf("accepted k=%d from %q", p.K, query)
+		}
+		seenAttack := map[string]bool{}
+		for _, mode := range p.Attacks {
+			spec, err := reg.LookupAttack(mode)
+			if err != nil {
+				t.Fatalf("accepted battery mode %q from %q", mode, query)
+			}
+			if seenAttack[mode] {
+				t.Fatalf("accepted duplicate battery mode %q from %q", mode, query)
+			}
+			seenAttack[mode] = true
+			if p.Stream && !spec.Caps.Streaming {
+				t.Fatalf("accepted resident-only mode %q in a streamed battery from %q", mode, query)
+			}
+		}
+		seenUtility := map[string]bool{}
+		for _, mode := range p.Utility {
+			if _, err := reg.LookupUtility(mode); err != nil {
+				t.Fatalf("accepted utility mode %q from %q", mode, query)
+			}
+			if seenUtility[mode] {
+				t.Fatalf("accepted duplicate utility mode %q from %q", mode, query)
+			}
+			seenUtility[mode] = true
+		}
+		if len(p.Utility) > 0 && (p.Stream || p.Scheme == schemeNone) {
+			t.Fatalf("accepted utility probes with stream=%v scheme=%q from %q", p.Stream, p.Scheme, query)
 		}
 	})
 }
