@@ -10,6 +10,8 @@
 //	randpriv attack     -original data.csv -disguised disguised.csv -sigma 5 [-stream -chunk 4096]
 //	randpriv experiment -id 1 [-n 1000] [-workers 8] [-skip-udr] [-csv out.csv]
 //	randpriv utility    [-n 2000] [-m 20]
+//	randpriv sweep      -data data.csv -spec spec.json [-out result.json]
+//	randpriv sweep      -figure 1 [-n 1000] [-skip-udr] [-csv out.csv]
 package main
 
 import (
@@ -36,6 +38,8 @@ func main() {
 		err = runExperiment(os.Args[2:])
 	case "utility":
 		err = runUtility(os.Args[2:])
+	case "sweep":
+		err = runSweepCmd(os.Args[2:])
 	case "smooth":
 		err = runSmooth(os.Args[2:])
 	case "help", "-h", "--help":
@@ -70,6 +74,8 @@ Commands:
   attack      run the reconstruction attacks and print a privacy report
   experiment  regenerate one of the paper's figures (1-4)
   utility     run the mining-utility comparison of the two schemes
+  sweep       compile a parameter-grid spec into a shared-scan plan and run it
+              (or regenerate a paper figure through the sweep engine)
   smooth      time-series attack: denoise a disguised CSV column-by-column
 
 Run 'randpriv <command> -h' for per-command flags.

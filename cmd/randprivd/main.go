@@ -8,6 +8,7 @@
 //	randprivd [-addr :8080] [-workers N] [-queue 64] [-max-body 1073741824]
 //	          [-timeout 60s] [-cache 128] [-chunk 4096] [-spool DIR]
 //	          [-jobs-dir DIR] [-job-workers N] [-job-queue 64] [-job-ttl 24h]
+//	          [-sweep-max-points 4096]
 //
 // Endpoints (see internal/server):
 //
@@ -15,6 +16,7 @@
 //	POST /v1/attack?sigma=5&attack=ndr|pcadr|bedr[&correlated=1] CSV -> CSV
 //	POST /v1/assess?sigma=5&seed=1&scheme=...[&stream=1]         CSV -> JSON
 //	POST   /v1/jobs?sigma=5&seed=1&scheme=...[&stream=1]         CSV -> job id
+//	POST   /v1/jobs  (multipart: spec + data)                    sweep -> job id
 //	GET    /v1/jobs/{id}                                         status JSON
 //	GET    /v1/jobs/{id}/result                                  report JSON
 //	DELETE /v1/jobs/{id}                                         cancel/remove
@@ -23,7 +25,10 @@
 //
 // Jobs submitted to /v1/jobs persist their spec and upload under
 // -jobs-dir; a restarted server re-runs any job the previous process
-// left queued or running, to byte-identical results.
+// left queued or running, to byte-identical results. A multipart
+// submission carries a JSON sweep spec whose parameter grid is compiled
+// into a shared-scan plan; -sweep-max-points bounds how large a grid
+// one spec may request.
 package main
 
 import (
@@ -65,6 +70,7 @@ func run(args []string) error {
 	jobWorkers := fs.Int("job-workers", 0, "background job pool size, separate from -workers (0 = half the cores)")
 	jobQueue := fs.Int("job-queue", 64, "max jobs queued beyond the running ones before POST /v1/jobs returns 429")
 	jobTTL := fs.Duration("job-ttl", 24*time.Hour, "retention of finished jobs and their results (negative keeps forever)")
+	sweepMax := fs.Int("sweep-max-points", 4096, "max grid points one sweep spec may expand to (negative removes the cap)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +88,7 @@ func run(args []string) error {
 		JobWorkers:     *jobWorkers,
 		JobQueueDepth:  *jobQueue,
 		JobTTL:         *jobTTL,
+		SweepMaxPoints: *sweepMax,
 		Log:            logger,
 	})
 	if err != nil {

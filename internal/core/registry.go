@@ -89,6 +89,12 @@ type AttackSpec struct {
 	// diff pull) — the progress-denominator contribution. Zero for
 	// memory-only attacks.
 	StreamPasses int64
+	// SketchShared marks a streaming attack whose pass 1 is exactly the
+	// shared moment sketch of the disguised stream (its BuildStream
+	// result implements recon.Sketched). A sweep plan may build that
+	// sketch once per disguised materialization and deduct one pass per
+	// grid point that reuses it.
+	SketchShared bool
 	// Build returns the in-memory reconstructor. Invalid parameters in
 	// ctx must be rejected here or at Reconstruct, never absorbed.
 	Build func(ctx AttackContext) (recon.Reconstructor, error)
@@ -218,6 +224,9 @@ func (r *Registry) RegisterAttack(s AttackSpec) error {
 	}
 	if s.Caps.Streaming && s.StreamPasses < 1 {
 		return fmt.Errorf("core: streaming attack %q must declare its pass count", s.Mode)
+	}
+	if s.SketchShared && (!s.Caps.Streaming || s.StreamPasses < 2) {
+		return fmt.Errorf("core: attack %q: SketchShared requires a streaming attack with a sketch pass to share", s.Mode)
 	}
 	r.attacks[s.Mode] = s
 	r.attackOrder = append(r.attackOrder, s.Mode)
@@ -458,6 +467,7 @@ func Builtins() *Registry {
 		Description:  "PCA-based reconstruction via Theorem 5.1 (§5)",
 		Caps:         Caps{Streaming: true},
 		StreamPasses: 3, // sketch + project disguised + original diff pull
+		SketchShared: true,
 		Build: func(ctx AttackContext) (recon.Reconstructor, error) {
 			return &recon.PCADR{Sigma2: ctx.Noise.Sigma2, Select: recon.SelectGap, WS: ctx.WS}, nil
 		},
@@ -477,6 +487,7 @@ func Builtins() *Registry {
 		Description:  "Bayes-estimate reconstruction, i.i.d. or correlated noise (§6, §8)",
 		Caps:         Caps{Streaming: true, NeedsCov: true},
 		StreamPasses: 3,
+		SketchShared: true,
 		Build: func(ctx AttackContext) (recon.Reconstructor, error) {
 			return buildBEDR(ctx), nil
 		},

@@ -104,28 +104,60 @@ func (d *diffSink) finish() (float64, []float64, error) {
 	return rmse, colRMSE, nil
 }
 
-// EvaluateStream is the out-of-core counterpart of Evaluate: both the
-// original and the disguised data arrive as chunked sources (typically
-// dataset.ChunkSource over CSV files) and every attack runs in streaming
-// mode, so the privacy report is produced with O(chunk + m²) memory
-// regardless of the data set size. The NDR baseline is scored the same
-// way, by streaming the disguised data through the trivial attack.
-func EvaluateStream(original, disguised stream.Source, schemeDesc string, attacks []recon.StreamReconstructor) (*PrivacyReport, error) {
+// SketchFn lazily supplies the disguised stream's shared moment sketch.
+// The sweep executor hands one backed by a stream.SketchCache, so a grid
+// of attacks over the same disguised data builds the sketch exactly once;
+// per-request paths pass nil and every attack runs its own pass 1. A
+// SketchFn must be equivalent to recon.SketchSource over the same chunk
+// partition — same sketch bits, same error surface — so the two paths
+// stay byte-identical.
+type SketchFn func() (*stream.Moments, error)
+
+// StreamNDRBaseline scores the trivial x̂ = y attack against the
+// original stream: one disguised read plus one original diff pull. It is
+// split out of EvaluateStream so a sweep plan can compute the baseline
+// once per disguised materialization and reuse the value across every
+// grid point that shares it (the baseline depends only on the two
+// streams, never on the battery).
+func StreamNDRBaseline(original, disguised stream.Source) (float64, error) {
+	sink, err := newDiffSink(original)
+	if err != nil {
+		return 0, err
+	}
+	if err := (recon.NDR{}).ReconstructStream(disguised, sink); err != nil {
+		return 0, err
+	}
+	ndr, _, err := sink.finish()
+	return ndr, err
+}
+
+// EvaluateStreamWith runs the streaming battery against a precomputed
+// NDR baseline. Attacks implementing recon.Sketched pull pass 1 from
+// sketch when one is supplied; everything else (and every attack when
+// sketch is nil) scans the disguised stream itself. This is the
+// battery-evaluation half of EvaluateStream with the data scanning made
+// injectable — the decoupling that lets one shared sketch set feed many
+// grid-point evaluations.
+func EvaluateStreamWith(original, disguised stream.Source, schemeDesc string, ndr float64, attacks []recon.StreamReconstructor, sketch SketchFn) (*PrivacyReport, error) {
 	runOne := func(r recon.StreamReconstructor) (float64, []float64, error) {
 		sink, err := newDiffSink(original)
 		if err != nil {
 			return 0, nil, err
 		}
-		if err := r.ReconstructStream(disguised, sink); err != nil {
+		if sk, ok := r.(recon.Sketched); ok && sketch != nil {
+			mo, err := sketch()
+			if err != nil {
+				return 0, nil, err
+			}
+			if err := sk.ReconstructStreamSketched(mo, disguised, sink); err != nil {
+				return 0, nil, err
+			}
+		} else if err := r.ReconstructStream(disguised, sink); err != nil {
 			return 0, nil, err
 		}
 		return sink.finish()
 	}
 
-	ndr, _, err := runOne(recon.NDR{})
-	if err != nil {
-		return nil, fmt.Errorf("core: NDR baseline: %w", err)
-	}
 	report := &PrivacyReport{Scheme: schemeDesc, NDRBaseline: ndr}
 	for _, a := range attacks {
 		rmse, colRMSE, err := runOne(a)
@@ -142,4 +174,18 @@ func EvaluateStream(original, disguised stream.Source, schemeDesc string, attack
 	}
 	sortResults(report.Results)
 	return report, nil
+}
+
+// EvaluateStream is the out-of-core counterpart of Evaluate: both the
+// original and the disguised data arrive as chunked sources (typically
+// dataset.ChunkSource over CSV files) and every attack runs in streaming
+// mode, so the privacy report is produced with O(chunk + m²) memory
+// regardless of the data set size. The NDR baseline is scored the same
+// way, by streaming the disguised data through the trivial attack.
+func EvaluateStream(original, disguised stream.Source, schemeDesc string, attacks []recon.StreamReconstructor) (*PrivacyReport, error) {
+	ndr, err := StreamNDRBaseline(original, disguised)
+	if err != nil {
+		return nil, fmt.Errorf("core: NDR baseline: %w", err)
+	}
+	return EvaluateStreamWith(original, disguised, schemeDesc, ndr, attacks, nil)
 }

@@ -52,6 +52,11 @@ type Config struct {
 	Workers int
 }
 
+// WithDefaults returns the config with paper-scale defaults filled in —
+// the exported form of what every ExperimentN applies internally, for
+// callers (the sweep figure bridge) that build substrates themselves.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.N <= 0 {
 		c.N = 1000
@@ -161,6 +166,103 @@ func (f *Figure) SeriesValues(name string) []float64 {
 	return out
 }
 
+// SpectrumSweep is the substrate grid of one spectrum figure (1–3): the
+// x-axis values and the eigenvalue spectrum each sweep point generates
+// its data set from. It is the figure's declarative core, shared between
+// the classic ExperimentN runners and the sweep-plan regeneration path.
+type SpectrumSweep struct {
+	ID     string
+	Title  string
+	XLabel string
+	Xs     []float64
+	// Spectra[i] is the eigenvalue spectrum for sweep point i.
+	Spectra [][]float64
+}
+
+// Figure1Substrates builds Figure 1's substrate grid: p = 5 principal
+// components fixed, the number of attributes m swept.
+func Figure1Substrates(cfg Config, ms []int) (*SpectrumSweep, error) {
+	cfg = cfg.withDefaults()
+	if len(ms) == 0 {
+		ms = []int{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	const p = 5
+	sw := &SpectrumSweep{
+		ID:     "figure1",
+		Title:  "RMSE vs number of attributes (p=5 fixed)",
+		XLabel: "m",
+	}
+	for _, m := range ms {
+		if m < p {
+			return nil, fmt.Errorf("experiment: m=%d below the fixed p=%d", m, p)
+		}
+		spec, err := synth.BudgetedSpectrum(m, p, cfg.Tail, cfg.AvgVariance)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := spec.Values()
+		if err != nil {
+			return nil, err
+		}
+		sw.Xs = append(sw.Xs, float64(m))
+		sw.Spectra = append(sw.Spectra, vals)
+	}
+	return sw, nil
+}
+
+// Figure2Substrates builds Figure 2's substrate grid: m attributes
+// fixed, the number of principal components p swept.
+func Figure2Substrates(cfg Config, m int, ps []int) (*SpectrumSweep, error) {
+	cfg = cfg.withDefaults()
+	if len(ps) == 0 {
+		ps = []int{2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	sw := &SpectrumSweep{
+		ID:     "figure2",
+		Title:  fmt.Sprintf("RMSE vs number of principal components (m=%d fixed)", m),
+		XLabel: "p",
+	}
+	for _, p := range ps {
+		if p < 1 || p > m {
+			return nil, fmt.Errorf("experiment: p=%d outside [1,%d]", p, m)
+		}
+		spec, err := synth.BudgetedSpectrum(m, p, cfg.Tail, cfg.AvgVariance)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := spec.Values()
+		if err != nil {
+			return nil, err
+		}
+		sw.Xs = append(sw.Xs, float64(p))
+		sw.Spectra = append(sw.Spectra, vals)
+	}
+	return sw, nil
+}
+
+// Figure3Substrates builds Figure 3's substrate grid: dimensions fixed,
+// the non-principal eigenvalue swept upward.
+func Figure3Substrates(cfg Config, m, p int, principal float64, tails []float64) (*SpectrumSweep, error) {
+	if len(tails) == 0 {
+		tails = []float64{1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+	}
+	sw := &SpectrumSweep{
+		ID:     "figure3",
+		Title:  fmt.Sprintf("RMSE vs non-principal eigenvalue (m=%d, p=%d, λ=%g)", m, p, principal),
+		XLabel: "tail λ",
+	}
+	for _, tail := range tails {
+		spec := synth.Spectrum{M: m, P: p, Principal: principal, Tail: tail}
+		vals, err := spec.Values()
+		if err != nil {
+			return nil, err
+		}
+		sw.Xs = append(sw.Xs, tail)
+		sw.Spectra = append(sw.Spectra, vals)
+	}
+	return sw, nil
+}
+
 // attackSuite builds the per-point reconstructors for the i.i.d.-noise
 // experiments (1–3). ws is the trial's scratch arena (nil when only the
 // attack names are needed); the spectral attacks draw every temporary
@@ -237,34 +339,24 @@ func runPoint(x *mat.Dense, cfg Config, attacks []recon.Reconstructor, rng *rand
 // sweep the number of attributes m; correlation rises with m, so the
 // correlation-aware attacks improve while UDR stays flat.
 func Experiment1(cfg Config, ms []int) (*Figure, error) {
-	cfg = cfg.withDefaults()
-	if len(ms) == 0 {
-		ms = []int{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	sw, err := Figure1Substrates(cfg, ms)
+	if err != nil {
+		return nil, err
 	}
-	const p = 5
+	return spectrumFigure(cfg, sw)
+}
+
+// spectrumFigure runs a substrate grid through the classic in-memory
+// sweep and assembles the figure.
+func spectrumFigure(cfg Config, sw *SpectrumSweep) (*Figure, error) {
+	cfg = cfg.withDefaults()
 	fig := &Figure{
-		ID:     "figure1",
-		Title:  "RMSE vs number of attributes (p=5 fixed)",
-		XLabel: "m",
+		ID:     sw.ID,
+		Title:  sw.Title,
+		XLabel: sw.XLabel,
 		Series: seriesNames(attackSuite(cfg, nil)),
 	}
-	xs := make([]float64, len(ms))
-	spectra := make([][]float64, len(ms))
-	for i, m := range ms {
-		if m < p {
-			return nil, fmt.Errorf("experiment: m=%d below the fixed p=%d", m, p)
-		}
-		spec, err := synth.BudgetedSpectrum(m, p, cfg.Tail, cfg.AvgVariance)
-		if err != nil {
-			return nil, err
-		}
-		vals, err := spec.Values()
-		if err != nil {
-			return nil, err
-		}
-		xs[i], spectra[i] = float64(m), vals
-	}
-	points, err := runSpectrumSweep(cfg, xs, spectra)
+	points, err := runSpectrumSweep(cfg, sw.Xs, sw.Spectra)
 	if err != nil {
 		return nil, err
 	}
@@ -282,38 +374,11 @@ func Experiment2(cfg Config, ps []int) (*Figure, error) {
 // experiment2At is Experiment2 with a configurable attribute count so
 // tests can run at small m.
 func experiment2At(cfg Config, m int, ps []int) (*Figure, error) {
-	cfg = cfg.withDefaults()
-	if len(ps) == 0 {
-		ps = []int{2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
-	}
-	fig := &Figure{
-		ID:     "figure2",
-		Title:  fmt.Sprintf("RMSE vs number of principal components (m=%d fixed)", m),
-		XLabel: "p",
-		Series: seriesNames(attackSuite(cfg, nil)),
-	}
-	xs := make([]float64, len(ps))
-	spectra := make([][]float64, len(ps))
-	for i, p := range ps {
-		if p < 1 || p > m {
-			return nil, fmt.Errorf("experiment: p=%d outside [1,%d]", p, m)
-		}
-		spec, err := synth.BudgetedSpectrum(m, p, cfg.Tail, cfg.AvgVariance)
-		if err != nil {
-			return nil, err
-		}
-		vals, err := spec.Values()
-		if err != nil {
-			return nil, err
-		}
-		xs[i], spectra[i] = float64(p), vals
-	}
-	points, err := runSpectrumSweep(cfg, xs, spectra)
+	sw, err := Figure2Substrates(cfg, m, ps)
 	if err != nil {
 		return nil, err
 	}
-	fig.Points = points
-	return fig, nil
+	return spectrumFigure(cfg, sw)
 }
 
 // Experiment3 reproduces Figure 3: m = 100 attributes, the first 20
@@ -327,30 +392,9 @@ func Experiment3(cfg Config, tails []float64) (*Figure, error) {
 
 // experiment3At is Experiment3 with configurable dimensions for tests.
 func experiment3At(cfg Config, m, p int, principal float64, tails []float64) (*Figure, error) {
-	cfg = cfg.withDefaults()
-	if len(tails) == 0 {
-		tails = []float64{1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
-	}
-	fig := &Figure{
-		ID:     "figure3",
-		Title:  fmt.Sprintf("RMSE vs non-principal eigenvalue (m=%d, p=%d, λ=%g)", m, p, principal),
-		XLabel: "tail λ",
-		Series: seriesNames(attackSuite(cfg, nil)),
-	}
-	xs := make([]float64, len(tails))
-	spectra := make([][]float64, len(tails))
-	for i, tail := range tails {
-		spec := synth.Spectrum{M: m, P: p, Principal: principal, Tail: tail}
-		vals, err := spec.Values()
-		if err != nil {
-			return nil, err
-		}
-		xs[i], spectra[i] = tail, vals
-	}
-	points, err := runSpectrumSweep(cfg, xs, spectra)
+	sw, err := Figure3Substrates(cfg, m, p, principal, tails)
 	if err != nil {
 		return nil, err
 	}
-	fig.Points = points
-	return fig, nil
+	return spectrumFigure(cfg, sw)
 }

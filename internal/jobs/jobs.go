@@ -35,7 +35,6 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -55,13 +54,17 @@ func (s State) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// Progress is chunk-level completion of a running job, as reported by the
-// runner (chunks processed so far across every streaming pass / expected
-// total). Total is 0 until the runner has seen enough of the data to
-// know it.
+// Progress is a running job's completion accounting, as reported by the
+// runner. Single assessments report chunks (processed so far across
+// every streaming pass / expected total; total is 0 until the runner has
+// seen enough of the data to know it). Sweep jobs report grid points;
+// the point fields stay omitted — and the status JSON byte-identical to
+// pre-sweep builds — for jobs that never report them.
 type Progress struct {
 	ChunksDone  int64 `json:"chunks_done"`
 	ChunksTotal int64 `json:"chunks_total"`
+	PointsDone  int64 `json:"points_done,omitempty"`
+	PointsTotal int64 `json:"points_total,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a job's public state.
@@ -79,12 +82,12 @@ type Snapshot struct {
 
 // Runner executes one job: spec is the submit-time spec verbatim, upload
 // is the path of the spooled request body, and progress (never nil)
-// publishes chunk counts for the status endpoint. The returned bytes are
-// stored as the job's result and served verbatim. A Runner must honor ctx
-// promptly — cancellation (DELETE) and manager shutdown both arrive as
-// ctx cancellation — and must be deterministic in (spec, upload) if
-// recovered jobs are to reproduce their results.
-type Runner func(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error)
+// publishes completion accounting for the status endpoint. The returned
+// bytes are stored as the job's result and served verbatim. A Runner
+// must honor ctx promptly — cancellation (DELETE) and manager shutdown
+// both arrive as ctx cancellation — and must be deterministic in (spec,
+// upload) if recovered jobs are to reproduce their results.
+type Runner func(ctx context.Context, spec json.RawMessage, upload string, progress func(Progress)) ([]byte, error)
 
 // Sentinel errors mapped onto HTTP statuses by the server layer.
 var (
@@ -138,9 +141,8 @@ type job struct {
 	doneCh   chan struct{} // closed via finish() when the job stops being worked on
 	doneOnce sync.Once
 
-	progDone, progTotal atomic.Int64
-
 	mu       sync.Mutex
+	prog     Progress
 	spec     json.RawMessage
 	digest   string
 	state    State
@@ -476,9 +478,10 @@ func (m *Manager) runOne(j *job) {
 		m.opts.Log.Printf("jobs: persist %s running: %v", j.id, err)
 	}
 
-	progress := func(done, total int64) {
-		j.progDone.Store(done)
-		j.progTotal.Store(total)
+	progress := func(p Progress) {
+		j.mu.Lock()
+		j.prog = p
+		j.mu.Unlock()
 	}
 	body, err := m.runProtected(ctx, spec, j.uploadPath(), progress)
 	if err == nil {
@@ -494,7 +497,14 @@ func (m *Manager) runOne(j *job) {
 		j.state = StateCanceled
 	case err == nil:
 		j.state = StateDone
-		j.progTotal.CompareAndSwap(0, j.progDone.Load())
+		// A run that finished before it learned its totals (tiny upload,
+		// fully cached sweep) still reports a complete progress bar.
+		if j.prog.ChunksTotal == 0 {
+			j.prog.ChunksTotal = j.prog.ChunksDone
+		}
+		if j.prog.PointsTotal == 0 {
+			j.prog.PointsTotal = j.prog.PointsDone
+		}
 	case errorIsContext(err) && m.baseCtx.Err() != nil:
 		// Shutdown, not failure (the base context only dies in Close,
 		// after `closing` is set; checking it avoids taking m.mu while
@@ -524,7 +534,7 @@ func (m *Manager) runOne(j *job) {
 
 // runProtected calls the runner with panic containment: one poisoned
 // upload must fail its job, not take down the worker goroutine.
-func (m *Manager) runProtected(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) (body []byte, err error) {
+func (m *Manager) runProtected(ctx context.Context, spec json.RawMessage, upload string, progress func(Progress)) (body []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("jobs: runner panic: %v", r)
@@ -644,19 +654,36 @@ func (j *job) snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Snapshot{
-		ID:     j.id,
-		State:  j.state,
-		Spec:   append(json.RawMessage(nil), j.spec...),
-		Digest: j.digest,
-		Progress: Progress{
-			ChunksDone:  j.progDone.Load(),
-			ChunksTotal: j.progTotal.Load(),
-		},
+		ID:       j.id,
+		State:    j.state,
+		Spec:     append(json.RawMessage(nil), j.spec...),
+		Digest:   j.digest,
+		Progress: j.prog,
 		Error:    j.err,
 		Created:  j.created,
 		Started:  j.started,
 		Finished: j.finished,
 	}
+}
+
+// PointTotals sums grid-point progress across non-terminal jobs: how
+// many points have been evaluated and how many are still owed. These are
+// the /healthz sweep gauges — single assessments never report points, so
+// they contribute nothing.
+func (m *Manager) PointTotals() (done, queued int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !j.state.terminal() {
+			done += j.prog.PointsDone
+			if d := j.prog.PointsTotal - j.prog.PointsDone; d > 0 {
+				queued += d
+			}
+		}
+		j.mu.Unlock()
+	}
+	return done, queued
 }
 
 // newID returns a 96-bit random hex job id.

@@ -16,12 +16,12 @@ import (
 
 // echoRunner returns the spec and the upload contents as the result, so
 // tests can verify both travelled intact through spool + recovery.
-func echoRunner(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error) {
+func echoRunner(ctx context.Context, spec json.RawMessage, upload string, progress func(Progress)) ([]byte, error) {
 	body, err := os.ReadFile(upload)
 	if err != nil {
 		return nil, err
 	}
-	progress(3, 3)
+	progress(Progress{ChunksDone: 3, ChunksTotal: 3})
 	return []byte(fmt.Sprintf("spec=%s body=%s", spec, body)), nil
 }
 
@@ -36,9 +36,9 @@ func newBlockingRunner() *blockingRunner {
 	return &blockingRunner{started: make(chan string, 16), release: make(chan struct{})}
 }
 
-func (b *blockingRunner) run(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error) {
+func (b *blockingRunner) run(ctx context.Context, spec json.RawMessage, upload string, progress func(Progress)) ([]byte, error) {
 	b.started <- upload
-	progress(1, 10)
+	progress(Progress{ChunksDone: 1, ChunksTotal: 10})
 	select {
 	case <-b.release:
 		return []byte("released"), nil
@@ -127,7 +127,7 @@ func TestResultNotReadyAndNotFound(t *testing.T) {
 }
 
 func TestFailedJobKeepsError(t *testing.T) {
-	boom := func(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error) {
+	boom := func(ctx context.Context, spec json.RawMessage, upload string, progress func(Progress)) ([]byte, error) {
 		return nil, fmt.Errorf("kaput")
 	}
 	m := newTestManager(t, t.TempDir(), Options{Workers: 1}, boom)
@@ -146,7 +146,7 @@ func TestFailedJobKeepsError(t *testing.T) {
 }
 
 func TestRunnerPanicBecomesFailure(t *testing.T) {
-	angry := func(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error) {
+	angry := func(ctx context.Context, spec json.RawMessage, upload string, progress func(Progress)) ([]byte, error) {
 		panic("numeric layer shape panic")
 	}
 	m := newTestManager(t, t.TempDir(), Options{Workers: 1}, angry)
@@ -315,7 +315,7 @@ func TestRecoveryKeepsTerminalJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	nope := func(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error) {
+	nope := func(ctx context.Context, spec json.RawMessage, upload string, progress func(Progress)) ([]byte, error) {
 		t.Error("runner called for an already-done job")
 		return nil, fmt.Errorf("unreachable")
 	}
@@ -460,7 +460,7 @@ func TestStatsGauges(t *testing.T) {
 // accepted+rejected total must account for every attempt.
 func TestConcurrentSubmitters(t *testing.T) {
 	var ran atomic.Int64
-	count := func(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error) {
+	count := func(ctx context.Context, spec json.RawMessage, upload string, progress func(Progress)) ([]byte, error) {
 		ran.Add(1)
 		return []byte("ok"), nil
 	}

@@ -42,15 +42,12 @@ const jobFileName = "job.json"
 func writeJobFile(j *job) error {
 	j.mu.Lock()
 	rec := jobRecord{
-		ID:     j.id,
-		Spec:   string(j.spec),
-		Digest: j.digest,
-		State:  j.state,
-		Error:  j.err,
-		Progress: Progress{
-			ChunksDone:  j.progDone.Load(),
-			ChunksTotal: j.progTotal.Load(),
-		},
+		ID:       j.id,
+		Spec:     string(j.spec),
+		Digest:   j.digest,
+		State:    j.state,
+		Error:    j.err,
+		Progress: j.prog,
 		Created:  j.created,
 		Started:  j.started,
 		Finished: j.finished,
@@ -96,8 +93,7 @@ func readJobFile(dir string) (*job, error) {
 		started:  rec.Started,
 		finished: rec.Finished,
 	}
-	j.progDone.Store(rec.Progress.ChunksDone)
-	j.progTotal.Store(rec.Progress.ChunksTotal)
+	j.prog = rec.Progress
 	return j, nil
 }
 

@@ -41,9 +41,27 @@ func asReconError(err error) error {
 	return err
 }
 
-// sketchDisguised runs pass 1: accumulate the moment sketch of the
-// disguised stream, mapping stream-level failures onto the same errors
-// the in-memory validation produces.
+// Sketched is implemented by streaming attacks whose pass 1 is exactly
+// the shared moment sketch (count, means, covariance) of the disguised
+// stream. ReconstructStreamSketched runs the attack against a sketch
+// someone else already built — the sweep planner's shared-scan hook: a
+// grid of attacks over one disguised stream sketches it once and feeds
+// every sketch-consuming attack from the same Moments, to bit-identical
+// results (the sketch is a function of the chunk sequence alone).
+//
+// The caller must pass a sketch built by SketchSource (or an equivalent
+// serial chunk-order accumulation) over the same chunk partition src
+// yields; mo is treated as read-only.
+type Sketched interface {
+	StreamReconstructor
+	ReconstructStreamSketched(mo *stream.Moments, src stream.Source, sink stream.Sink) error
+}
+
+// SketchSource runs the canonical pass 1: accumulate the moment sketch
+// of the disguised stream, mapping stream-level failures onto the same
+// errors the in-memory validation produces. It is exported so a sweep
+// plan can build the one shared sketch with exactly the error semantics
+// each attack's own pass 1 would have had.
 //
 // The sketch is accumulated serially on purpose: Accumulate's parallel
 // mode must copy each chunk out of the source's reused buffer before
@@ -51,7 +69,7 @@ func asReconError(err error) error {
 // footprint grow with n (BenchmarkStreamingAttack pins B/op independent
 // of n). The result is identical either way — sketches merge in chunk
 // order at any worker count.
-func sketchDisguised(src stream.Source) (*stream.Moments, error) {
+func SketchSource(src stream.Source) (*stream.Moments, error) {
 	mo, err := stream.Accumulate(src, 1)
 	if err != nil {
 		if nfErr := asReconError(err); nfErr != err {
@@ -154,10 +172,16 @@ func (NDR) ReconstructStream(src stream.Source, sink stream.Sink) error {
 // the in-memory code. Pass 2 centers each chunk, projects it onto Q̂ and
 // restores the means, writing X̂ incrementally.
 func (p *PCADR) ReconstructStream(src stream.Source, sink stream.Sink) error {
-	mo, err := sketchDisguised(src)
+	mo, err := SketchSource(src)
 	if err != nil {
 		return err
 	}
+	return p.ReconstructStreamSketched(mo, src, sink)
+}
+
+// ReconstructStreamSketched implements Sketched: PCA-DR with pass 1
+// already done.
+func (p *PCADR) ReconstructStreamSketched(mo *stream.Moments, src stream.Source, sink stream.Sink) error {
 	m := mo.Dim()
 	ws := p.WS
 	ws.Reset()
@@ -192,10 +216,16 @@ func (p *PCADR) ReconstructStream(src stream.Source, sink stream.Sink) error {
 // sketches the stream; the affine Bayes map (Eq. 11 / Eq. 13) is built by
 // the shared estimator; pass 2 applies x̂ = constant + gain·y per chunk.
 func (b *BEDR) ReconstructStream(src stream.Source, sink stream.Sink) error {
-	mo, err := sketchDisguised(src)
+	mo, err := SketchSource(src)
 	if err != nil {
 		return err
 	}
+	return b.ReconstructStreamSketched(mo, src, sink)
+}
+
+// ReconstructStreamSketched implements Sketched: BE-DR with pass 1
+// already done.
+func (b *BEDR) ReconstructStreamSketched(mo *stream.Moments, src stream.Source, sink stream.Sink) error {
 	m := mo.Dim()
 	ws := b.WS
 	ws.Reset()

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"testing"
+)
+
+// BenchmarkSweepVsSequential compares the two ways to evaluate a
+// 16-point grid (4 sigmas × 4 seeds, streamed) over one upload: sixteen
+// standalone /v1/assess calls — each re-scanning the CSV for every data
+// pass — against one sweep job, which scans the upload once and serves
+// every later pass from the resident copy. The result cache is disabled
+// so both sides really compute. Before timing, every grid-point report
+// is checked byte-identical to its standalone equivalent; the ratio of
+// the two sub-benchmarks' time/op is the sweep's amortization factor.
+func BenchmarkSweepVsSequential(b *testing.B) {
+	// The per-sweep log line would interleave with the benchmark table
+	// and confuse benchstat; discard it.
+	_, ts := newTestServer(b, Config{CacheEntries: -1, JobWorkers: 1, Log: log.New(io.Discard, "", 0)})
+	in := testCSV(b, 2048, 6, 2, 7)
+	const spec = `{"defenses":[{"scheme":"additive","sigmas":[3,4,5,6]}],"seeds":[1,2,3,4],"chunk":128,"stream":true}`
+	var queries []string
+	for _, sigma := range []int{3, 4, 5, 6} {
+		for _, seed := range []int{1, 2, 3, 4} {
+			queries = append(queries,
+				fmt.Sprintf("?scheme=additive&sigma=%d&seed=%d&stream=1&chunk=128", sigma, seed))
+		}
+	}
+
+	// Byte-identity gate: a faster sweep that drifted from the standalone
+	// path would be measuring the wrong thing.
+	_, res := runSweep(b, ts, spec, in)
+	if len(res.Points) != len(queries) {
+		b.Fatalf("sweep points = %d, want %d", len(res.Points), len(queries))
+	}
+	for i, q := range queries {
+		status, _, syncBody := post(b, ts, "/v1/assess"+q, in)
+		if status != http.StatusOK {
+			b.Fatalf("assess %s = %d, body %s", q, status, syncBody)
+		}
+		got := append(append([]byte(nil), res.Points[i].Report...), '\n')
+		if !bytes.Equal(got, syncBody) {
+			b.Fatalf("point %d (%s): sweep report differs from /v1/assess", i, q)
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if status, _, body := post(b, ts, "/v1/assess"+q, in); status != http.StatusOK {
+					b.Fatalf("assess %s = %d, body %s", q, status, body)
+				}
+			}
+		}
+		// Each of the 16 assessments re-scans its upload for every pass.
+		b.ReportMetric(float64(res.SequentialPasses), "csv-scans/op")
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSweep(b, ts, spec, in)
+		}
+		// One validate pass reads the CSV; all other planned passes run
+		// over the resident copy.
+		b.ReportMetric(1, "csv-scans/op")
+	})
+}

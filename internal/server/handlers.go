@@ -15,10 +15,10 @@ import (
 
 	"randpriv/internal/core"
 	"randpriv/internal/dataset"
-	"randpriv/internal/experiment"
 	"randpriv/internal/mat"
 	"randpriv/internal/recon"
 	"randpriv/internal/stream"
+	"randpriv/internal/sweep"
 )
 
 // Scheme identifiers the handlers special-case (the full accepted sets
@@ -52,13 +52,23 @@ type requestParams struct {
 	K           int      // kmeans probe: cluster count (0 = probe default)
 }
 
-// maxChunkRows caps ?chunk= so a hostile request cannot make the server
-// allocate an arbitrarily large chunk buffer.
-const maxChunkRows = 1 << 20
+// Request-size bounds, shared with the sweep spec validation so the two
+// entry points can never drift.
+const (
+	maxChunkRows = sweep.MaxChunkRows // caps ?chunk= against hostile chunk-buffer sizes
+	maxClusterK  = sweep.MaxClusterK  // caps ?k=: clustering probes are O(n·k) per iteration
+)
 
-// maxClusterK caps ?k=: the clustering probes are O(n·k) per iteration
-// and a request must not pick a k the data cannot support anyway.
-const maxClusterK = 1 << 10
+// sweepParams maps decoded query parameters onto the sweep engine's
+// point parameters — the compute-relevant subset every assessment is
+// identified by.
+func sweepParams(p requestParams) sweep.Params {
+	return sweep.Params{
+		Sigma: p.Sigma, Seed: p.Seed, Scheme: p.Scheme, Chunk: p.Chunk, Stream: p.Stream,
+		Attacks: p.Attacks, Utility: p.Utility,
+		Epsilon: p.Epsilon, Delta: p.Delta, Sensitivity: p.Sensitivity, K: p.K,
+	}
+}
 
 // splitModes parses a comma-separated operator list, rejecting empty
 // items and duplicates (a repeated mode would run — and be billed and
@@ -242,13 +252,10 @@ func (s *Server) decodeParams(r *http.Request, allowed ...string) (requestParams
 	return p, nil
 }
 
-// requestRNG builds the request's RNG. The seed flows through the same
-// SplitMix64 derivation the experiment.Runner uses for its trials, so a
-// request is trial 0 of its own seed: decorrelated from neighbouring
-// seeds, and bit-identical every time the same (seed, params, body) is
-// submitted — regardless of what else the pool is running.
+// requestRNG builds the request's RNG — the sweep engine's point RNG, so
+// a request is bit-identical to the same point evaluated mid-sweep.
 func requestRNG(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(experiment.TrialSeed(seed, 0)))
+	return sweep.PointRNG(seed)
 }
 
 // spoolAndOpen spools the request body (deadline-bounded) and opens a
@@ -294,38 +301,19 @@ func validateUpload(src stream.Source, cols int) (rows int64, err error) {
 	return rows, nil
 }
 
-// buildDefense constructs the requested defense through the registry. A
-// covariance-hungry defense sketches the data in one streaming pass via
-// the DataCov hook; a failure of that pass is an I/O (or cancellation)
-// problem and keeps its 500-family status, while every other build error
-// is a parameter rejection and maps to 400.
+// buildDefense constructs the requested defense through the sweep
+// engine. A covariance-hungry defense sketches the data in one streaming
+// pass via the DataCov hook; a failure of that pass is an I/O (or
+// cancellation) problem and keeps its 500-family status, while every
+// other build error comes back as a *sweep.ParamError and maps to 400.
 func buildDefense(p requestParams, src stream.Source) (core.BuiltDefense, error) {
-	spec, err := defaultRegistry.LookupDefense(p.Scheme)
-	if err != nil {
-		return core.BuiltDefense{}, badRequest(err)
-	}
-	var passErr error
-	bd, err := spec.Build(core.DefenseContext{
-		Sigma:       p.Sigma,
-		Epsilon:     p.Epsilon,
-		Delta:       p.Delta,
-		Sensitivity: p.Sensitivity,
-		DataCov: func() (*mat.Dense, error) {
-			mo, err := stream.Accumulate(src, 1)
-			if err != nil {
-				passErr = fmt.Errorf("server: covariance pass: %w", err)
-				return nil, passErr
-			}
-			return mo.Covariance(), nil
-		},
-	})
-	if err != nil {
-		if passErr != nil && err == passErr {
-			return core.BuiltDefense{}, err
+	return sweep.Env{Reg: defaultRegistry}.BuildDefense(sweepParams(p), func() (*mat.Dense, error) {
+		mo, err := stream.Accumulate(src, 1)
+		if err != nil {
+			return nil, fmt.Errorf("server: covariance pass: %w", err)
 		}
-		return core.BuiltDefense{}, badRequest(err)
-	}
-	return bd, nil
+		return mo.Covariance(), nil
+	})
 }
 
 // lazyCSVSink defers the CSV header until the first reconstructed chunk
@@ -458,87 +446,13 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) error {
 	})
 }
 
-// attackJSON is one attack's entry in the assessment report.
-type attackJSON struct {
-	Attack     string    `json:"attack"`
-	RMSE       float64   `json:"rmse,omitempty"`
-	ColumnRMSE []float64 `json:"column_rmse,omitempty"`
-	GainVsNDR  float64   `json:"gain_vs_ndr,omitempty"`
-	Error      string    `json:"error,omitempty"`
-}
-
-// utilityJSON is one utility probe's entry in the assessment report.
-// Metric keys are marshaled in sorted order by encoding/json, so the
-// section is byte-stable for a given seed.
-type utilityJSON struct {
-	Probe   string             `json:"probe"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-	Error   string             `json:"error,omitempty"`
-}
-
-// reportJSON is the /v1/assess response body. The utility section is
-// omitted entirely when no probes were requested, which keeps every
-// pre-registry response byte-identical to its golden.
-type reportJSON struct {
-	Scheme        string        `json:"scheme"`
-	Mode          string        `json:"mode"` // "memory" or "stream"
-	Rows          int64         `json:"rows"`
-	Cols          int           `json:"cols"`
-	Seed          int64         `json:"seed"`
-	DatasetSHA256 string        `json:"dataset_sha256"`
-	NDRBaseline   float64       `json:"ndr_baseline_rmse"`
-	MostDangerous string        `json:"most_dangerous,omitempty"`
-	Results       []attackJSON  `json:"results"`
-	Utility       []utilityJSON `json:"utility,omitempty"`
-}
-
-func toReportJSON(rep *core.PrivacyReport, utilities []core.UtilityResult, p requestParams, rows int64, cols int, digest string) reportJSON {
-	mode := "memory"
-	if p.Stream {
-		mode = "stream"
-	}
-	out := reportJSON{
-		Scheme:        rep.Scheme,
-		Mode:          mode,
-		Rows:          rows,
-		Cols:          cols,
-		Seed:          p.Seed,
-		DatasetSHA256: digest,
-		NDRBaseline:   rep.NDRBaseline,
-	}
-	if md := rep.MostDangerous(); md != nil {
-		out.MostDangerous = md.Attack
-	}
-	for _, res := range rep.Results {
-		aj := attackJSON{Attack: res.Attack}
-		if res.Err != nil {
-			aj.Error = res.Err.Error()
-		} else {
-			aj.RMSE = res.RMSE
-			aj.ColumnRMSE = res.ColumnRMSE
-			aj.GainVsNDR = res.GainVsNDR
-		}
-		out.Results = append(out.Results, aj)
-	}
-	for _, u := range utilities {
-		uj := utilityJSON{Probe: u.Probe, Metrics: u.Metrics}
-		if u.Err != nil {
-			uj.Error = u.Err.Error()
-		}
-		out.Utility = append(out.Utility, uj)
-	}
-	return out
-}
-
 // assessCacheKey identifies a fitted assessment: every parameter that can
 // change a single response byte — scheme, σ, seed, chunking, battery and
 // probe selection, DP calibration and the dataset digest — is part of
-// the key.
+// the key. It is sweep.CacheKey, shared so a sweep grid point populates
+// (and is served by) the same cache entries as a standalone request.
 func assessCacheKey(p requestParams, digest string) string {
-	return fmt.Sprintf("assess|v2|%s|sigma=%g|seed=%d|chunk=%d|stream=%t|eps=%g|delta=%g|sens=%g|k=%d|attacks=%s|utility=%s|%s",
-		p.Scheme, p.Sigma, p.Seed, p.Chunk, p.Stream,
-		p.Epsilon, p.Delta, p.Sensitivity, p.K,
-		strings.Join(p.Attacks, ","), strings.Join(p.Utility, ","), digest)
+	return sweep.CacheKey(sweepParams(p), digest)
 }
 
 // handleAssess runs the paper's full loop on an uploaded original data
@@ -597,48 +511,15 @@ var assessParamKeys = []string{
 	"attacks", "utility", "epsilon", "delta", "sensitivity", "k",
 }
 
-// assessAttackModes resolves which battery the request runs: the
-// explicit ?attacks= selection, or the registry's default suite for the
-// scheme's noise shape.
-func assessAttackModes(p requestParams, noise core.NoiseModel) []string {
-	if len(p.Attacks) > 0 {
-		return p.Attacks
-	}
-	return core.DefaultAttackModes(noise, p.Stream)
-}
-
 // passesFor counts how many full passes the assessment makes over its
-// two chunk streams (original upload + disguised spool), per mode:
-//
-//	memory:  validate + perturb-read + collect(orig) + collect(disg)  = 4
-//	         (utility probes run on the resident copies: no extra pass)
-//	stream:  validate + perturb-read
-//	         + NDR baseline (1 disg read + 1 orig diff pull)
-//	         + each selected attack's registered StreamPasses
-//	         (default battery PCA-DR + BE-DR: 2+2+2+3+3 = 10)
-//	covariance-hungry scheme: +1 (the sketch pass over the original)
-//
-// runAssessment turns this into the progress denominator; the job
-// lifecycle test asserts chunks_done == chunks_total at completion, so a
-// change to the pass structure — or a registered StreamPasses that lies
-// about its attack — fails loudly instead of silently skewing every
-// progress bar.
+// two chunk streams — sweep.PassesFor, the same accounting the planner
+// quotes its amortization win against. runAssessment turns this into the
+// progress denominator; the job lifecycle test asserts chunks_done ==
+// chunks_total at completion, so a change to the pass structure — or a
+// registered StreamPasses that lies about its attack — fails loudly
+// instead of silently skewing every progress bar.
 func passesFor(p requestParams) int64 {
-	var passes int64
-	if p.Stream {
-		passes = 2 + 2 // validate + perturb-read, then the NDR baseline
-		for _, mode := range assessAttackModes(p, core.NoiseModel{}) {
-			if spec, err := defaultRegistry.LookupAttack(mode); err == nil {
-				passes += spec.StreamPasses
-			}
-		}
-	} else {
-		passes = 4
-	}
-	if spec, err := defaultRegistry.LookupDefense(p.Scheme); err == nil && spec.Caps.NeedsCov {
-		passes++
-	}
-	return passes
+	return sweep.PassesFor(defaultRegistry, sweepParams(p))
 }
 
 // runAssessment is the single compute path behind both the synchronous
@@ -691,11 +572,7 @@ func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	body, err := json.Marshal(toReportJSON(rep, utilities, p, rows, len(names), digest))
-	if err != nil {
-		return nil, err
-	}
-	return append(body, '\n'), nil
+	return sweep.MarshalReport(rep, utilities, sweepParams(p), rows, len(names), digest)
 }
 
 // assess perturbs the validated original stream into a spool file and
@@ -739,23 +616,18 @@ func (s *Server) assess(ctx context.Context, orig stream.Source, names []string,
 	return s.assessMemory(ctx, orig, disgPath, bd, p, ws, wrap)
 }
 
-// assessStream runs the out-of-core battery: NDR baseline plus the
-// selected streamable attacks, never materializing either data set.
+// assessStream runs the out-of-core battery through the sweep engine:
+// NDR baseline plus the selected streamable attacks, never materializing
+// either data set. nil baseline and sketch mean this single point
+// computes both itself, exactly as a one-point sweep group would.
 func (s *Server) assessStream(orig stream.Source, disgPath string, bd core.BuiltDefense, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, error) {
 	disgSrc, err := dataset.OpenCSVChunks(disgPath, p.Chunk)
 	if err != nil {
 		return nil, err
 	}
 	defer disgSrc.Close()
-	disg := wrap(disgSrc)
-
-	modes := assessAttackModes(p, bd.Noise)
-	attacks, err := defaultRegistry.BuildStreamAttacks(modes, core.AttackContext{Noise: bd.Noise, WS: ws})
-	if err != nil {
-		return nil, badRequest(err)
-	}
-	desc := fmt.Sprintf("%s (streaming, %d-row chunks)", bd.Scheme.Describe(), p.Chunk)
-	return core.EvaluateStream(orig, disg, desc, attacks)
+	env := sweep.Env{Reg: defaultRegistry, WS: ws}
+	return env.EvaluateStreamPoint(sweepParams(p), orig, wrap(disgSrc), bd, nil, nil)
 }
 
 // assessMemory loads both copies, runs the selected battery (including
@@ -793,26 +665,8 @@ func (s *Server) assessMemory(ctx context.Context, orig stream.Source, disgPath 
 	if err != nil {
 		return nil, nil, err
 	}
-
-	modes := assessAttackModes(p, bd.Noise)
-	attacks, err := defaultRegistry.BuildAttacks(modes, core.AttackContext{Noise: bd.Noise, WS: ws})
-	if err != nil {
-		return nil, nil, badRequest(err)
-	}
-	rep, err := core.Evaluate(origData, disgData, bd.Scheme.Describe(), attacks)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Each probe gets its own trial-derived seed, disjoint from the
-	// perturbation's trial 0, so adding or reordering probes never moves
-	// the noise bytes (and equal request seeds reproduce every metric).
-	utilities, err := defaultRegistry.RunUtilities(ctx, p.Utility, origData, disgData, p.K, func(i int) int64 {
-		return experiment.TrialSeed(p.Seed, 1000+i)
-	})
-	if err != nil {
-		return nil, nil, badRequest(err)
-	}
-	return rep, utilities, nil
+	env := sweep.Env{Reg: defaultRegistry, WS: ws}
+	return env.EvaluateMemoryPoint(ctx, sweepParams(p), origData, disgData, bd)
 }
 
 // handleHealthz reports liveness plus the pool and cache gauges:
@@ -820,6 +674,7 @@ func (s *Server) assessMemory(ctx context.Context, orig stream.Source, disgPath 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.cache.Stats()
 	jobsQueued, jobsRunning, jobsTerminal := s.jobs.Stats()
+	pointsDone, pointsQueued := s.jobs.PointTotals()
 	resp := struct {
 		Status        string `json:"status"`
 		Workers       int    `json:"workers"`
@@ -833,19 +688,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		JobsQueued    int    `json:"jobs_queued"`
 		JobsRunning   int    `json:"jobs_running"`
 		JobsFinished  int    `json:"jobs_finished"`
+		// Sweep gauges: grid points still owed by live sweep jobs and
+		// points already resolved by them (zeroed as jobs reach a
+		// terminal state).
+		SweepPointsQueued int64 `json:"sweep_points_queued"`
+		SweepPointsDone   int64 `json:"sweep_points_done"`
 	}{
-		Status:        "ok",
-		Workers:       s.cfg.Workers,
-		QueueDepth:    s.cfg.QueueDepth,
-		Inflight:      s.pool.Inflight(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheEntries:  entries,
-		CacheCapacity: s.cfg.CacheEntries,
-		JobWorkers:    s.cfg.JobWorkers,
-		JobsQueued:    jobsQueued,
-		JobsRunning:   jobsRunning,
-		JobsFinished:  jobsTerminal,
+		Status:            "ok",
+		Workers:           s.cfg.Workers,
+		QueueDepth:        s.cfg.QueueDepth,
+		Inflight:          s.pool.Inflight(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      entries,
+		CacheCapacity:     s.cfg.CacheEntries,
+		JobWorkers:        s.cfg.JobWorkers,
+		JobsQueued:        jobsQueued,
+		JobsRunning:       jobsRunning,
+		JobsFinished:      jobsTerminal,
+		SweepPointsQueued: pointsQueued,
+		SweepPointsDone:   pointsDone,
 	}
 	writeJSON(w, resp)
 }

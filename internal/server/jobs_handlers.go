@@ -4,15 +4,20 @@
 // endpoints trade that connection for a submit/poll/result lifecycle:
 //
 //	POST   /v1/jobs             CSV + assess params -> 202 + job id
+//	POST   /v1/jobs             multipart spec+data -> 202 sweep job
 //	GET    /v1/jobs/{id}        status: state, progress, timestamps
 //	GET    /v1/jobs/{id}/result the stored report (409 until done)
 //	DELETE /v1/jobs/{id}        cancel (cooperatively) and remove
 //
-// The compute is the same runAssessment the synchronous path uses, on
-// the jobs.Manager's own bounded worker pool, so a job's result is
-// byte-identical to the synchronous response for the same (CSV, params,
-// seed) — the property TestJobResultMatchesSynchronousAssess pins, and
-// the reason a recovered job after a crash serves the same bytes too.
+// A plain CSV body runs one assessment through the same runAssessment
+// the synchronous path uses; a multipart/form-data body carrying a
+// "spec" JSON part and a "data" CSV part runs a whole parameter grid
+// through the sweep planner's shared-scan plan, with per-grid-point
+// progress. Either way the compute runs on the jobs.Manager's own
+// bounded worker pool and a job's stored result is byte-identical to
+// the synchronous responses for the same (CSV, params, seed) — the
+// property TestJobResultMatchesSynchronousAssess pins, and the reason
+// a recovered job after a crash serves the same bytes too.
 
 package server
 
@@ -20,6 +25,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"strings"
 	"time"
@@ -27,6 +34,7 @@ import (
 	"randpriv/internal/dataset"
 	"randpriv/internal/jobs"
 	"randpriv/internal/mat"
+	"randpriv/internal/sweep"
 )
 
 // jobSpec is the durable form of an assessment job's parameters — the
@@ -34,6 +42,9 @@ import (
 // the report embeds. It is what jobs.Manager persists and hands back to
 // the runner after a restart.
 type jobSpec struct {
+	// Type discriminates the job kind: "" (pre-sweep specs and plain
+	// assessment submissions) runs one assessment, "sweep" a whole grid.
+	Type   string  `json:"type,omitempty"`
 	Sigma  float64 `json:"sigma"`
 	Seed   int64   `json:"seed"`
 	Scheme string  `json:"scheme"`
@@ -47,7 +58,13 @@ type jobSpec struct {
 	Delta       float64  `json:"delta,omitempty"`
 	Sensitivity float64  `json:"sensitivity,omitempty"`
 	K           int      `json:"k,omitempty"`
-	Digest      string   `json:"digest"`
+	// Sweep is the raw sweep spec for Type == "sweep", byte-exact as
+	// submitted (the grid expansion is deterministic over these bytes,
+	// so a recovered job re-plans the identical sweep). Chunk holds the
+	// partition resolved at submit time — the spec may omit it, and the
+	// plan must not move if the server default changes across a restart.
+	Sweep  json.RawMessage `json:"sweep,omitempty"`
+	Digest string          `json:"digest"`
 }
 
 func specFromParams(p requestParams, digest string) jobSpec {
@@ -67,14 +84,21 @@ func (sp jobSpec) params() requestParams {
 	}
 }
 
-// runJob is the jobs.Runner: it re-opens the spooled upload and pushes it
-// through the shared assessment path. The workspace comes from a pool
-// keyed to nothing — job workers are few and long-lived, so arenas are
-// reused across jobs exactly like the request pool's per-worker ones.
-func (s *Server) runJob(ctx context.Context, spec json.RawMessage, upload string, progress func(done, total int64)) ([]byte, error) {
+// runJob is the jobs.Runner: it re-opens the spooled upload and pushes
+// it through the shared compute path for its type — one assessment, or
+// a sweep's whole grid. The workspace comes from a pool keyed to
+// nothing — job workers are few and long-lived, so arenas are reused
+// across jobs exactly like the request pool's per-worker ones.
+func (s *Server) runJob(ctx context.Context, spec json.RawMessage, upload string, progress func(jobs.Progress)) ([]byte, error) {
 	var sp jobSpec
 	if err := json.Unmarshal(spec, &sp); err != nil {
 		return nil, fmt.Errorf("server: decode job spec: %w", err)
+	}
+	ws := s.jobWS.Get().(*mat.Workspace)
+	ws.Reset()
+	defer s.jobWS.Put(ws)
+	if sp.Type == jobTypeSweep {
+		return s.runSweepJob(ctx, sp, upload, ws, progress)
 	}
 	p := sp.params()
 	src, err := dataset.OpenCSVChunks(upload, p.Chunk)
@@ -82,10 +106,60 @@ func (s *Server) runJob(ctx context.Context, spec json.RawMessage, upload string
 		return nil, err
 	}
 	defer src.Close()
-	ws := s.jobWS.Get().(*mat.Workspace)
-	ws.Reset()
-	defer s.jobWS.Put(ws)
-	return s.runAssessment(ctx, src, p, sp.Digest, ws, progress)
+	var chunkProg func(done, total int64)
+	if progress != nil {
+		chunkProg = func(done, total int64) {
+			progress(jobs.Progress{ChunksDone: done, ChunksTotal: total})
+		}
+	}
+	return s.runAssessment(ctx, src, p, sp.Digest, ws, chunkProg)
+}
+
+const jobTypeSweep = "sweep"
+
+// runSweepJob re-expands and re-compiles the stored spec (both are
+// deterministic over the spec bytes, so a crash-recovered job plans the
+// identical sweep) and executes the shared-scan plan against the
+// spooled upload. The executor shares the server's assessment LRU: a
+// grid point warm from a standalone /v1/assess is served from cache,
+// and every point computed here warms the cache for later requests.
+func (s *Server) runSweepJob(ctx context.Context, sp jobSpec, upload string, ws *mat.Workspace, progress func(jobs.Progress)) ([]byte, error) {
+	spec, err := sweep.ParseSpec(sp.Sweep)
+	if err != nil {
+		return nil, err
+	}
+	// The submit-time cap was already enforced; re-expanding unbounded
+	// keeps a recovered job runnable even if the cap was since lowered.
+	grid, err := spec.Expand(defaultRegistry, sp.Chunk, 0)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sweep.Compile(defaultRegistry, grid)
+	if err != nil {
+		return nil, err
+	}
+	src, err := dataset.OpenCSVChunks(upload, sp.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	cfg := sweep.ExecConfig{
+		Env:    sweep.Env{Reg: defaultRegistry, WS: ws},
+		Digest: sp.Digest,
+		Cache:  s.cache,
+	}
+	if progress != nil {
+		cfg.Progress = func(done, total int64) {
+			progress(jobs.Progress{PointsDone: done, PointsTotal: total})
+		}
+	}
+	res, err := sweep.Execute(ctx, cfg, plan, src, src.Names())
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.Log.Printf("randprivd: sweep over %s: %d grid points (%d duplicates collapsed), %d planned passes vs %d sequential",
+		sp.Digest, res.GridPoints, res.CollapsedDuplicates, res.PlannedPasses, res.SequentialPasses)
+	return sweep.MarshalResult(res)
 }
 
 // jobError wraps the jobs-endpoint handlers with the same uniform JSON
@@ -146,6 +220,10 @@ func (s *Server) handleJobsCollection(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: use POST"))
 		return
 	}
+	if mediaType, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mediaType == "multipart/form-data" {
+		s.handleSweepSubmit(w, r)
+		return
+	}
 	p, err := s.decodeParams(r, assessParamKeys...)
 	if err != nil {
 		s.jobError(w, r, err)
@@ -185,12 +263,127 @@ func (s *Server) handleJobsCollection(w http.ResponseWriter, r *http.Request) {
 		s.jobError(w, r, err)
 		return
 	}
+	s.writeJobAccepted(w, snap)
+}
+
+func (s *Server) writeJobAccepted(w http.ResponseWriter, snap jobs.Snapshot) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
 	w.WriteHeader(http.StatusAccepted)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(toJobStatusJSON(snap))
+}
+
+// maxSweepSpecBytes caps the "spec" multipart part. A sweep spec is a
+// few axes of numbers; a megabyte of it is a client bug, not a grid.
+const maxSweepSpecBytes = 1 << 20
+
+// handleSweepSubmit serves the multipart form of POST /v1/jobs: a
+// "spec" part carrying the JSON sweep spec and a "data" part carrying
+// the CSV upload. The spec is parsed, validated and size-checked
+// against SweepMaxPoints at submit time — a spec is a request for
+// grid × battery work, so an oversized or incoherent grid is a 400
+// before a single data pass, not a failed job an hour later. Query
+// parameters are rejected outright: every knob of a sweep lives in the
+// spec, and a ?seed= silently ignored here would mislead the caller
+// about what ran.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if len(r.URL.Query()) > 0 {
+		s.jobError(w, r, badRequest(fmt.Errorf("server: sweep submissions take no query parameters (all knobs live in the spec part)")))
+		return
+	}
+	if s.jobs.Full() {
+		s.jobError(w, r, jobs.ErrQueueFull)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		s.jobError(w, r, badRequest(fmt.Errorf("server: read multipart body: %v", err)))
+		return
+	}
+
+	var specBytes []byte
+	var up *upload
+	defer func() {
+		if up != nil {
+			up.Remove()
+		}
+	}()
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.jobError(w, r, badRequest(fmt.Errorf("server: read multipart body: %v", err)))
+			return
+		}
+		switch name := part.FormName(); name {
+		case "spec":
+			if specBytes != nil {
+				s.jobError(w, r, badRequest(fmt.Errorf("server: multipart part %q given twice", name)))
+				return
+			}
+			specBytes, err = io.ReadAll(io.LimitReader(part, maxSweepSpecBytes+1))
+			if err != nil {
+				s.jobError(w, r, badRequest(fmt.Errorf("server: read spec part: %v", err)))
+				return
+			}
+			if len(specBytes) > maxSweepSpecBytes {
+				s.jobError(w, r, badRequest(fmt.Errorf("server: spec part exceeds %d bytes", maxSweepSpecBytes)))
+				return
+			}
+		case "data":
+			if up != nil {
+				s.jobError(w, r, badRequest(fmt.Errorf("server: multipart part %q given twice", name)))
+				return
+			}
+			up, err = spoolBody(s.cfg.SpoolDir, ctxReader{ctx: ctx, r: part})
+			if err != nil {
+				s.jobError(w, r, err)
+				return
+			}
+		default:
+			s.jobError(w, r, badRequest(fmt.Errorf("server: unknown multipart part %q (want \"spec\" and \"data\")", name)))
+			return
+		}
+	}
+	if specBytes == nil || up == nil {
+		s.jobError(w, r, badRequest(fmt.Errorf("server: sweep submission needs both a \"spec\" and a \"data\" part")))
+		return
+	}
+
+	spec, err := sweep.ParseSpec(specBytes)
+	if err != nil {
+		s.jobError(w, r, err)
+		return
+	}
+	// Expansion both validates the spec and enforces the grid-size cap;
+	// the grid itself is discarded — the runner re-expands from the
+	// stored bytes, deterministically.
+	if _, err := spec.Expand(defaultRegistry, s.cfg.ChunkRows, s.cfg.SweepMaxPoints); err != nil {
+		s.jobError(w, r, err)
+		return
+	}
+	chunk := spec.Chunk
+	if chunk == 0 {
+		chunk = s.cfg.ChunkRows
+	}
+	stored, err := json.Marshal(jobSpec{Type: jobTypeSweep, Chunk: chunk, Sweep: json.RawMessage(specBytes), Digest: up.digest})
+	if err != nil {
+		s.jobError(w, r, err)
+		return
+	}
+	snap, err := s.jobs.SubmitFile(stored, up.digest, up.path)
+	if err != nil {
+		s.jobError(w, r, err)
+		return
+	}
+	s.writeJobAccepted(w, snap)
 }
 
 // handleJobsItem serves GET /v1/jobs/{id}, GET /v1/jobs/{id}/result and

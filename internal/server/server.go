@@ -40,6 +40,7 @@ import (
 
 	"randpriv/internal/jobs"
 	"randpriv/internal/mat"
+	"randpriv/internal/sweep"
 )
 
 // Config tunes the service; zero values mean the documented defaults.
@@ -78,6 +79,10 @@ type Config struct {
 	// JobTTL expires finished jobs and their stored results this long
 	// after completion (default: 24h; negative keeps them forever).
 	JobTTL time.Duration
+	// SweepMaxPoints caps how many grid points a sweep spec may expand
+	// to; a larger spec is rejected with 400 before any data work
+	// (default: 4096; negative removes the cap).
+	SweepMaxPoints int
 	// Log receives request-level diagnostics; nil uses log.Default().
 	Log *log.Logger
 }
@@ -89,6 +94,7 @@ const (
 	defaultChunkRows    = 4096
 	defaultCacheEntries = 128
 	defaultJobTTL       = 24 * time.Hour
+	defaultSweepPoints  = 4096
 )
 
 func (c Config) withDefaults() Config {
@@ -135,6 +141,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTTL < 0 {
 		c.JobTTL = 0 // jobs.Manager: 0 disables expiry
+	}
+	if c.SweepMaxPoints == 0 {
+		c.SweepMaxPoints = defaultSweepPoints
+	}
+	if c.SweepMaxPoints < 0 {
+		c.SweepMaxPoints = 0 // sweep.Expand: 0 means unbounded
 	}
 	if c.Log == nil {
 		c.Log = log.Default()
@@ -288,6 +300,7 @@ func statusOf(err error) int {
 	var maxBytes *http.MaxBytesError
 	var bad badRequestError
 	var notReady *jobs.NotReadyError
+	var param *sweep.ParamError
 	switch {
 	case errors.As(err, &maxBytes):
 		return http.StatusRequestEntityTooLarge
@@ -299,7 +312,7 @@ func statusOf(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
-	case errors.As(err, &bad):
+	case errors.As(err, &bad), errors.As(err, &param):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError

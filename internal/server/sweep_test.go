@@ -1,0 +1,455 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"randpriv/internal/sweep"
+)
+
+// sweepBody builds the multipart POST /v1/jobs body: a "spec" JSON part
+// and a "data" CSV part.
+func sweepBody(t testing.TB, spec string, data []byte) (string, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	if spec != "" {
+		w, err := mw.CreateFormField("spec")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte(spec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if data != nil {
+		w, err := mw.CreateFormFile("data", "data.csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return mw.FormDataContentType(), buf.Bytes()
+}
+
+func postSweep(t testing.TB, ts *httptest.Server, path, spec string, data []byte) (int, http.Header, []byte) {
+	t.Helper()
+	ct, body := sweepBody(t, spec, data)
+	resp, err := http.Post(ts.URL+path, ct, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	out := new(bytes.Buffer)
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp.StatusCode, resp.Header, out.Bytes()
+}
+
+// runSweep submits a sweep, waits for it, and returns the decoded
+// full-grid result.
+func runSweep(t testing.TB, ts *httptest.Server, spec string, data []byte) (jobStatus, sweep.Result) {
+	t.Helper()
+	status, hdr, out := postSweep(t, ts, "/v1/jobs", spec, data)
+	if status != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d, body %s", status, out)
+	}
+	var js jobStatus
+	if err := json.Unmarshal(out, &js); err != nil {
+		t.Fatalf("decode submit response: %v (%s)", err, out)
+	}
+	if loc := hdr.Get("Location"); loc != "/v1/jobs/"+js.ID {
+		t.Errorf("Location = %q, want /v1/jobs/%s", loc, js.ID)
+	}
+	final := waitJob(t, ts, js.ID)
+	if final.State != "done" {
+		t.Fatalf("sweep job = %s (error %q), want done", final.State, final.Error)
+	}
+	rs, body := getResult(t, ts, js.ID)
+	if rs != http.StatusOK {
+		t.Fatalf("sweep result = %d, body %s", rs, body)
+	}
+	var res sweep.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decode sweep result: %v (%s)", err, body)
+	}
+	return final, res
+}
+
+// TestSweepJobMatchesAssessAcrossRegistry is the sweep byte-identity
+// property over the whole defense registry: every grid point's report
+// must equal the standalone /v1/assess response for the same (CSV,
+// params, seed) byte for byte. The spec is built from the registry's own
+// mode list, so a newly registered defense joins the property
+// automatically.
+func TestSweepJobMatchesAssessAcrossRegistry(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: -1, JobWorkers: 2})
+	in := testCSV(t, 150, 4, 2, 9)
+
+	type axis struct {
+		json  string
+		query []string // per expanded point, in axis order
+	}
+	var axes []axis
+	for _, mode := range defaultRegistry.DefenseModes() {
+		spec, err := defaultRegistry.LookupDefense(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case strings.HasPrefix(mode, "dp-"):
+			axes = append(axes, axis{
+				json:  fmt.Sprintf(`{"scheme":%q,"epsilons":[0.5,1]}`, mode),
+				query: []string{"scheme=" + mode + "&epsilon=0.5", "scheme=" + mode + "&epsilon=1"},
+			})
+		case spec.Noiseless:
+			axes = append(axes, axis{
+				json:  fmt.Sprintf(`{"scheme":%q}`, mode),
+				query: []string{"scheme=" + mode},
+			})
+		default:
+			axes = append(axes, axis{
+				json:  fmt.Sprintf(`{"scheme":%q,"sigmas":[4,6]}`, mode),
+				query: []string{"scheme=" + mode + "&sigma=4", "scheme=" + mode + "&sigma=6"},
+			})
+		}
+	}
+	var defJSON []string
+	for _, a := range axes {
+		defJSON = append(defJSON, a.json)
+	}
+	spec := fmt.Sprintf(`{"defenses":[%s],"seeds":[3,8],"chunk":32}`, strings.Join(defJSON, ","))
+
+	_, res := runSweep(t, ts, spec, in)
+	var wantQueries []string
+	for _, a := range axes {
+		for _, q := range a.query {
+			for _, seed := range []string{"3", "8"} {
+				wantQueries = append(wantQueries, q+"&seed="+seed+"&chunk=32")
+			}
+		}
+	}
+	if len(res.Points) != len(wantQueries) {
+		t.Fatalf("sweep points = %d, want %d (registry has %d defenses)",
+			len(res.Points), len(wantQueries), len(axes))
+	}
+	for i, pt := range res.Points {
+		q := wantQueries[i]
+		status, _, syncBody := post(t, ts, "/v1/assess?"+q, in)
+		if status != http.StatusOK {
+			t.Fatalf("assess %s = %d, body %s", q, status, syncBody)
+		}
+		if pt.Error != "" {
+			t.Errorf("point %d (%s): rejected: %s", i, q, pt.Error)
+			continue
+		}
+		got := append(append([]byte(nil), pt.Report...), '\n')
+		if !bytes.Equal(got, syncBody) {
+			t.Errorf("point %d (%s): sweep report differs from /v1/assess:\nsweep:  %s\nassess: %s",
+				i, q, got, syncBody)
+		}
+	}
+}
+
+// sweepGoldenCases maps sweep specs onto the committed /v1/assess golden
+// files: each spec expands so that point i's report must equal golden[i]
+// byte for byte. This pins the sweep path against the same fixed bytes
+// the synchronous endpoint is held to.
+var sweepGoldenCases = []struct {
+	name    string
+	spec    string
+	goldens []string
+}{
+	{
+		name: "memory_defenses",
+		spec: `{"defenses":[{"scheme":"additive","sigmas":[5]},{"scheme":"correlated","sigmas":[5]},{"scheme":"none"},{"scheme":"dp-laplace","epsilons":[0.5],"sensitivities":[2]},{"scheme":"dp-gaussian","epsilons":[0.8],"deltas":[1e-6]}],"seeds":[3],"chunk":32}`,
+		goldens: []string{
+			"assess_memory_additive", "assess_memory_correlated", "assess_memory_none",
+			"assess_memory_dp_laplace", "assess_memory_dp_gaussian",
+		},
+	},
+	{
+		name:    "stream_defenses",
+		spec:    `{"defenses":[{"scheme":"additive","sigmas":[5]},{"scheme":"correlated","sigmas":[5]}],"seeds":[3],"chunk":32,"stream":true}`,
+		goldens: []string{"assess_stream_additive", "assess_stream_correlated"},
+	},
+	{
+		name:    "attack_selection",
+		spec:    `{"defenses":[{"scheme":"additive","sigmas":[5]}],"seeds":[3],"chunk":32,"attacks":["asr","tseries","bedr"]}`,
+		goldens: []string{"assess_memory_attack_selection"},
+	},
+	{
+		name:    "stream_attack_selection",
+		spec:    `{"defenses":[{"scheme":"additive","sigmas":[5]}],"seeds":[3],"chunk":32,"stream":true,"attacks":["ndr","pcadr"]}`,
+		goldens: []string{"assess_stream_attack_selection"},
+	},
+	{
+		name:    "utility_probes",
+		spec:    `{"defenses":[{"scheme":"additive","sigmas":[5]}],"seeds":[3],"chunk":32,"utility":["kmeans","nbayes","dtree"],"k":3}`,
+		goldens: []string{"assess_memory_utility"},
+	},
+}
+
+// TestSweepResultMatchesGolden runs each golden parameter set as a sweep
+// grid point and holds its report to the committed golden bytes.
+func TestSweepResultMatchesGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobWorkers: 2})
+	in := goldenCSV(t)
+	for _, tc := range sweepGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, res := runSweep(t, ts, tc.spec, in)
+			if len(res.Points) != len(tc.goldens) {
+				t.Fatalf("points = %d, want %d", len(res.Points), len(tc.goldens))
+			}
+			for i, golden := range tc.goldens {
+				if res.Points[i].Error != "" {
+					t.Errorf("point %d (%s): rejected: %s", i, golden, res.Points[i].Error)
+					continue
+				}
+				got := append(append([]byte(nil), res.Points[i].Report...), '\n')
+				checkGolden(t, golden, got)
+			}
+		})
+	}
+}
+
+// TestSweepJobLifecycle covers the async surface of a sweep: grid-point
+// progress accounting, the dedup bookkeeping in the result, and result
+// determinism across resubmission.
+func TestSweepJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobWorkers: 1})
+	in := testCSV(t, 120, 4, 2, 5)
+	// 3 expanded points, 1 duplicate: progress counts deduplicated work.
+	const spec = `{"defenses":[{"scheme":"additive","sigmas":[5,5,3]}],"seeds":[1],"chunk":32,"stream":true}`
+
+	final, res := runSweep(t, ts, spec, in)
+	if final.Progress.PointsTotal != 2 || final.Progress.PointsDone != 2 {
+		t.Errorf("points progress = %d/%d, want 2/2 (deduplicated)",
+			final.Progress.PointsDone, final.Progress.PointsTotal)
+	}
+	if res.GridPoints != 3 || res.CollapsedDuplicates != 1 {
+		t.Errorf("grid=%d collapsed=%d, want 3/1", res.GridPoints, res.CollapsedDuplicates)
+	}
+	if res.PlannedPasses >= res.SequentialPasses {
+		t.Errorf("planned %d passes not below sequential %d", res.PlannedPasses, res.SequentialPasses)
+	}
+	if res.Rows != 120 || res.Cols != 4 || res.DatasetSHA256 != final.DatasetSHA256 {
+		t.Errorf("result header = rows %d cols %d digest %q (job digest %q)",
+			res.Rows, res.Cols, res.DatasetSHA256, final.DatasetSHA256)
+	}
+	// The collapsed point is attributed to its survivor.
+	if got := res.Points[0].GridIndices; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("survivor grid indices = %v, want [0 1]", got)
+	}
+
+	// Resubmitting the identical sweep yields byte-identical results
+	// (the result cache may serve it — bytes must not move either way).
+	js2, _ := runSweep(t, ts, spec, in)
+	s1, b1 := getResult(t, ts, final.ID)
+	s2, b2 := getResult(t, ts, js2.ID)
+	if s1 != http.StatusOK || s2 != http.StatusOK {
+		t.Fatalf("result statuses = %d/%d", s1, s2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("resubmitted sweep result differs:\nfirst:  %s\nsecond: %s", b1, b2)
+	}
+}
+
+// TestHealthzSweepGauges: while a sweep runs, /healthz exposes its
+// outstanding grid points; after it finishes, the gauges return to zero.
+func TestHealthzSweepGauges(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobWorkers: 1})
+	// Big enough at chunk=4 that the run is observable mid-flight.
+	in := testCSV(t, 20000, 6, 2, 11)
+	const spec = `{"defenses":[{"scheme":"additive","sigmas":[5]}],"seeds":[3],"chunk":4,"stream":true}`
+	status, _, out := postSweep(t, ts, "/v1/jobs", spec, in)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d, body %s", status, out)
+	}
+	var js jobStatus
+	if err := json.Unmarshal(out, &js); err != nil {
+		t.Fatal(err)
+	}
+
+	gauges := func() (queued, done int64) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h struct {
+			SweepPointsQueued int64 `json:"sweep_points_queued"`
+			SweepPointsDone   int64 `json:"sweep_points_done"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h.SweepPointsQueued, h.SweepPointsDone
+	}
+
+	observed := false
+	deadline := time.Now().Add(time.Minute)
+	for !observed {
+		if queued, done := gauges(); queued+done > 0 {
+			observed = true
+			break
+		}
+		_, cur := getJob(t, ts, js.ID)
+		if cur.State == "done" || cur.State == "failed" {
+			t.Fatalf("sweep reached %s before the gauges were observed; enlarge the input", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep gauges never became visible")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	final := waitJob(t, ts, js.ID)
+	if final.State != "done" {
+		t.Fatalf("sweep = %s (error %q)", final.State, final.Error)
+	}
+	if queued, done := gauges(); queued != 0 || done != 0 {
+		t.Errorf("gauges after completion = queued %d done %d, want 0/0", queued, done)
+	}
+}
+
+// TestSweepSubmitValidation: malformed submissions fail fast with 400 —
+// before any data pass — and an over-cap grid is refused at the
+// configured -sweep-max-points.
+func TestSweepSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{SweepMaxPoints: 3})
+	in := testCSV(t, 30, 3, 1, 1)
+	const ok = `{"defenses":[{"scheme":"additive","sigmas":[5]}]}`
+
+	// Grid over the cap: 2 sigmas × 2 seeds = 4 > 3.
+	status, _, out := postSweep(t, ts, "/v1/jobs",
+		`{"defenses":[{"scheme":"additive","sigmas":[4,5]}],"seeds":[1,2]}`, in)
+	if status != http.StatusBadRequest || !bytes.Contains(out, []byte("exceeding the limit of 3")) {
+		t.Errorf("over-cap submit = %d (body %s), want 400 naming the cap", status, out)
+	}
+
+	for name, tc := range map[string]struct {
+		spec string
+		data []byte
+	}{
+		"spec not json":   {spec: "sigma=5", data: in},
+		"unknown scheme":  {spec: `{"defenses":[{"scheme":"banana"}]}`, data: in},
+		"incoherent axes": {spec: `{"defenses":[{"scheme":"additive","epsilons":[1]}]}`, data: in},
+		"missing data":    {spec: ok},
+		"missing spec":    {data: in},
+	} {
+		status, _, out := postSweep(t, ts, "/v1/jobs", tc.spec, tc.data)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: submit = %d (body %s), want 400", name, status, out)
+		}
+		if !bytes.Contains(out, []byte(`"error"`)) {
+			t.Errorf("%s: error envelope missing: %s", name, out)
+		}
+	}
+
+	// Query parameters are rejected: every sweep knob lives in the spec.
+	status, _, out = postSweep(t, ts, "/v1/jobs?seed=3", ok, in)
+	if status != http.StatusBadRequest || !bytes.Contains(out, []byte("no query parameters")) {
+		t.Errorf("query-param submit = %d (body %s), want 400", status, out)
+	}
+
+	// Unknown and duplicated parts are client bugs, not data.
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for _, part := range []string{"spec", "spec"} {
+		w, _ := mw.CreateFormField(part)
+		w.Write([]byte(ok))
+	}
+	mw.Close()
+	resp, err := http.Post(ts.URL+"/v1/jobs", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("duplicate spec part = %d, want 400", resp.StatusCode)
+	}
+
+	buf.Reset()
+	mw = multipart.NewWriter(&buf)
+	w, _ := mw.CreateFormField("mystery")
+	w.Write([]byte("?"))
+	mw.Close()
+	resp, err = http.Post(ts.URL+"/v1/jobs", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown part = %d, want 400", resp.StatusCode)
+	}
+
+	// A negative SweepMaxPoints removes the cap.
+	_, tsOpen := newTestServer(t, Config{SweepMaxPoints: -1, JobWorkers: 1})
+	status, _, out = postSweep(t, tsOpen, "/v1/jobs",
+		`{"defenses":[{"scheme":"additive","sigmas":[4,5]}],"seeds":[1,2],"chunk":16}`, in)
+	if status != http.StatusAccepted {
+		t.Errorf("uncapped submit = %d (body %s), want 202", status, out)
+	}
+}
+
+// TestSweepJobRecoveryAfterRestart: a sweep killed mid-run is re-planned
+// from its stored spec bytes on restart and finishes with the result an
+// uninterrupted run produces.
+func TestSweepJobRecoveryAfterRestart(t *testing.T) {
+	jobsDir := t.TempDir()
+	in := testCSV(t, 20000, 6, 2, 11)
+	const spec = `{"defenses":[{"scheme":"additive","sigmas":[5,6]}],"seeds":[3],"chunk":4,"stream":true}`
+
+	_, tsA := newTestServer(t, Config{JobsDir: jobsDir, JobWorkers: 1})
+	status, _, out := postSweep(t, tsA, "/v1/jobs", spec, in)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d, body %s", status, out)
+	}
+	var js jobStatus
+	if err := json.Unmarshal(out, &js); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		_, cur := getJob(t, tsA, js.ID)
+		if cur.State == "running" {
+			break
+		}
+		if cur.State == "done" || time.Now().After(deadline) {
+			t.Fatalf("sweep reached %s before the kill; enlarge the input", cur.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	sA, _ := tsA.Config.Handler.(*Server)
+	tsA.Close()
+	sA.Close()
+
+	_, tsB := newTestServer(t, Config{JobsDir: jobsDir, JobWorkers: 1, CacheEntries: -1})
+	final := waitJob(t, tsB, js.ID)
+	if final.State != "done" {
+		t.Fatalf("recovered sweep = %s (error %q), want done", final.State, final.Error)
+	}
+	rs, recovered := getResult(t, tsB, js.ID)
+	if rs != http.StatusOK {
+		t.Fatalf("recovered result = %d", rs)
+	}
+	fresh, _ := runSweep(t, tsB, spec, in)
+	_, freshBody := getResult(t, tsB, fresh.ID)
+	if !bytes.Equal(recovered, freshBody) {
+		t.Errorf("recovered sweep result differs from a fresh run:\nrecovered: %s\nfresh: %s", recovered, freshBody)
+	}
+}

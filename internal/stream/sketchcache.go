@@ -1,0 +1,62 @@
+// SketchCache: the shared-sketch store behind sweep-native execution.
+// A parameter sweep evaluates many grid points against the same upload,
+// and every streaming attack's pass 1 is the same Moments sketch of the
+// (defense, σ, seed)-determined disguised stream — so a sweep plan keys
+// each required sketch and builds it exactly once, no matter how many
+// grid points consume it. Chan pairwise merging makes the sharing legal:
+// a sketch is a function of the chunk sequence alone, so the memoized
+// sketch is bit-identical to the one each point would have built itself.
+
+package stream
+
+import "sync"
+
+// SketchCache memoizes moment sketches by an opaque caller-chosen key
+// (the sweep planner uses the perturbation identity: scheme, noise
+// parameters, seed and chunk size). Errors are memoized too — a stream
+// that failed to sketch once will fail identically for every consumer,
+// and re-running the pass would only repeat the work to reach the same
+// error.
+//
+// The zero value is not usable; construct with NewSketchCache. Get is
+// safe for concurrent use; concurrent Gets of the same key build once.
+type SketchCache struct {
+	mu      sync.Mutex
+	entries map[string]*sketchEntry
+}
+
+type sketchEntry struct {
+	once sync.Once
+	mo   *Moments
+	err  error
+}
+
+// NewSketchCache returns an empty cache.
+func NewSketchCache() *SketchCache {
+	return &SketchCache{entries: make(map[string]*sketchEntry)}
+}
+
+// Get returns the sketch stored under key, building it with build on the
+// first request. The returned sketch is shared — callers must treat it
+// as read-only (Covariance and Means return copies, so the usual
+// consumers already do).
+func (c *SketchCache) Get(key string, build func() (*Moments, error)) (*Moments, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &sketchEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.mo, e.err = build() })
+	return e.mo, e.err
+}
+
+// Len returns how many distinct sketches (or memoized failures) the
+// cache holds — the "sketches built" figure a plan reports against its
+// grid size.
+func (c *SketchCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,205 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"randpriv/internal/core"
+	"randpriv/internal/experiment"
+	"randpriv/internal/mat"
+	"randpriv/internal/stream"
+)
+
+// Env is the single-point assessment engine: the registry plus a scratch
+// workspace. The server's /v1/assess path and the sweep executor both
+// evaluate through it, so a grid point and a standalone request are the
+// same computation — one code path, two callers.
+type Env struct {
+	Reg *core.Registry
+	WS  *mat.Workspace
+}
+
+// PointRNG builds a point's perturbation RNG. The seed flows through the
+// same SplitMix64 derivation the experiment.Runner uses for its trials,
+// so a point is trial 0 of its own seed: decorrelated from neighbouring
+// seeds, and bit-identical every time the same (seed, params, data) is
+// evaluated — standalone or mid-sweep.
+func PointRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(experiment.TrialSeed(seed, 0)))
+}
+
+// UtilitySeed derives utility probe i's RNG seed. Each probe gets its
+// own trial-derived seed, disjoint from the perturbation's trial 0, so
+// adding or reordering probes never moves the noise bytes.
+func UtilitySeed(seed int64, i int) int64 {
+	return experiment.TrialSeed(seed, 1000+i)
+}
+
+// BuildDefense constructs the point's defense through the registry. A
+// covariance-hungry defense pulls the data sketch through dataCov; a
+// failure of that pull is an I/O (or cancellation) problem and passes
+// through unwrapped, while every other build error is a parameter
+// rejection and comes back as a *ParamError.
+func (e Env) BuildDefense(p Params, dataCov func() (*mat.Dense, error)) (core.BuiltDefense, error) {
+	spec, err := e.Reg.LookupDefense(p.Scheme)
+	if err != nil {
+		return core.BuiltDefense{}, paramErr(err)
+	}
+	var passErr error
+	bd, err := spec.Build(core.DefenseContext{
+		Sigma:       p.Sigma,
+		Epsilon:     p.Epsilon,
+		Delta:       p.Delta,
+		Sensitivity: p.Sensitivity,
+		DataCov: func() (*mat.Dense, error) {
+			cov, err := dataCov()
+			if err != nil {
+				passErr = err
+				return nil, err
+			}
+			return cov, nil
+		},
+	})
+	if err != nil {
+		if passErr != nil && err == passErr {
+			return core.BuiltDefense{}, err
+		}
+		return core.BuiltDefense{}, paramErr(err)
+	}
+	return bd, nil
+}
+
+// EvaluateStreamPoint runs one point's out-of-core battery. When ndr is
+// non-nil the precomputed baseline is reused — the sweep executor's
+// group sharing, legal because the baseline depends only on the two
+// streams, never on the battery. When it is nil the baseline is computed
+// here, exactly as a standalone streamed assessment does. sketch follows
+// the core.SketchFn contract: nil makes every attack run its own pass 1.
+func (e Env) EvaluateStreamPoint(p Params, original, disguised stream.Source, bd core.BuiltDefense, ndr *float64, sketch core.SketchFn) (*core.PrivacyReport, error) {
+	modes := AttackModes(p, bd.Noise)
+	attacks, err := e.Reg.BuildStreamAttacks(modes, core.AttackContext{Noise: bd.Noise, WS: e.WS})
+	if err != nil {
+		return nil, paramErr(err)
+	}
+	baseline := 0.0
+	if ndr != nil {
+		baseline = *ndr
+	} else {
+		baseline, err = core.StreamNDRBaseline(original, disguised)
+		if err != nil {
+			return nil, fmt.Errorf("core: NDR baseline: %w", err)
+		}
+	}
+	desc := fmt.Sprintf("%s (streaming, %d-row chunks)", bd.Scheme.Describe(), p.Chunk)
+	return core.EvaluateStreamWith(original, disguised, desc, baseline, attacks, sketch)
+}
+
+// EvaluateMemoryPoint runs one point's resident battery plus its utility
+// probes on an aligned (original, disguised) pair.
+func (e Env) EvaluateMemoryPoint(ctx context.Context, p Params, origData, disgData *mat.Dense, bd core.BuiltDefense) (*core.PrivacyReport, []core.UtilityResult, error) {
+	modes := AttackModes(p, bd.Noise)
+	attacks, err := e.Reg.BuildAttacks(modes, core.AttackContext{Noise: bd.Noise, WS: e.WS})
+	if err != nil {
+		return nil, nil, paramErr(err)
+	}
+	rep, err := core.Evaluate(origData, disgData, bd.Scheme.Describe(), attacks)
+	if err != nil {
+		return nil, nil, err
+	}
+	utilities, err := e.Reg.RunUtilities(ctx, p.Utility, origData, disgData, p.K, func(i int) int64 {
+		return UtilitySeed(p.Seed, i)
+	})
+	if err != nil {
+		return nil, nil, paramErr(err)
+	}
+	return rep, utilities, nil
+}
+
+// AttackJSON is one attack's entry in an assessment report.
+type AttackJSON struct {
+	Attack     string    `json:"attack"`
+	RMSE       float64   `json:"rmse,omitempty"`
+	ColumnRMSE []float64 `json:"column_rmse,omitempty"`
+	GainVsNDR  float64   `json:"gain_vs_ndr,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// UtilityJSON is one utility probe's entry in an assessment report.
+// Metric keys are marshaled in sorted order by encoding/json, so the
+// section is byte-stable for a given seed.
+type UtilityJSON struct {
+	Probe   string             `json:"probe"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// ReportJSON is the canonical assessment report body — the /v1/assess
+// response and the payload behind every sweep grid point. The utility
+// section is omitted entirely when no probes were requested, which keeps
+// every pre-registry response byte-identical to its golden.
+type ReportJSON struct {
+	Scheme        string        `json:"scheme"`
+	Mode          string        `json:"mode"` // "memory" or "stream"
+	Rows          int64         `json:"rows"`
+	Cols          int           `json:"cols"`
+	Seed          int64         `json:"seed"`
+	DatasetSHA256 string        `json:"dataset_sha256"`
+	NDRBaseline   float64       `json:"ndr_baseline_rmse"`
+	MostDangerous string        `json:"most_dangerous,omitempty"`
+	Results       []AttackJSON  `json:"results"`
+	Utility       []UtilityJSON `json:"utility,omitempty"`
+}
+
+// BuildReport assembles the canonical report structure for one point.
+func BuildReport(rep *core.PrivacyReport, utilities []core.UtilityResult, p Params, rows int64, cols int, digest string) ReportJSON {
+	mode := "memory"
+	if p.Stream {
+		mode = "stream"
+	}
+	out := ReportJSON{
+		Scheme:        rep.Scheme,
+		Mode:          mode,
+		Rows:          rows,
+		Cols:          cols,
+		Seed:          p.Seed,
+		DatasetSHA256: digest,
+		NDRBaseline:   rep.NDRBaseline,
+	}
+	if md := rep.MostDangerous(); md != nil {
+		out.MostDangerous = md.Attack
+	}
+	for _, res := range rep.Results {
+		aj := AttackJSON{Attack: res.Attack}
+		if res.Err != nil {
+			aj.Error = res.Err.Error()
+		} else {
+			aj.RMSE = res.RMSE
+			aj.ColumnRMSE = res.ColumnRMSE
+			aj.GainVsNDR = res.GainVsNDR
+		}
+		out.Results = append(out.Results, aj)
+	}
+	for _, u := range utilities {
+		uj := UtilityJSON{Probe: u.Probe, Metrics: u.Metrics}
+		if u.Err != nil {
+			uj.Error = u.Err.Error()
+		}
+		out.Utility = append(out.Utility, uj)
+	}
+	return out
+}
+
+// MarshalReport renders a point's report to its canonical wire form: the
+// JSON body plus the trailing newline /v1/assess has always written. The
+// sweep executor stores exactly these bytes in the shared result cache,
+// so a sweep point and a standalone request populate (and are served by)
+// the same entries.
+func MarshalReport(rep *core.PrivacyReport, utilities []core.UtilityResult, p Params, rows int64, cols int, digest string) ([]byte, error) {
+	body, err := json.Marshal(BuildReport(rep, utilities, p, rows, cols, digest))
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}

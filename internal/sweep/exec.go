@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"randpriv/internal/core"
+	"randpriv/internal/mat"
+	"randpriv/internal/recon"
+	"randpriv/internal/stream"
+)
+
+// ResultCache is the per-point result store the executor shares with the
+// synchronous assess path (the server's LRU satisfies it). Keys are
+// CacheKey(point, digest), values the canonical marshaled report — so a
+// sweep warms the cache for later standalone requests and vice versa.
+type ResultCache interface {
+	Get(key string) ([]byte, bool)
+	Add(key string, body []byte)
+}
+
+// ExecConfig wires an execution: the engine, the dataset digest reports
+// embed, and the optional result cache and progress callback.
+type ExecConfig struct {
+	Env    Env
+	Digest string
+	Cache  ResultCache
+	// Progress, when non-nil, receives (done, total) over the plan's
+	// deduplicated points as each one resolves (computed, cached or
+	// rejected).
+	Progress func(done, total int64)
+}
+
+// PointResult is one grid point's outcome: the canonical assessment
+// report (byte-identical to the standalone /v1/assess body for the same
+// point), or the parameter rejection that standalone request would have
+// gotten as a 400.
+type PointResult struct {
+	Params      Params          `json:"params"`
+	GridIndices []int           `json:"grid_indices"`
+	Report      json.RawMessage `json:"report,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	// Cached marks a point served from the result cache. Excluded from
+	// the body: cache state must not change the response bytes.
+	Cached bool `json:"-"`
+}
+
+// Result is the full-grid report a sweep returns. Every field in the
+// JSON body is a function of (spec, data, registry) alone — execution
+// artifacts that vary with cache warmth stay out of it, so equal sweeps
+// produce equal bytes.
+type Result struct {
+	Rows                int64         `json:"rows"`
+	Cols                int           `json:"cols"`
+	DatasetSHA256       string        `json:"dataset_sha256"`
+	GridPoints          int           `json:"grid_points"`
+	CollapsedDuplicates int           `json:"collapsed_duplicates"`
+	PlannedPasses       int64         `json:"planned_passes"`
+	SequentialPasses    int64         `json:"sequential_passes"`
+	Points              []PointResult `json:"points"`
+
+	// MeasuredPasses counts the data passes actually made (every source
+	// reset); with a cold cache it must equal PlannedPasses. Cache hits
+	// skip passes, so it stays out of the body.
+	MeasuredPasses int64 `json:"-"`
+	// SketchesBuilt is how many distinct shared sketches the run built.
+	SketchesBuilt int `json:"-"`
+}
+
+// countingSource counts Reset calls into the run's measured-pass total.
+// Every logical pass over a source resets it exactly once (validation,
+// sketching, perturbation, projection, diff pulls), so resets of
+// executor-created sources are the pass count.
+type countingSource struct {
+	src    stream.Source
+	resets *int64
+}
+
+func (c countingSource) Next() (*mat.Dense, error) { return c.src.Next() }
+
+func (c countingSource) Reset() error {
+	*c.resets++
+	return c.src.Reset()
+}
+
+// validateCollect is the plan's single pass over the upload: validate
+// every chunk (malformed data fails before any compute) while collecting
+// the rows resident, so no later pass ever re-reads the CSV.
+func validateCollect(src stream.Source, cols int) (*mat.Dense, int64, error) {
+	if err := src.Reset(); err != nil {
+		return nil, 0, err
+	}
+	var col stream.Collector
+	var rows int64
+	for {
+		chunk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, paramErr(err)
+		}
+		if err := stream.ValidateChunk(chunk, rows); err != nil {
+			return nil, 0, paramErr(err)
+		}
+		if err := col.Append(chunk); err != nil {
+			return nil, 0, err
+		}
+		rows += int64(chunk.Rows())
+	}
+	if rows == 0 || cols == 0 {
+		return nil, 0, paramErr(fmt.Errorf("sweep: empty data set (%d rows, %d columns)", rows, cols))
+	}
+	return col.Data, rows, nil
+}
+
+// Execute runs a compiled plan over one upload. The upload is scanned
+// once; everything after that runs off the resident copy through
+// MatrixSource — which yields the same chunk partition as the CSV
+// source, so every sketch, baseline and report stays bit-identical to
+// the out-of-core per-request path. Points whose parameters are rejected
+// record the rejection and the sweep continues; data-plane failures
+// (cancellation, I/O) abort the whole run, exactly as they would abort a
+// standalone request.
+func Execute(ctx context.Context, cfg ExecConfig, plan *Plan, upload stream.Source, names []string) (*Result, error) {
+	res := &Result{
+		Cols:                len(names),
+		DatasetSHA256:       cfg.Digest,
+		GridPoints:          len(plan.Points) + plan.Collapsed,
+		CollapsedDuplicates: plan.Collapsed,
+		PlannedPasses:       plan.PlannedPasses,
+		SequentialPasses:    plan.SequentialPasses,
+		Points:              make([]PointResult, len(plan.Points)),
+	}
+	for i, pt := range plan.Points {
+		res.Points[i] = PointResult{Params: pt.Params, GridIndices: pt.GridIndices}
+	}
+	wrap := func(s stream.Source) stream.Source {
+		return countingSource{src: stream.ContextSource{Ctx: ctx, Src: s}, resets: &res.MeasuredPasses}
+	}
+	total := int64(len(plan.Points))
+	var done int64
+	note := func() {
+		if cfg.Progress != nil {
+			cfg.Progress(done, total)
+		}
+	}
+	note()
+
+	origData, rows, err := validateCollect(wrap(upload), len(names))
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	chunk := plan.Points[0].Params.Chunk
+	origSrc := func() stream.Source { return wrap(stream.NewMatrixSource(origData, chunk)) }
+
+	sketches := stream.NewSketchCache()
+	defer func() { res.SketchesBuilt = sketches.Len() }()
+	origCov := func() (*mat.Dense, error) {
+		mo, err := sketches.Get("orig", func() (*stream.Moments, error) {
+			return stream.Accumulate(origSrc(), 1)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return mo.Covariance(), nil
+	}
+
+	finish := func(i int, body []byte, cached bool) {
+		res.Points[i].Report = json.RawMessage(body[:len(body)-1]) // canonical body minus trailing newline
+		res.Points[i].Cached = cached
+		done++
+		note()
+	}
+	reject := func(i int, err error) {
+		res.Points[i].Error = err.Error()
+		done++
+		note()
+	}
+
+	for _, g := range plan.Groups {
+		// Points already resolved by the shared result cache need no
+		// compute; if the whole group is warm, its perturbation pass is
+		// skipped entirely.
+		var pending []int
+		for _, pi := range g.Points {
+			p := plan.Points[pi].Params
+			if cfg.Cache != nil {
+				if body, ok := cfg.Cache.Get(CacheKey(p, cfg.Digest)); ok {
+					finish(pi, body, true)
+					continue
+				}
+			}
+			pending = append(pending, pi)
+		}
+		if len(pending) == 0 {
+			continue
+		}
+
+		groupParams := plan.Points[pending[0]].Params
+		bd, err := cfg.Env.BuildDefense(groupParams, origCov)
+		if err != nil {
+			var pe *ParamError
+			if errors.As(err, &pe) {
+				// A calibration the registry rejects fails every point in
+				// the group the way a standalone request would 400.
+				for _, pi := range pending {
+					reject(pi, err)
+				}
+				continue
+			}
+			return nil, err
+		}
+
+		var disg stream.Collector
+		if err := bd.Scheme.PerturbStream(origSrc(), &disg, PointRNG(groupParams.Seed)); err != nil {
+			return nil, err
+		}
+		disgSrc := func() stream.Source { return wrap(stream.NewMatrixSource(disg.Data, chunk)) }
+
+		var ndr float64
+		var sketch core.SketchFn
+		if plan.Stream {
+			ndr, err = core.StreamNDRBaseline(origSrc(), disgSrc())
+			if err != nil {
+				return nil, err
+			}
+			key := g.Key
+			sketch = func() (*stream.Moments, error) {
+				return sketches.Get(key, func() (*stream.Moments, error) {
+					return recon.SketchSource(disgSrc())
+				})
+			}
+		}
+
+		for _, pi := range pending {
+			p := plan.Points[pi].Params
+			var rep *core.PrivacyReport
+			var utilities []core.UtilityResult
+			if plan.Stream {
+				rep, err = cfg.Env.EvaluateStreamPoint(p, origSrc(), disgSrc(), bd, &ndr, sketch)
+			} else {
+				rep, utilities, err = cfg.Env.EvaluateMemoryPoint(ctx, p, origData, disg.Data, bd)
+			}
+			if err != nil {
+				var pe *ParamError
+				if errors.As(err, &pe) {
+					reject(pi, err)
+					continue
+				}
+				return nil, err
+			}
+			// A context that died mid-battery is absorbed by the
+			// evaluators into per-attack error fields; recording such a
+			// report would break byte-equality with the standalone path,
+			// which fails the whole request instead.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			body, err := MarshalReport(rep, utilities, p, rows, len(names), cfg.Digest)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Cache != nil {
+				cfg.Cache.Add(CacheKey(p, cfg.Digest), body)
+			}
+			finish(pi, body, false)
+		}
+	}
+	res.SketchesBuilt = sketches.Len()
+	return res, nil
+}
+
+// MarshalResult renders the full-grid report to its wire form (JSON body
+// plus trailing newline, like every other randprivd response body).
+func MarshalResult(res *Result) ([]byte, error) {
+	body, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}

@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"testing"
+
+	"randpriv/internal/experiment"
+)
+
+func TestSpectrumFigureThroughEngine(t *testing.T) {
+	cfg := experiment.Config{N: 150, Sigma2: 25, Seed: 9, SkipUDR: true}
+	sw, err := experiment.Figure1Substrates(cfg, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := testEnv().SpectrumFigure(cfg, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "figure1" || len(fig.Points) != 2 {
+		t.Fatalf("figure = %q with %d points, want figure1 with 2", fig.ID, len(fig.Points))
+	}
+	wantSeries := []string{"BE-DR", "PCA-DR", "SF"}
+	if len(fig.Series) != len(wantSeries) {
+		t.Fatalf("series = %v, want %v", fig.Series, wantSeries)
+	}
+	for i, s := range wantSeries {
+		if fig.Series[i] != s {
+			t.Fatalf("series = %v, want %v", fig.Series, wantSeries)
+		}
+	}
+	for _, pt := range fig.Points {
+		for _, s := range fig.Series {
+			if !(pt.RMSE[s] > 0) {
+				t.Errorf("x=%g: %s RMSE = %v, want positive", pt.X, s, pt.RMSE[s])
+			}
+		}
+	}
+	// The bridge is deterministic: same config, same figure.
+	again, err := testEnv().SpectrumFigure(cfg, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fig.Points {
+		for _, s := range fig.Series {
+			if fig.Points[i].RMSE[s] != again.Points[i].RMSE[s] {
+				t.Errorf("rerun moved %s at x=%g: %v vs %v",
+					s, fig.Points[i].X, fig.Points[i].RMSE[s], again.Points[i].RMSE[s])
+			}
+		}
+	}
+}
+
+func TestFigure4ThroughEngine(t *testing.T) {
+	cfg := experiment.Config{N: 200, Sigma2: 25, Seed: 5}
+	fig, err := testEnv().Figure4(cfg, 12, 6, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(fig.Points))
+	}
+	if fig.IndependentIndex != 1 {
+		t.Errorf("independent index = %d, want 1 (t=1)", fig.IndependentIndex)
+	}
+	// The spectrum path's defining shape: dissimilarity grows with t,
+	// and the Σr-aware BE-DR reconstructs better (lower RMSE, weaker
+	// privacy) as the noise shape departs from the data's.
+	if !(fig.Points[0].Dissimilarity < fig.Points[1].Dissimilarity &&
+		fig.Points[1].Dissimilarity < fig.Points[2].Dissimilarity) {
+		t.Errorf("dissimilarity not increasing in t: %v, %v, %v",
+			fig.Points[0].Dissimilarity, fig.Points[1].Dissimilarity, fig.Points[2].Dissimilarity)
+	}
+	if !(fig.Points[0].RMSE["BE-DR"] > fig.Points[2].RMSE["BE-DR"]) {
+		t.Errorf("BE-DR RMSE did not drop from t=0 (%v) to t=2 (%v)",
+			fig.Points[0].RMSE["BE-DR"], fig.Points[2].RMSE["BE-DR"])
+	}
+	for _, pt := range fig.Points {
+		for _, s := range fig.Series {
+			if !(pt.RMSE[s] > 0) {
+				t.Errorf("t=%g: %s RMSE = %v, want positive", pt.T, s, pt.RMSE[s])
+			}
+		}
+	}
+}

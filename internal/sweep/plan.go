@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"fmt"
+
+	"randpriv/internal/core"
+)
+
+// Point is one deduplicated grid point and the expanded-grid positions
+// that collapsed into it.
+type Point struct {
+	Params      Params
+	GridIndices []int
+}
+
+// Group is the shared-scan unit: every point whose perturbation identity
+// (defense, calibration, seed, chunk) matches shares one disguised
+// materialization — one perturbation pass, one moment sketch, one NDR
+// baseline — no matter how its battery, probes or k differ.
+type Group struct {
+	Key    string
+	Points []int // indices into Plan.Points, in grid order
+	// NeedsDisgSketch is set when any point's battery contains a
+	// SketchShared attack: the plan builds the disguised sketch once and
+	// every such attack skips its own pass 1.
+	NeedsDisgSketch bool
+}
+
+// Plan is a compiled sweep: the deduplicated grid, its shared-scan
+// groups, and the pass accounting the executor is held to.
+type Plan struct {
+	// Stream records the evaluation mode (spec-level, so groups are
+	// homogeneous).
+	Stream bool
+	Points []Point
+	Groups []Group
+	// Collapsed is how many expanded grid points were duplicates of an
+	// earlier one.
+	Collapsed int
+	// NeedsOrigSketch is set when any point's defense needs the original
+	// data's covariance; the plan sketches the original once for all of
+	// them.
+	NeedsOrigSketch bool
+	// PlannedPasses is the exact number of data passes the executor will
+	// make with a cold result cache — TestSweepPlanScanCount asserts the
+	// measured count equals it, so the shared-scan promise is enforced,
+	// not estimated.
+	PlannedPasses int64
+	// SequentialPasses is what the same expanded grid costs as standalone
+	// assessments (Σ PassesFor, before deduplication): the baseline the
+	// amortization win is quoted against.
+	SequentialPasses int64
+}
+
+// Compile turns an expanded grid into a shared-scan plan. The grid must
+// already be validated (Expand's output); an unknown mode here is a
+// caller bug, not client input.
+func Compile(reg *core.Registry, grid []Params) (*Plan, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	plan := &Plan{Stream: grid[0].Stream}
+	byPoint := make(map[string]int)
+	byGroup := make(map[string]int)
+	for i, p := range grid {
+		plan.SequentialPasses += PassesFor(reg, p)
+		pk := pointKey(p)
+		if at, dup := byPoint[pk]; dup {
+			plan.Points[at].GridIndices = append(plan.Points[at].GridIndices, i)
+			plan.Collapsed++
+			continue
+		}
+		byPoint[pk] = len(plan.Points)
+		plan.Points = append(plan.Points, Point{Params: p, GridIndices: []int{i}})
+
+		gk := PerturbKey(p)
+		gi, ok := byGroup[gk]
+		if !ok {
+			gi = len(plan.Groups)
+			byGroup[gk] = gi
+			plan.Groups = append(plan.Groups, Group{Key: gk})
+		}
+		plan.Groups[gi].Points = append(plan.Groups[gi].Points, byPoint[pk])
+	}
+
+	// Pass accounting: one combined validate+collect pass over the
+	// upload, an original sketch if any defense is covariance-hungry,
+	// then per group one perturbation pass plus (stream mode) the shared
+	// NDR baseline, the shared disguised sketch when a battery can use
+	// it, and each point's battery at its sketch-discounted cost. Memory
+	// points evaluate on the resident copies — zero passes beyond their
+	// group's perturbation.
+	plan.PlannedPasses = 1
+	for _, pt := range plan.Points {
+		spec, err := reg.LookupDefense(pt.Params.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Caps.NeedsCov {
+			plan.NeedsOrigSketch = true
+		}
+	}
+	if plan.NeedsOrigSketch {
+		plan.PlannedPasses++
+	}
+	for gi := range plan.Groups {
+		g := &plan.Groups[gi]
+		plan.PlannedPasses++ // perturbation
+		if !plan.Stream {
+			continue
+		}
+		plan.PlannedPasses += 2 // shared NDR baseline: disguised read + original diff pull
+		var battery int64
+		for _, pi := range g.Points {
+			p := plan.Points[pi].Params
+			for _, mode := range AttackModes(p, core.NoiseModel{}) {
+				spec, err := reg.LookupAttack(mode)
+				if err != nil {
+					return nil, err
+				}
+				battery += spec.StreamPasses
+				if spec.SketchShared {
+					g.NeedsDisgSketch = true
+					battery-- // pass 1 comes from the shared sketch
+				}
+			}
+		}
+		if g.NeedsDisgSketch {
+			plan.PlannedPasses++ // the one shared sketch pass
+		}
+		plan.PlannedPasses += battery
+	}
+	return plan, nil
+}

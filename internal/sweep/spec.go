@@ -1,0 +1,311 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"randpriv/internal/core"
+)
+
+// Protocol-level defaults every entry point shares (the server's query
+// decoder, the CLI and the sweep expander): a grid axis left out of a
+// spec gets exactly the value a standalone request would default to, so
+// the expanded points stay interchangeable with per-request calls.
+const (
+	DefaultSigma       = 5
+	DefaultSeed        = 1
+	DefaultEpsilon     = 1
+	DefaultDelta       = 1e-5
+	DefaultSensitivity = 1
+)
+
+// Request-size bounds shared with the HTTP parameter validation.
+const (
+	// MaxChunkRows caps the chunk size so a hostile spec cannot make the
+	// service allocate an arbitrarily large chunk buffer.
+	MaxChunkRows = 1 << 20
+	// MaxClusterK caps the clustering probes' k: they are O(n·k) per
+	// iteration and a request must not pick a k the data cannot support.
+	MaxClusterK = 1 << 10
+)
+
+// DefenseAxis is one defense family's slice of the grid: a scheme plus
+// the parameter values to sweep for it. Only the axes a scheme actually
+// consumes may be given — a σ grid under a DP scheme (or an ε grid under
+// a noise scheme) would sweep a knob with no effect, so it is rejected,
+// mirroring the per-request coherence rules.
+type DefenseAxis struct {
+	Scheme string `json:"scheme"`
+	// Sigmas sweeps the noise standard deviation (non-DP schemes).
+	Sigmas []float64 `json:"sigmas,omitempty"`
+	// Epsilons, Deltas, Sensitivities sweep the DP calibration (dp-*
+	// schemes; deltas only dp-gaussian).
+	Epsilons      []float64 `json:"epsilons,omitempty"`
+	Deltas        []float64 `json:"deltas,omitempty"`
+	Sensitivities []float64 `json:"sensitivities,omitempty"`
+}
+
+// Spec is the declarative sweep request: defense axes crossed with
+// seeds, under one evaluation configuration (mode, chunk partition,
+// battery, probes). The chunk size is deliberately a single value, not
+// an axis — it selects the partition every shared sketch is built over,
+// so one spec maps to one scan plan.
+type Spec struct {
+	Defenses []DefenseAxis `json:"defenses"`
+	Seeds    []int64       `json:"seeds,omitempty"`
+	Stream   bool          `json:"stream,omitempty"`
+	Chunk    int           `json:"chunk,omitempty"`
+	Attacks  []string      `json:"attacks,omitempty"`
+	Utility  []string      `json:"utility,omitempty"`
+	K        int           `json:"k,omitempty"`
+}
+
+// ParseSpec decodes a sweep spec, rejecting unknown fields (a typoed
+// axis silently expanding to the default grid would sweep the wrong
+// thing) and trailing garbage. Failures are *ParamError: the spec is
+// client input.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, paramErr(fmt.Errorf("sweep: parse spec: %v", err))
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Spec{}, paramErr(fmt.Errorf("sweep: trailing data after spec"))
+	}
+	return s, nil
+}
+
+// checkModes validates an explicit operator list the way the query
+// parser does: no empty entries, no duplicates (a repeated mode would
+// run — and be billed and cached — twice), every mode known.
+func checkModes(kind string, modes []string, lookup func(string) error) error {
+	seen := make(map[string]bool, len(modes))
+	for _, mode := range modes {
+		if mode == "" {
+			return fmt.Errorf("sweep: empty %s mode", kind)
+		}
+		if seen[mode] {
+			return fmt.Errorf("sweep: %s mode %q listed twice", kind, mode)
+		}
+		seen[mode] = true
+		if err := lookup(mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkPositiveFinite(kind string, vals []float64) error {
+	for _, v := range vals {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("sweep: %s must be a positive finite number, got %v", kind, v)
+		}
+	}
+	return nil
+}
+
+// validate enforces the spec-level analogue of the per-request coherence
+// rules; every violation is a client error ahead of any data work.
+func (s Spec) validate(reg *core.Registry) error {
+	if len(s.Defenses) == 0 {
+		return fmt.Errorf("sweep: spec names no defenses")
+	}
+	for _, d := range s.Defenses {
+		if _, err := reg.LookupDefense(d.Scheme); err != nil {
+			return err
+		}
+		isDP := strings.HasPrefix(d.Scheme, "dp-")
+		if !isDP {
+			switch {
+			case len(d.Epsilons) > 0:
+				return fmt.Errorf("sweep: \"epsilons\" applies only to the dp-* schemes, not %q", d.Scheme)
+			case len(d.Deltas) > 0:
+				return fmt.Errorf("sweep: \"deltas\" applies only to scheme=dp-gaussian, not %q", d.Scheme)
+			case len(d.Sensitivities) > 0:
+				return fmt.Errorf("sweep: \"sensitivities\" applies only to the dp-* schemes, not %q", d.Scheme)
+			}
+		}
+		if len(d.Deltas) > 0 && d.Scheme != "dp-gaussian" {
+			return fmt.Errorf("sweep: \"deltas\" applies only to scheme=dp-gaussian, not %q", d.Scheme)
+		}
+		if isDP && len(d.Sigmas) > 0 {
+			return fmt.Errorf("sweep: \"sigmas\" has no effect under %q (the noise scale is calibrated from epsilon)", d.Scheme)
+		}
+		if err := checkPositiveFinite("sigma", d.Sigmas); err != nil {
+			return err
+		}
+		if err := checkPositiveFinite("epsilon", d.Epsilons); err != nil {
+			return err
+		}
+		for _, v := range d.Deltas {
+			if !(v > 0) || v >= 1 {
+				return fmt.Errorf("sweep: delta must be in (0, 1), got %v", v)
+			}
+		}
+		if err := checkPositiveFinite("sensitivity", d.Sensitivities); err != nil {
+			return err
+		}
+	}
+	if s.Chunk < 0 || s.Chunk > MaxChunkRows {
+		return fmt.Errorf("sweep: chunk %d, want 1..%d", s.Chunk, MaxChunkRows)
+	}
+	if err := checkModes("attack", s.Attacks, func(mode string) error {
+		_, err := reg.LookupAttack(mode)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := checkModes("utility", s.Utility, func(mode string) error {
+		_, err := reg.LookupUtility(mode)
+		return err
+	}); err != nil {
+		return err
+	}
+	if len(s.Utility) > 0 {
+		for _, d := range s.Defenses {
+			if spec, err := reg.LookupDefense(d.Scheme); err == nil && spec.Noiseless {
+				return fmt.Errorf("sweep: utility probes require a defense (scheme=%s leaves nothing to measure)", d.Scheme)
+			}
+		}
+		if s.Stream {
+			return fmt.Errorf("sweep: utility probes run in memory mode only (drop stream)")
+		}
+	}
+	if s.K != 0 {
+		if s.K < 1 || s.K > MaxClusterK {
+			return fmt.Errorf("sweep: k %d, want 1..%d", s.K, MaxClusterK)
+		}
+		if !containsMode(s.Utility, "kmeans") {
+			return fmt.Errorf("sweep: \"k\" requires the kmeans utility probe")
+		}
+	}
+	if s.Stream {
+		for _, mode := range s.Attacks {
+			spec, err := reg.LookupAttack(mode)
+			if err != nil {
+				return err
+			}
+			if !spec.Caps.Streaming {
+				return fmt.Errorf("sweep: attack %q needs resident data and cannot join a streamed battery (streamable: %s)",
+					mode, strings.Join(reg.StreamingAttackModes(), ", "))
+			}
+		}
+	}
+	return nil
+}
+
+func containsMode(modes []string, want string) bool {
+	for _, m := range modes {
+		if m == want {
+			return true
+		}
+	}
+	return false
+}
+
+// axisValues returns the calibration grid one defense axis expands to:
+// the applicable parameter lists, defaulted where omitted, crossed in
+// declaration order (σ for noise schemes; ε × δ × sensitivity for DP).
+// Non-applicable fields sit at the protocol defaults so the point's
+// cache key — and report — match a standalone request that never set
+// them.
+func (d DefenseAxis) axisValues() []Params {
+	orDefault := func(vals []float64, def float64) []float64 {
+		if len(vals) > 0 {
+			return vals
+		}
+		return []float64{def}
+	}
+	var out []Params
+	if strings.HasPrefix(d.Scheme, "dp-") {
+		for _, eps := range orDefault(d.Epsilons, DefaultEpsilon) {
+			for _, delta := range orDefault(d.Deltas, DefaultDelta) {
+				for _, sens := range orDefault(d.Sensitivities, DefaultSensitivity) {
+					out = append(out, Params{
+						Scheme: d.Scheme, Sigma: DefaultSigma,
+						Epsilon: eps, Delta: delta, Sensitivity: sens,
+					})
+				}
+			}
+		}
+		return out
+	}
+	for _, sigma := range orDefault(d.Sigmas, DefaultSigma) {
+		out = append(out, Params{
+			Scheme: d.Scheme, Sigma: sigma,
+			Epsilon: DefaultEpsilon, Delta: DefaultDelta, Sensitivity: DefaultSensitivity,
+		})
+	}
+	return out
+}
+
+// gridSize counts the expanded grid without materializing it, so an
+// oversized spec is rejected in O(axes).
+func (s Spec) gridSize() int {
+	seeds := len(s.Seeds)
+	if seeds == 0 {
+		seeds = 1
+	}
+	total := 0
+	for _, d := range s.Defenses {
+		n := func(vals []float64) int {
+			if len(vals) == 0 {
+				return 1
+			}
+			return len(vals)
+		}
+		if strings.HasPrefix(d.Scheme, "dp-") {
+			total += n(d.Epsilons) * n(d.Deltas) * n(d.Sensitivities) * seeds
+		} else {
+			total += n(d.Sigmas) * seeds
+		}
+	}
+	return total
+}
+
+// Expand validates the spec and materializes the grid in declaration
+// order: defense axes outermost, their calibration grids next, seeds
+// innermost. defaultChunk fills an omitted chunk size; maxPoints > 0
+// bounds the expanded grid (the service's -sweep-max-points guard — a
+// spec is a request for grid × battery work, so its size is checked
+// before any of it starts). All failures are *ParamError.
+func (s Spec) Expand(reg *core.Registry, defaultChunk, maxPoints int) ([]Params, error) {
+	if err := s.validate(reg); err != nil {
+		return nil, paramErr(err)
+	}
+	if maxPoints > 0 {
+		if n := s.gridSize(); n > maxPoints {
+			return nil, paramErr(fmt.Errorf("sweep: grid expands to %d points, exceeding the limit of %d", n, maxPoints))
+		}
+	}
+	chunk := s.Chunk
+	if chunk == 0 {
+		chunk = defaultChunk
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{DefaultSeed}
+	}
+	var grid []Params
+	for _, d := range s.Defenses {
+		for _, base := range d.axisValues() {
+			for _, seed := range seeds {
+				p := base
+				p.Seed = seed
+				p.Chunk = chunk
+				p.Stream = s.Stream
+				p.Attacks = append([]string(nil), s.Attacks...)
+				p.Utility = append([]string(nil), s.Utility...)
+				p.K = s.K
+				grid = append(grid, p)
+			}
+		}
+	}
+	return grid, nil
+}
