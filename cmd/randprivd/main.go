@@ -9,6 +9,17 @@
 //	          [-timeout 60s] [-cache 128] [-chunk 4096] [-spool DIR]
 //	          [-jobs-dir DIR] [-job-workers N] [-job-queue 64] [-job-ttl 24h]
 //	          [-sweep-max-points 4096]
+//	          [-cluster-dir DIR] [-node-id ID] [-role coordinator|worker]
+//	          [-cluster-workers N]
+//
+// With -cluster-dir, several randprivd processes sharing one state
+// directory form a cluster. The default -role coordinator serves the
+// full HTTP API and delegates plain assessment jobs (and the sketch
+// pass of large streamed assessments) to the shared task queue;
+// -role worker serves only /healthz and spends its capacity claiming
+// and executing tasks. Workers that crash mid-task lose their lease
+// after the heartbeat TTL and the work re-runs elsewhere, to
+// byte-identical results.
 //
 // Endpoints (see internal/server):
 //
@@ -71,11 +82,24 @@ func run(args []string) error {
 	jobQueue := fs.Int("job-queue", 64, "max jobs queued beyond the running ones before POST /v1/jobs returns 429")
 	jobTTL := fs.Duration("job-ttl", 24*time.Hour, "retention of finished jobs and their results (negative keeps forever)")
 	sweepMax := fs.Int("sweep-max-points", 4096, "max grid points one sweep spec may expand to (negative removes the cap)")
+	clusterDir := fs.String("cluster-dir", "", "shared cluster state directory; empty runs single-process")
+	nodeID := fs.String("node-id", "", "this process's cluster identity (default: hostname-pid)")
+	role := fs.String("role", "coordinator", "cluster role: coordinator serves the API, worker only executes tasks")
+	clusterWorkers := fs.Int("cluster-workers", 0, "claim loops this node runs (0 = 1; coordinator: negative = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *role != "coordinator" && *role != "worker" {
+		return fmt.Errorf("unknown -role %q (want coordinator or worker)", *role)
+	}
+	if *role == "worker" {
+		if *clusterDir == "" {
+			return fmt.Errorf("-role worker requires -cluster-dir")
+		}
+		return runWorker(*addr, *clusterDir, *nodeID, *clusterWorkers, *chunk, *spool, *timeout, logger)
+	}
 	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -89,6 +113,9 @@ func run(args []string) error {
 		JobQueueDepth:  *jobQueue,
 		JobTTL:         *jobTTL,
 		SweepMaxPoints: *sweepMax,
+		ClusterDir:     *clusterDir,
+		NodeID:         *nodeID,
+		ClusterWorkers: *clusterWorkers,
 		Log:            logger,
 	})
 	if err != nil {

@@ -1,0 +1,291 @@
+// Shard-sketching: the distributed first pass of a streamed assessment.
+//
+// Byte-identity is the whole design. Chan's pairwise moment merge is
+// exact but not bit-associative, so a worker must NOT fold its shard
+// into one sketch — it ships one sketch per chunk, and the coordinator
+// merges the per-chunk sketches in global chunk order into a fresh
+// accumulator. That sequence of operations is, term for term, the same
+// float arithmetic the serial accumulate performs (UpdateChunk computes
+// a chunk's batch moments and merges them; merging a fresh one-chunk
+// sketch into the accumulator merges those very values), so the merged
+// sketch is bit-identical to stream.Accumulate(src, 1) over the same
+// chunk partition — the property TestMergePartitionBitIdentical in the
+// stream package pins directly.
+//
+// Shards are cut from the CSV at chunk-multiple row boundaries by raw
+// byte splitting (header bytes + a contiguous data byte range), so a
+// worker parses exactly the bytes the serial path parses. Raw splitting
+// is only valid when no field is quoted (a quoted field could embed a
+// newline); any '"' byte makes SplitCSVShards refuse, and callers fall
+// back to the local serial sketch — legal precisely because both paths
+// produce identical bytes.
+
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"randpriv/internal/dataset"
+	"randpriv/internal/stream"
+)
+
+// SplitCSVShards cuts the headered CSV at path into at most shards
+// pieces at chunk-multiple row boundaries, stores each piece in the CAS
+// (header replicated verbatim), and returns the shard digests in file
+// order. Fewer shards come back when the data has fewer chunks than
+// requested. An empty data section or any quoted field is an error —
+// callers fall back to the local serial sketch.
+func (s *Store) SplitCSVShards(path string, chunk, shards int) ([]string, error) {
+	if chunk < 1 {
+		return nil, fmt.Errorf("cluster: chunk size %d, want >= 1", chunk)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d, want >= 1", shards)
+	}
+	header, rows, err := scanCSVRaw(path)
+	if err != nil {
+		return nil, err
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("cluster: %s has no data rows", path)
+	}
+	chunks := (rows + int64(chunk) - 1) / int64(chunk)
+	chunksPerShard := (chunks + int64(shards) - 1) / int64(shards)
+	rowsPerShard := chunksPerShard * int64(chunk)
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	if _, err := io.CopyN(io.Discard, br, int64(len(header))); err != nil {
+		return nil, fmt.Errorf("cluster: reread %s: %w", path, err)
+	}
+	var digests []string
+	for start := int64(0); start < rows; start += rowsPerShard {
+		n := rowsPerShard
+		if start+n > rows {
+			n = rows - start
+		}
+		digest, err := s.putShard(header, br, n)
+		if err != nil {
+			return nil, err
+		}
+		digests = append(digests, digest)
+	}
+	return digests, nil
+}
+
+// scanCSVRaw reads the file once, returning the raw header line
+// (including its line terminator) and the number of data rows. It
+// refuses anything that would desynchronize raw lines from parsed
+// records: a '"' byte (a quoted field could embed newlines or commas)
+// and blank lines (encoding/csv skips them silently, so counting them
+// as rows would shift every shard boundary off the serial chunk
+// partition).
+func scanCSVRaw(path string) (header []byte, rows int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: open %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	header, err = br.ReadBytes('\n')
+	if err == io.EOF {
+		return nil, 0, nil // header only, no data rows
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: read header: %w", err)
+	}
+	if bytes.ContainsRune(header, '"') {
+		return nil, 0, fmt.Errorf("cluster: %s has quoted fields; raw shard splitting declined", path)
+	}
+	lineBytes := 0 // bytes in the current line
+	lineNonCR := 0 // ... of which are not '\r'
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := br.Read(buf)
+		for _, b := range buf[:n] {
+			switch b {
+			case '"':
+				return nil, 0, fmt.Errorf("cluster: %s has quoted fields; raw shard splitting declined", path)
+			case '\n':
+				if lineNonCR == 0 {
+					return nil, 0, fmt.Errorf("cluster: %s has blank lines; raw shard splitting declined", path)
+				}
+				rows++
+				lineBytes, lineNonCR = 0, 0
+			case '\r':
+				lineBytes++
+			default:
+				lineBytes++
+				lineNonCR++
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("cluster: scan %s: %w", path, err)
+		}
+	}
+	switch {
+	case lineNonCR > 0:
+		rows++ // final line without a trailing newline
+	case lineBytes > 0:
+		// A trailing CR-only fragment: encoding/csv would treat it as
+		// data; raw counting cannot, so decline rather than diverge.
+		return nil, 0, fmt.Errorf("cluster: %s has a trailing blank fragment; raw shard splitting declined", path)
+	}
+	return header, rows, nil
+}
+
+// putShard copies the header plus the next n data lines from br into a
+// CAS blob and returns its digest.
+func (s *Store) putShard(header []byte, br *bufio.Reader, n int64) (string, error) {
+	var buf bytes.Buffer
+	buf.Write(header)
+	for i := int64(0); i < n; i++ {
+		line, err := br.ReadBytes('\n')
+		buf.Write(line)
+		if err == io.EOF {
+			if len(line) == 0 {
+				return "", fmt.Errorf("cluster: shard split ran out of rows")
+			}
+			break
+		}
+		if err != nil {
+			return "", fmt.Errorf("cluster: read shard rows: %w", err)
+		}
+	}
+	return s.PutBytes(buf.Bytes())
+}
+
+// Per-chunk sketch container: the result payload of one sketch task.
+// Little-endian u32 sketch count, then per sketch a u32 length prefix
+// and the stream.Moments binary encoding.
+var sketchContainerMagic = [4]byte{'m', 's', 'h', '1'}
+
+// encodeSketchContainer frames per-chunk sketch encodings.
+func encodeSketchContainer(sketches [][]byte) []byte {
+	size := 8
+	for _, b := range sketches {
+		size += 4 + len(b)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, sketchContainerMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(sketches)))
+	for _, b := range sketches {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+// decodeSketchContainer splits a container back into its per-chunk
+// sketch encodings without copying.
+func decodeSketchContainer(data []byte) ([][]byte, error) {
+	if len(data) < 8 || [4]byte(data[:4]) != sketchContainerMagic {
+		return nil, fmt.Errorf("cluster: not a sketch container")
+	}
+	n := binary.LittleEndian.Uint32(data[4:])
+	out := make([][]byte, 0, n)
+	off := 8
+	for i := uint32(0); i < n; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("cluster: truncated sketch container")
+		}
+		l := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+l > len(data) {
+			return nil, fmt.Errorf("cluster: truncated sketch container")
+		}
+		out = append(out, data[off:off+l])
+		off += l
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("cluster: trailing bytes in sketch container")
+	}
+	return out, nil
+}
+
+// SketchShardRunner is the TaskRunner for TaskSketch: scan the shard CSV
+// in task-sized chunks and return one fresh sketch per chunk. Chunks are
+// validated exactly as the serial accumulate validates them — a
+// non-finite value fails the task terminally, and the coordinator's
+// caller falls back to the serial path, which reproduces the serial
+// error verbatim.
+func SketchShardRunner(ctx context.Context, st *Store, t *Task) ([]byte, error) {
+	if t.ShardDigest == "" || !st.HasBlob(t.ShardDigest) {
+		return nil, fmt.Errorf("cluster: sketch task %s: shard blob %s missing", t.ID, t.ShardDigest)
+	}
+	src, err := dataset.OpenCSVChunks(st.CASPath(t.ShardDigest), t.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	var sketches [][]byte
+	var rows int64
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chunk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := stream.ValidateChunk(chunk, rows); err != nil {
+			return nil, err
+		}
+		r, m := chunk.Dims()
+		mo := stream.NewMoments(m)
+		mo.UpdateChunk(chunk)
+		b, err := mo.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		sketches = append(sketches, b)
+		rows += int64(r)
+	}
+	return encodeSketchContainer(sketches), nil
+}
+
+// mergeShardContainers Chan-merges the per-chunk sketches of every
+// shard, in shard order then chunk order — the global chunk order — into
+// a fresh accumulator. The result is bit-identical to the serial
+// accumulate over the same partition (see the package comment).
+func mergeShardContainers(containers [][]byte) (*stream.Moments, error) {
+	var acc *stream.Moments
+	dec := stream.NewMoments(0)
+	for _, c := range containers {
+		parts, err := decodeSketchContainer(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range parts {
+			if err := dec.UnmarshalBinary(b); err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = stream.NewMoments(dec.Dim())
+			}
+			if err := acc.Merge(dec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("cluster: no chunk sketches to merge")
+	}
+	return acc, nil
+}

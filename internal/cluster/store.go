@@ -1,0 +1,300 @@
+// Package cluster promotes randprivd's single-process jobs subsystem to
+// a coordinator/worker deployment over a shared state directory. The
+// design is deliberately database-free: every coordination primitive is
+// a filesystem operation whose atomicity POSIX already guarantees.
+//
+//	<dir>/cas/<sha256>        — content-addressed blobs (uploads, shards)
+//	<dir>/results/<sha256>    — cached result bytes, keyed on the
+//	                            assessment cache key's hash
+//	<dir>/tasks/pending/      — enqueued tasks, one JSON file each
+//	<dir>/tasks/claimed/      — leased tasks: <id>.<node>.json
+//	<dir>/tasks/done/         — completed tasks: result envelope
+//	<dir>/nodes/<node>.json   — heartbeat files, rewritten periodically
+//
+// The lease protocol is a single atomic rename: a worker claims a task
+// by renaming tasks/pending/<id>.json to tasks/claimed/<id>.<node>.json.
+// Exactly one rename wins; the losers see ENOENT and move on. Liveness
+// is judged from the *content* of the owner's heartbeat file (a parsed
+// timestamp), never from file mtimes — so a corrupted heartbeat reads as
+// a dead node and the lease is reclaimed by renaming the task back to
+// pending. Duplicate execution after a reclaim is safe by construction:
+// every task runner is deterministic in the task's content-addressed
+// inputs, so two completions write byte-identical done files and the
+// last rename wins without changing anything.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Store is a handle on the shared cluster state directory. It holds no
+// in-memory state: any number of Store instances in any number of
+// processes may point at the same directory.
+type Store struct {
+	root string
+}
+
+// Subdirectories of the state dir, created by Open.
+var storeLayout = []string{
+	"cas",
+	"results",
+	"nodes",
+	filepath.Join("tasks", "pending"),
+	filepath.Join("tasks", "claimed"),
+	filepath.Join("tasks", "done"),
+	"tmp",
+}
+
+// Open creates (if needed) the state directory layout and returns a
+// handle. Open is idempotent and safe to call concurrently from many
+// processes — MkdirAll tolerates losing every race.
+func Open(root string) (*Store, error) {
+	if root == "" {
+		return nil, fmt.Errorf("cluster: state dir is required")
+	}
+	for _, d := range storeLayout {
+		if err := os.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: create state dir: %w", err)
+		}
+	}
+	return &Store{root: root}, nil
+}
+
+// Root returns the state directory path.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) pendingDir() string { return filepath.Join(s.root, "tasks", "pending") }
+func (s *Store) claimedDir() string { return filepath.Join(s.root, "tasks", "claimed") }
+func (s *Store) doneDir() string    { return filepath.Join(s.root, "tasks", "done") }
+func (s *Store) nodesDir() string   { return filepath.Join(s.root, "nodes") }
+
+// hexDigest reports whether d looks like a hex SHA-256 — the only names
+// the CAS and the task queue accept. Everything read back from shared
+// task files goes through this check, so a corrupted or hostile task
+// spec can never escape the state dir via path traversal.
+func hexDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	for _, c := range d {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// CASPath returns where the blob with the given hex SHA-256 digest lives
+// (whether or not it exists yet).
+func (s *Store) CASPath(digest string) string {
+	return filepath.Join(s.root, "cas", digest)
+}
+
+// HasBlob reports whether the CAS already holds digest.
+func (s *Store) HasBlob(digest string) bool {
+	if !hexDigest(digest) {
+		return false
+	}
+	_, err := os.Stat(s.CASPath(digest))
+	return err == nil
+}
+
+// writeAtomic writes body into the store via a temp file in <dir>/tmp
+// and a rename, so concurrent readers (and writers of the same path, on
+// every OS rename is atomic on) never observe a partial file.
+func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "put-*")
+	if err != nil {
+		return fmt.Errorf("cluster: create temp: %w", err)
+	}
+	err = write(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cluster: write %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// PutFile stores the file at path into the CAS and returns its hex
+// SHA-256 digest. An already-present blob is not rewritten — that is the
+// whole point of content addressing: identical uploads across nodes hit
+// the same blob once.
+func (s *Store) PutFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("cluster: open %s: %w", path, err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("cluster: hash %s: %w", path, err)
+	}
+	digest := hex.EncodeToString(h.Sum(nil))
+	if s.HasBlob(digest) {
+		return digest, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return "", fmt.Errorf("cluster: rewind %s: %w", path, err)
+	}
+	err = s.writeAtomic(s.CASPath(digest), func(w io.Writer) error {
+		_, err := io.Copy(w, f)
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	return digest, nil
+}
+
+// PutBytes stores b into the CAS and returns its hex SHA-256 digest.
+func (s *Store) PutBytes(b []byte) (string, error) {
+	sum := sha256.Sum256(b)
+	digest := hex.EncodeToString(sum[:])
+	if s.HasBlob(digest) {
+		return digest, nil
+	}
+	err := s.writeAtomic(s.CASPath(digest), func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	return digest, nil
+}
+
+// resultPath maps an arbitrary cache key onto its file: the key is
+// hashed so it needs no escaping and cannot traverse paths.
+func (s *Store) resultPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.root, "results", hex.EncodeToString(sum[:]))
+}
+
+// CachedResult returns the shared result cache entry for key, if any.
+// This is the cross-node analogue of the server's in-process assessment
+// LRU: entries are the exact response bytes, keyed on the same
+// sweep.CacheKey string, so any node's computation serves every node.
+func (s *Store) CachedResult(key string) ([]byte, bool) {
+	body, err := os.ReadFile(s.resultPath(key))
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+// PutCachedResult stores body as the shared result for key.
+func (s *Store) PutCachedResult(key string, body []byte) error {
+	return s.writeAtomic(s.resultPath(key), func(w io.Writer) error {
+		_, err := w.Write(body)
+		return err
+	})
+}
+
+// Heartbeat is one node's liveness record plus its /healthz gauges. The
+// Time field is the liveness signal: a node is alive iff its heartbeat
+// file parses and Time is within the lease TTL of now.
+type Heartbeat struct {
+	Node         string    `json:"node"`
+	Role         string    `json:"role"`
+	Time         time.Time `json:"time"`
+	TasksClaimed int64     `json:"tasks_claimed"`
+	TasksDone    int64     `json:"tasks_done"`
+	TasksFailed  int64     `json:"tasks_failed"`
+}
+
+// WriteHeartbeat atomically rewrites the node's heartbeat file.
+func (s *Store) WriteHeartbeat(hb Heartbeat) error {
+	if err := validNodeID(hb.Node); err != nil {
+		return err
+	}
+	body, err := json.Marshal(hb)
+	if err != nil {
+		return fmt.Errorf("cluster: encode heartbeat: %w", err)
+	}
+	return s.writeAtomic(filepath.Join(s.nodesDir(), hb.Node+".json"), func(w io.Writer) error {
+		_, err := w.Write(body)
+		return err
+	})
+}
+
+// nodeAlive reports whether node's heartbeat file parses to a timestamp
+// within ttl of now. A missing, unreadable or corrupt heartbeat is a
+// dead node — that is what lets the fault harness kill a worker by
+// corrupting its heartbeat bytes.
+func (s *Store) nodeAlive(node string, ttl time.Duration, now time.Time) bool {
+	body, err := os.ReadFile(filepath.Join(s.nodesDir(), node+".json"))
+	if err != nil {
+		return false
+	}
+	var hb Heartbeat
+	if err := json.Unmarshal(body, &hb); err != nil {
+		return false
+	}
+	return now.Sub(hb.Time) <= ttl
+}
+
+// Nodes returns every parseable heartbeat, sorted by ReadDir's name
+// order. Corrupt heartbeat files are skipped — /healthz reports what can
+// be known, and the reclaim path already treats those nodes as dead.
+func (s *Store) Nodes() ([]Heartbeat, error) {
+	entries, err := os.ReadDir(s.nodesDir())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: scan nodes: %w", err)
+	}
+	var out []Heartbeat
+	for _, e := range entries {
+		body, err := os.ReadFile(filepath.Join(s.nodesDir(), e.Name()))
+		if err != nil {
+			continue
+		}
+		var hb Heartbeat
+		if err := json.Unmarshal(body, &hb); err != nil {
+			continue
+		}
+		out = append(out, hb)
+	}
+	return out, nil
+}
+
+// QueueStats counts the task files in each lifecycle directory — the
+// /healthz cluster gauges.
+func (s *Store) QueueStats() (pending, claimed, done int) {
+	count := func(dir string) int {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return 0
+		}
+		return len(entries)
+	}
+	return count(s.pendingDir()), count(s.claimedDir()), count(s.doneDir())
+}
+
+// validNodeID restricts node identifiers to filename-safe bytes; node
+// ids become path components of heartbeat and claim files.
+func validNodeID(node string) error {
+	if node == "" {
+		return fmt.Errorf("cluster: node id is required")
+	}
+	for _, c := range node {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return fmt.Errorf("cluster: node id %q contains %q (want [A-Za-z0-9._-])", node, c)
+		}
+	}
+	return nil
+}

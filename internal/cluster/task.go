@@ -1,0 +1,280 @@
+// The task queue: content-addressed task files moved between the
+// pending/claimed/done directories by atomic renames.
+
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Task kinds.
+const (
+	// TaskSketch builds the per-chunk moment sketches of one CSV shard.
+	TaskSketch = "sketch"
+	// TaskAssess runs one full assessment (the server registers its
+	// runner; the cluster package only routes it).
+	TaskAssess = "assess"
+)
+
+// Task is one unit of claimable work. The ID is derived from the task's
+// content (kind plus its input digests), which makes Enqueue idempotent,
+// lets a restarted coordinator find its earlier results by recomputing
+// the same IDs, and dedups identical work across jobs.
+type Task struct {
+	ID   string `json:"id"`
+	Type string `json:"type"`
+
+	// Sketch tasks: the CAS digest of the shard CSV and the chunk size
+	// to scan it with. Shard is the coordinator's merge-order index; it
+	// is carried for observability but is not part of the ID — the same
+	// shard bytes yield the same sketches wherever they sit in the file.
+	ShardDigest string `json:"shard_digest,omitempty"`
+	Chunk       int    `json:"chunk,omitempty"`
+	Shard       int    `json:"shard,omitempty"`
+
+	// Assess tasks: the job spec (server-interpreted JSON) and the CAS
+	// digest of the upload it runs against.
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Digest string          `json:"digest,omitempty"`
+
+	// owner is the claim-time node id; never serialized.
+	owner string
+}
+
+// taskID derives the content address of a task from its identity parts.
+func taskID(parts ...string) string {
+	sum := sha256.Sum256([]byte(strings.Join(parts, "|")))
+	return hex.EncodeToString(sum[:])
+}
+
+// NewSketchTask builds the sketch task for one shard.
+func NewSketchTask(shardDigest string, chunk, shard int) Task {
+	return Task{
+		ID:          taskID("sketch", shardDigest, strconv.Itoa(chunk)),
+		Type:        TaskSketch,
+		ShardDigest: shardDigest,
+		Chunk:       chunk,
+		Shard:       shard,
+	}
+}
+
+// NewAssessTask builds the assessment task for one (spec, upload) pair.
+// The spec bytes are part of the identity, so they must be canonical —
+// randprivd marshals its jobSpec with encoding/json, which is
+// deterministic for a given parameter set.
+func NewAssessTask(spec json.RawMessage, digest string) Task {
+	return Task{
+		ID:     taskID("assess", string(spec), digest),
+		Type:   TaskAssess,
+		Spec:   append(json.RawMessage(nil), spec...),
+		Digest: digest,
+	}
+}
+
+// validate rejects tasks whose references could escape the state dir.
+func (t *Task) validate() error {
+	if !hexDigest(t.ID) {
+		return fmt.Errorf("cluster: task id %q is not a hex digest", t.ID)
+	}
+	if t.ShardDigest != "" && !hexDigest(t.ShardDigest) {
+		return fmt.Errorf("cluster: task %s: shard digest %q is not a hex digest", t.ID, t.ShardDigest)
+	}
+	if t.Digest != "" && !hexDigest(t.Digest) {
+		return fmt.Errorf("cluster: task %s: upload digest %q is not a hex digest", t.ID, t.Digest)
+	}
+	return nil
+}
+
+// doneFile is the completion envelope written to tasks/done/<id>.json.
+// Exactly one of Error/Result is meaningful: a task that failed
+// deterministically stays failed (re-running it would fail identically),
+// so failures are terminal results, not retries.
+type doneFile struct {
+	Error  string `json:"error,omitempty"`
+	Result []byte `json:"result,omitempty"` // base64 via encoding/json
+}
+
+// Enqueue makes the task claimable, idempotently: a task that is already
+// pending, claimed or done is left untouched. Callers poll TaskResult
+// for completion.
+func (s *Store) Enqueue(t Task) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	if s.taskResolved(t.ID) || s.taskClaimed(t.ID) {
+		return nil
+	}
+	body, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("cluster: encode task: %w", err)
+	}
+	// Racing enqueuers rename identical content onto the same path;
+	// whoever loses changed nothing.
+	return s.writeAtomic(filepath.Join(s.pendingDir(), t.ID+".json"), func(w io.Writer) error {
+		_, err := w.Write(body)
+		return err
+	})
+}
+
+// taskResolved reports whether a done file exists for id.
+func (s *Store) taskResolved(id string) bool {
+	_, err := os.Stat(filepath.Join(s.doneDir(), id+".json"))
+	return err == nil
+}
+
+// taskClaimed reports whether any node currently holds a lease on id.
+func (s *Store) taskClaimed(id string) bool {
+	matches, _ := filepath.Glob(filepath.Join(s.claimedDir(), id+".*.json"))
+	return len(matches) > 0
+}
+
+// Claim leases one pending task to node via the atomic-rename protocol
+// and returns it, or nil when nothing is claimable. Tasks are scanned in
+// name order so competing claimers mostly collide on the same few files
+// and resolve quickly; the rename is the arbiter — exactly one claimer
+// wins each task.
+func (s *Store) Claim(node string) (*Task, error) {
+	if err := validNodeID(node); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(s.pendingDir())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: scan pending: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		id := strings.TrimSuffix(name, ".json")
+		if !hexDigest(id) {
+			continue
+		}
+		src := filepath.Join(s.pendingDir(), name)
+		if s.taskResolved(id) {
+			// A reclaim raced a completion: the work is already done, so
+			// the stale pending file is garbage, not work.
+			os.Remove(src)
+			continue
+		}
+		body, err := os.ReadFile(src)
+		if err != nil {
+			continue // lost the claim race at the read
+		}
+		dst := filepath.Join(s.claimedDir(), id+"."+node+".json")
+		if err := os.Rename(src, dst); err != nil {
+			continue // lost the claim race at the rename
+		}
+		var t Task
+		if err := json.Unmarshal(body, &t); err != nil || t.ID != id || t.validate() != nil {
+			// Corrupt task file: it can never run, and leaving it claimed
+			// would wedge reclaim forever. Fail it terminally.
+			t = Task{ID: id, owner: node}
+			_ = s.Complete(&t, nil, fmt.Sprintf("cluster: corrupt task file %s", name))
+			continue
+		}
+		t.owner = node
+		return &t, nil
+	}
+	return nil, nil
+}
+
+// Release returns a claimed task to pending — the graceful-shutdown
+// path, so another worker picks the task up immediately instead of
+// waiting out the lease.
+func (s *Store) Release(t *Task) error {
+	if t.owner == "" {
+		return fmt.Errorf("cluster: release of unclaimed task %s", t.ID)
+	}
+	src := filepath.Join(s.claimedDir(), t.ID+"."+t.owner+".json")
+	dst := filepath.Join(s.pendingDir(), t.ID+".json")
+	if err := os.Rename(src, dst); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("cluster: release task: %w", err)
+	}
+	return nil
+}
+
+// Complete resolves a task: result bytes on success, a terminal error
+// message on deterministic failure. Duplicate completions (a reclaimed
+// task finishing twice) are safe — deterministic runners produce
+// byte-identical envelopes and the rename just replaces like with like.
+func (s *Store) Complete(t *Task, result []byte, taskErr string) error {
+	body, err := json.Marshal(doneFile{Error: taskErr, Result: result})
+	if err != nil {
+		return fmt.Errorf("cluster: encode done file: %w", err)
+	}
+	err = s.writeAtomic(filepath.Join(s.doneDir(), t.ID+".json"), func(w io.Writer) error {
+		_, err := w.Write(body)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if t.owner != "" {
+		os.Remove(filepath.Join(s.claimedDir(), t.ID+"."+t.owner+".json"))
+	}
+	return nil
+}
+
+// TaskResult reads a task's completion envelope. ok is false while the
+// task is still pending or claimed.
+func (s *Store) TaskResult(id string) (result []byte, taskErr string, ok bool, err error) {
+	body, err := os.ReadFile(filepath.Join(s.doneDir(), id+".json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, "", false, nil
+	}
+	if err != nil {
+		return nil, "", false, fmt.Errorf("cluster: read done file: %w", err)
+	}
+	var df doneFile
+	if err := json.Unmarshal(body, &df); err != nil {
+		return nil, "", false, fmt.Errorf("cluster: decode done file %s: %w", id, err)
+	}
+	return df.Result, df.Error, true, nil
+}
+
+// ReclaimExpired scans the claimed directory and returns every task
+// whose owner is dead (no heartbeat, a corrupt one, or one older than
+// ttl) to the pending queue. It returns how many leases were reclaimed.
+// Any node may run this — typically the coordinator, while it waits on
+// its shard tasks.
+func (s *Store) ReclaimExpired(ttl time.Duration, now time.Time) (int, error) {
+	entries, err := os.ReadDir(s.claimedDir())
+	if err != nil {
+		return 0, fmt.Errorf("cluster: scan claimed: %w", err)
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Name() < entries[b].Name() })
+	reclaimed := 0
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".json")
+		// <64-hex id>.<node>
+		if len(name) < 66 || name[64] != '.' || !hexDigest(name[:64]) {
+			continue
+		}
+		id, node := name[:64], name[65:]
+		if s.nodeAlive(node, ttl, now) {
+			continue
+		}
+		src := filepath.Join(s.claimedDir(), e.Name())
+		if s.taskResolved(id) {
+			// The owner completed and crashed before removing its claim
+			// file; nothing to re-run.
+			os.Remove(src)
+			continue
+		}
+		if err := os.Rename(src, filepath.Join(s.pendingDir(), id+".json")); err != nil {
+			continue // someone else reclaimed or the owner completed; either way resolved
+		}
+		reclaimed++
+	}
+	return reclaimed, nil
+}

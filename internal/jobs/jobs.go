@@ -151,6 +151,23 @@ type job struct {
 	finished time.Time
 	cancel   context.CancelFunc // non-nil while running
 	deleted  bool               // DELETE arrived; remove dir once off-worker
+	removed  bool               // job dir has been removed; persists are no-ops
+}
+
+// removeFiles deletes the job's directory, serialized behind j.mu so that
+// the two removers (DELETE and the TTL sweeper) and the persister
+// (writeJobFile) can never interleave on the same dir: whoever gets here
+// first marks the job removed, any later removal is a no-op, and any later
+// persist sees the flag and skips instead of recreating files inside a
+// half-deleted tree.
+func (j *job) removeFiles() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.removed {
+		return
+	}
+	j.removed = true
+	os.RemoveAll(j.dir)
 }
 
 // Manager owns the state dir, the worker pool and the job table.
@@ -390,9 +407,11 @@ func (m *Manager) Delete(id string) error {
 	}
 	j.mu.Unlock()
 	if !running {
-		// Not on a worker: nothing else references the files.
+		// Not on a worker — but the TTL sweeper may hold a reference to a
+		// terminal job collected just before this DELETE took it off the
+		// map, so removal still goes through the serialized path.
 		j.finish()
-		os.RemoveAll(j.dir)
+		j.removeFiles()
 	}
 	return nil
 }
@@ -466,7 +485,7 @@ func (m *Manager) runOne(j *job) {
 	j.mu.Lock()
 	if j.deleted {
 		j.mu.Unlock()
-		os.RemoveAll(j.dir)
+		j.removeFiles()
 		return
 	}
 	j.state = StateRunning
@@ -524,7 +543,7 @@ func (m *Manager) runOne(j *job) {
 	j.finish()
 
 	if deleted {
-		os.RemoveAll(j.dir)
+		j.removeFiles()
 		return
 	}
 	if err := writeJobFile(j); err != nil {
@@ -573,18 +592,20 @@ func (m *Manager) sweeper() {
 func (m *Manager) expire(now time.Time) {
 	m.mu.Lock()
 	var victims []*job
+	var ages []time.Duration
 	for id, j := range m.jobs {
 		j.mu.Lock()
 		if j.state.terminal() && !j.finished.IsZero() && now.Sub(j.finished) > m.opts.TTL {
 			victims = append(victims, j)
+			ages = append(ages, now.Sub(j.finished))
 			delete(m.jobs, id)
 		}
 		j.mu.Unlock()
 	}
 	m.mu.Unlock()
-	for _, j := range victims {
-		os.RemoveAll(j.dir)
-		m.opts.Log.Printf("jobs: expired %s (finished %s ago)", j.id, now.Sub(j.finished).Round(time.Second))
+	for i, j := range victims {
+		j.removeFiles()
+		m.opts.Log.Printf("jobs: expired %s (finished %s ago)", j.id, ages[i].Round(time.Second))
 	}
 }
 

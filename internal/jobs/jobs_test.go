@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -498,5 +499,53 @@ func TestConcurrentSubmitters(t *testing.T) {
 			t.Fatalf("ran %d of %d accepted jobs", ran.Load(), accepted.Load())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDeleteVsExpiryRace hammers DELETE against the TTL sweeper over the
+// same finished jobs. Before removal was serialized behind the job lock,
+// the sweeper's RemoveAll could interleave with Delete's removal and with
+// the worker's terminal job.json persist, tearing files inside a
+// half-deleted directory; under -race this test pins the fix. The state
+// dir must end empty: every job was either deleted or expired, and no
+// interleaving may resurrect its files.
+func TestDeleteVsExpiryRace(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, dir, Options{Workers: 2, TTL: time.Nanosecond}, echoRunner)
+	farFuture := time.Now().UTC().Add(24 * time.Hour)
+	for i := 0; i < 60; i++ {
+		snap, err := m.Submit(json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)), "digest", strings.NewReader("1,2\n"))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if _, err := m.Wait(ctx, snap.ID); err != nil {
+			cancel()
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		cancel()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			m.expire(farFuture)
+		}()
+		go func() {
+			defer wg.Done()
+			// The job may already be expired; ErrNotFound is the expected
+			// outcome of losing that race.
+			if err := m.Delete(snap.ID); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Errorf("delete %d: %v", i, err)
+			}
+		}()
+		wg.Wait()
+	}
+	m.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read state dir: %v", err)
+	}
+	for _, e := range entries {
+		t.Errorf("state dir entry %q survived delete-vs-expiry", e.Name())
 	}
 }

@@ -38,9 +38,17 @@ type jobRecord struct {
 
 const jobFileName = "job.json"
 
-// writeJobFile persists the job's current state atomically.
+// writeJobFile persists the job's current state atomically. The write
+// happens under j.mu — the same lock removeFiles deletes the dir under —
+// so a persist can never interleave with a removal and recreate job state
+// inside a half-deleted directory; once the job is removed, persisting it
+// is a no-op.
 func writeJobFile(j *job) error {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.removed {
+		return nil
+	}
 	rec := jobRecord{
 		ID:       j.id,
 		Spec:     string(j.spec),
@@ -52,7 +60,6 @@ func writeJobFile(j *job) error {
 		Started:  j.started,
 		Finished: j.finished,
 	}
-	j.mu.Unlock()
 	body, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return fmt.Errorf("jobs: encode job record: %w", err)

@@ -1,0 +1,248 @@
+// Cluster integration: how the HTTP service becomes a coordinator.
+//
+// With Config.ClusterDir set, the server opens the shared state
+// directory, starts a cluster.Coordinator (with ClusterWorkers embedded
+// claim loops, so a solo node still makes progress), and uses the
+// cluster three ways:
+//
+//   - Plain assessment jobs submitted to POST /v1/jobs are delegated to
+//     the task queue: the upload goes into the content-addressed store,
+//     an assess task is enqueued, and any attached worker process (or an
+//     embedded claim loop) computes it. The shared result cache — keyed
+//     on the same sweep.CacheKey as the in-process LRU — serves repeats
+//     across every node that shares the directory.
+//   - Large streamed assessments hand their disguised-copy moment sketch
+//     to ShardedSketch, which splits the spool at chunk boundaries and
+//     fans the per-chunk sketches out across alive workers. The merge is
+//     bit-identical to the serial pass by construction, so this is purely
+//     an accelerator.
+//   - /healthz grows a cluster section with per-node heartbeat gauges
+//     and the task-queue depths.
+//
+// Every cluster path falls back to the local serial computation on any
+// infrastructure error — the cluster is an accelerator, the single
+// process the reference. Fallback is always legal because both paths
+// produce byte-identical results.
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"randpriv/internal/cluster"
+	"randpriv/internal/core"
+	"randpriv/internal/dataset"
+	"randpriv/internal/mat"
+	"randpriv/internal/recon"
+	"randpriv/internal/stream"
+	"randpriv/internal/sweep"
+)
+
+// openCluster stands the coordinator up during New. The assess runner is
+// registered on the embedded workers so a coordinator-only deployment
+// still executes delegated jobs itself.
+func (s *Server) openCluster() error {
+	st, err := cluster.Open(s.cfg.ClusterDir)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.NewCoordinator(st, cluster.CoordinatorOptions{
+		Node:     s.cfg.NodeID,
+		Workers:  s.cfg.ClusterWorkers,
+		LeaseTTL: s.cfg.ClusterLeaseTTL,
+		Log:      s.cfg.Log,
+	})
+	if err != nil {
+		return err
+	}
+	c.Register(cluster.TaskAssess, s.ClusterAssessRunner())
+	if err := c.Start(); err != nil {
+		return err
+	}
+	s.cluster = c
+	return nil
+}
+
+// defaultNodeID derives a filename-safe cluster identity from the host
+// name and pid — unique enough for several processes sharing one state
+// directory on one or many machines.
+func defaultNodeID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "node"
+	}
+	var b strings.Builder
+	for _, r := range host {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return fmt.Sprintf("%s-%d", b.String(), os.Getpid())
+}
+
+// ClusterAssessRunner returns the cluster.TaskRunner that executes one
+// delegated plain assessment: open the content-addressed upload, run the
+// exact runAssessment path the synchronous endpoint uses (cluster
+// sketching disabled — a task must never enqueue sub-tasks, or a lone
+// worker deadlocks on its own queue), and publish the report into the
+// shared result cache. cmd/randprivd registers it on worker-role nodes.
+func (s *Server) ClusterAssessRunner() cluster.TaskRunner {
+	return func(ctx context.Context, st *cluster.Store, t *cluster.Task) ([]byte, error) {
+		var sp jobSpec
+		if err := json.Unmarshal(t.Spec, &sp); err != nil {
+			return nil, fmt.Errorf("server: decode assess task spec: %w", err)
+		}
+		if sp.Type != "" {
+			return nil, fmt.Errorf("server: assess tasks carry plain assessments only, got type %q", sp.Type)
+		}
+		if !st.HasBlob(t.Digest) {
+			return nil, fmt.Errorf("server: upload blob %s missing from the cluster store", t.Digest)
+		}
+		p := sp.params()
+		src, err := dataset.OpenCSVChunks(st.CASPath(t.Digest), p.Chunk)
+		if err != nil {
+			return nil, err
+		}
+		defer src.Close()
+		ws := s.jobWS.Get().(*mat.Workspace)
+		ws.Reset()
+		defer s.jobWS.Put(ws)
+		body, err := s.runAssessment(ctx, src, p, sp.Digest, ws, nil, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.PutCachedResult(sweep.CacheKey(sweepParams(p), sp.Digest), body); err != nil {
+			s.cfg.Log.Printf("randprivd: cluster result cache write: %v", err)
+		}
+		return body, nil
+	}
+}
+
+// runJobViaCluster routes one plain assessment job through the task
+// queue. delegated == false means the cluster could not take the job
+// (CAS or queue trouble) and the caller must run it locally — never that
+// the assessment itself failed.
+func (s *Server) runJobViaCluster(ctx context.Context, rawSpec json.RawMessage, sp jobSpec, upload string) (body []byte, err error, delegated bool) {
+	st := s.cluster.Store()
+	key := sweep.CacheKey(sweepParams(sp.params()), sp.Digest)
+	if body, ok := st.CachedResult(key); ok {
+		return body, nil, true
+	}
+	digest, perr := st.PutFile(upload)
+	if perr != nil {
+		s.cfg.Log.Printf("randprivd: cluster store put: %v (running job locally)", perr)
+		return nil, nil, false
+	}
+	if digest != sp.Digest {
+		// The job dir and the spec disagree about the bytes; trust neither
+		// and let the local path recompute the digest's report honestly.
+		s.cfg.Log.Printf("randprivd: job upload digest %s != spec digest %s (running job locally)", digest, sp.Digest)
+		return nil, nil, false
+	}
+	task := cluster.NewAssessTask(rawSpec, digest)
+	if err := st.Enqueue(task); err != nil {
+		s.cfg.Log.Printf("randprivd: cluster enqueue: %v (running job locally)", err)
+		return nil, nil, false
+	}
+	bodies, aerr := s.cluster.Await(ctx, []string{task.ID})
+	if aerr != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err(), true // canceled job: recomputing locally would be wasted work
+		}
+		s.cfg.Log.Printf("randprivd: cluster assess task: %v (running job locally)", aerr)
+		return nil, nil, false
+	}
+	return bodies[0], nil, true
+}
+
+// clusterSketch builds the core.SketchFn for a streamed assessment's
+// shared pass 1: shard the disguised spool across alive workers, fall
+// back to the serial sketch on any error. Both branches are bit-identical
+// to recon.SketchSource over the same chunk partition, so the report
+// bytes cannot depend on which one ran.
+func (s *Server) clusterSketch(ctx context.Context, path string, chunk int) core.SketchFn {
+	return func() (*stream.Moments, error) {
+		shards := s.cluster.AliveWorkers(time.Now().UTC())
+		if shards < 1 {
+			shards = 1
+		}
+		mo, err := s.cluster.ShardedSketch(ctx, path, chunk, shards)
+		if err == nil {
+			return mo, nil
+		}
+		s.cfg.Log.Printf("randprivd: cluster sketch fell back to serial: %v", err)
+		src, oerr := dataset.OpenCSVChunks(path, chunk)
+		if oerr != nil {
+			return nil, oerr
+		}
+		defer src.Close()
+		return recon.SketchSource(src)
+	}
+}
+
+// clusterNodeStatus is one node's /healthz row, straight from its
+// heartbeat file.
+type clusterNodeStatus struct {
+	Node         string  `json:"node"`
+	Role         string  `json:"role"`
+	AgeSeconds   float64 `json:"age_seconds"`
+	Alive        bool    `json:"alive"`
+	TasksClaimed int64   `json:"tasks_claimed"`
+	TasksDone    int64   `json:"tasks_done"`
+	TasksFailed  int64   `json:"tasks_failed"`
+}
+
+// clusterStatus is the /healthz cluster section.
+type clusterStatus struct {
+	Node         string              `json:"node"`
+	AliveWorkers int                 `json:"alive_workers"`
+	TasksPending int                 `json:"tasks_pending"`
+	TasksClaimed int                 `json:"tasks_claimed"`
+	TasksDone    int                 `json:"tasks_done"`
+	Nodes        []clusterNodeStatus `json:"nodes"`
+}
+
+// clusterHealth assembles the /healthz cluster section, or nil when the
+// server runs single-process.
+func (s *Server) clusterHealth() *clusterStatus {
+	if s.cluster == nil {
+		return nil
+	}
+	now := time.Now().UTC()
+	st := s.cluster.Store()
+	pending, claimed, done := st.QueueStats()
+	out := &clusterStatus{
+		Node:         s.cfg.NodeID,
+		AliveWorkers: s.cluster.AliveWorkers(now),
+		TasksPending: pending,
+		TasksClaimed: claimed,
+		TasksDone:    done,
+	}
+	nodes, err := st.Nodes()
+	if err != nil {
+		s.cfg.Log.Printf("randprivd: cluster node scan: %v", err)
+		return out
+	}
+	for _, hb := range nodes {
+		age := now.Sub(hb.Time)
+		out.Nodes = append(out.Nodes, clusterNodeStatus{
+			Node:         hb.Node,
+			Role:         hb.Role,
+			AgeSeconds:   age.Seconds(),
+			Alive:        age <= s.cfg.ClusterLeaseTTL,
+			TasksClaimed: hb.TasksClaimed,
+			TasksDone:    hb.TasksDone,
+			TasksFailed:  hb.TasksFailed,
+		})
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// clusterConfig returns a cluster-mode server Config over a fresh state
+// directory with n embedded claim loops.
+func clusterConfig(t *testing.T, n int) Config {
+	t.Helper()
+	return Config{
+		ClusterDir:     t.TempDir(),
+		NodeID:         fmt.Sprintf("test-node-%dw", n),
+		ClusterWorkers: n,
+	}
+}
+
+// TestClusterAssessByteIdentity is the server-level identity contract:
+// a cluster-mode node — with 1 and with 2 claim loops, so the sharded
+// sketch path and the delegated-job path both exercise real fan-out —
+// produces byte-identical /v1/assess responses and job results to a
+// single-process server, for both memory and streamed batteries.
+func TestClusterAssessByteIdentity(t *testing.T) {
+	in := testCSV(t, 240, 4, 2, 9)
+	queries := []string{
+		"?sigma=5&seed=3&chunk=32",
+		"?sigma=5&seed=3&chunk=32&stream=1",
+		"?sigma=5&seed=3&chunk=32&stream=1&scheme=correlated",
+	}
+	// Jobs get parameters no sync assess has touched, so the delegated
+	// task actually executes instead of resolving from the result cache
+	// the sync request just warmed.
+	jobQueries := []string{
+		"?sigma=7&seed=2&chunk=32",
+		"?sigma=7&seed=2&chunk=32&stream=1",
+	}
+
+	// Golden bytes from a server with no cluster at all.
+	_, baseTS := newTestServer(t, Config{})
+	golden := make(map[string][]byte, len(queries)+len(jobQueries))
+	for _, q := range append(append([]string{}, queries...), jobQueries...) {
+		status, _, body := post(t, baseTS, "/v1/assess"+q, in)
+		if status != http.StatusOK {
+			t.Fatalf("baseline %s: status %d, body %s", q, status, body)
+		}
+		golden[q] = body
+	}
+
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("%d-workers", workers), func(t *testing.T) {
+			_, ts := newTestServer(t, clusterConfig(t, workers))
+			for _, q := range queries {
+				status, hdr, body := post(t, ts, "/v1/assess"+q, in)
+				if status != http.StatusOK {
+					t.Fatalf("%s: status %d, body %s", q, status, body)
+				}
+				if !bytes.Equal(body, golden[q]) {
+					t.Errorf("%s: cluster assess differs from single-process golden", q)
+				}
+				if hdr.Get("X-Cache") != "miss" {
+					t.Errorf("%s: X-Cache = %q, want miss on first compute", q, hdr.Get("X-Cache"))
+				}
+			}
+
+			// Async jobs go through the task queue (delegated to an
+			// embedded claim loop) and must store the same bytes.
+			for _, q := range jobQueries {
+				js := submitJob(t, ts, q, in)
+				final := waitJob(t, ts, js.ID)
+				if final.State != "done" {
+					t.Fatalf("%s: delegated job state = %s (error %q)", q, final.State, final.Error)
+				}
+				rstatus, jobBody := getResult(t, ts, js.ID)
+				if rstatus != http.StatusOK {
+					t.Fatalf("%s: result status %d", q, rstatus)
+				}
+				if !bytes.Equal(jobBody, golden[q]) {
+					t.Errorf("%s: delegated job result differs from single-process golden", q)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterSharedResultCache pins the cross-node cache: two server
+// processes over ONE cluster directory, where the second serves the
+// first's computed report without recompute (X-Cache: cluster), and a
+// delegated repeat job resolves from the shared cache too.
+func TestClusterSharedResultCache(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(node string) *httptest.Server {
+		_, ts := newTestServer(t, Config{ClusterDir: dir, NodeID: node, ClusterWorkers: 1})
+		return ts
+	}
+	a := mk("node-a")
+	b := mk("node-b")
+
+	in := testCSV(t, 160, 3, 2, 4)
+	const q = "?sigma=5&seed=3&chunk=32&stream=1"
+	statusA, hdrA, bodyA := post(t, a, "/v1/assess"+q, in)
+	if statusA != http.StatusOK || hdrA.Get("X-Cache") != "miss" {
+		t.Fatalf("node-a: status %d, X-Cache %q", statusA, hdrA.Get("X-Cache"))
+	}
+	statusB, hdrB, bodyB := post(t, b, "/v1/assess"+q, in)
+	if statusB != http.StatusOK {
+		t.Fatalf("node-b: status %d, body %s", statusB, bodyB)
+	}
+	if hdrB.Get("X-Cache") != "cluster" {
+		t.Errorf("node-b X-Cache = %q, want cluster (served from the shared result cache)", hdrB.Get("X-Cache"))
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Errorf("nodes served different bytes for the same assessment")
+	}
+}
+
+// TestHealthzClusterSection asserts the per-node gauges surface: node
+// identity, alive worker count, queue depths and one heartbeat row per
+// node.
+func TestHealthzClusterSection(t *testing.T) {
+	_, ts := newTestServer(t, clusterConfig(t, 2))
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string `json:"status"`
+		Cluster *struct {
+			Node         string `json:"node"`
+			AliveWorkers int    `json:"alive_workers"`
+			TasksPending int    `json:"tasks_pending"`
+			Nodes        []struct {
+				Node  string `json:"node"`
+				Role  string `json:"role"`
+				Alive bool   `json:"alive"`
+			} `json:"nodes"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cluster == nil {
+		t.Fatal("healthz has no cluster section on a cluster-mode server")
+	}
+	if h.Cluster.Node != "test-node-2w" {
+		t.Errorf("cluster.node = %q", h.Cluster.Node)
+	}
+	if h.Cluster.AliveWorkers != 2 {
+		t.Errorf("alive_workers = %d, want 2 embedded claim loops", h.Cluster.AliveWorkers)
+	}
+	// Coordinator heartbeat + 2 embedded workers = 3 node rows, all live.
+	if len(h.Cluster.Nodes) != 3 {
+		t.Fatalf("node rows = %d, want 3", len(h.Cluster.Nodes))
+	}
+	for _, n := range h.Cluster.Nodes {
+		if !n.Alive {
+			t.Errorf("node %s (%s) reported dead right after start", n.Node, n.Role)
+		}
+	}
+
+	// And absent without a cluster.
+	_, plain := newTestServer(t, Config{})
+	resp2, err := http.Get(plain.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var h2 struct {
+		Cluster *struct{} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&h2); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Cluster != nil {
+		t.Error("single-process healthz grew a cluster section")
+	}
+}
+
+// TestHealthzGaugeStorm hammers submit/poll/cancel from 32 goroutines
+// while reading /healthz: the job gauges must never go negative and
+// must never sum to more jobs than were ever submitted — the gauge
+// arithmetic is lock-protected counters, and this is the test that
+// catches a decrement-twice bug under contention.
+func TestHealthzGaugeStorm(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobWorkers: 4, JobQueueDepth: 4096, CacheEntries: -1})
+	in := testCSV(t, 24, 3, 2, 5)
+	const goroutines = 32
+	const perG = 3
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Gauge reader: poll continuously until the storm ends.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/healthz")
+			if err != nil {
+				continue
+			}
+			var h struct {
+				JobsQueued   int `json:"jobs_queued"`
+				JobsRunning  int `json:"jobs_running"`
+				JobsFinished int `json:"jobs_finished"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			if h.JobsQueued < 0 || h.JobsRunning < 0 || h.JobsFinished < 0 {
+				t.Errorf("negative gauge: queued=%d running=%d finished=%d", h.JobsQueued, h.JobsRunning, h.JobsFinished)
+				return
+			}
+			if sum := h.JobsQueued + h.JobsRunning + h.JobsFinished; sum > goroutines*perG {
+				t.Errorf("gauge sum %d exceeds %d submitted jobs", sum, goroutines*perG)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				// Unique seeds keep every submission a distinct job, so a
+				// concurrent delete on one cannot resolve another.
+				js := submitJob(t, ts, fmt.Sprintf("?sigma=5&seed=%d&chunk=8", g*perG+k+1), in)
+				if k%2 == 0 {
+					deleteJob(t, ts, js.ID) // cancel or remove, racing completion
+				} else {
+					waitJob(t, ts, js.ID)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+}

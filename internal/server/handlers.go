@@ -487,17 +487,34 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) error {
 		_, err := w.Write(body)
 		return err
 	}
+	// The cross-node result cache sits behind the in-process LRU: a
+	// report computed by any node sharing the cluster directory serves
+	// this one without recompute (the key is identical by construction).
+	if s.cluster != nil {
+		if body, ok := s.cluster.Store().CachedResult(key); ok {
+			s.cache.Add(key, body)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Cache", "cluster")
+			_, err := w.Write(body)
+			return err
+		}
+	}
 
 	var body []byte
 	err = s.pool.Do(r.Context(), func(ws *mat.Workspace) error {
 		var err error
-		body, err = s.runAssessment(r.Context(), src, p, up.digest, ws, nil)
+		body, err = s.runAssessment(r.Context(), src, p, up.digest, ws, nil, true)
 		return err
 	})
 	if err != nil {
 		return err
 	}
 	s.cache.Add(key, body)
+	if s.cluster != nil {
+		if err := s.cluster.Store().PutCachedResult(key, body); err != nil {
+			s.cfg.Log.Printf("randprivd: cluster result cache write: %v", err)
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "miss")
 	_, err = w.Write(body)
@@ -533,7 +550,13 @@ func passesFor(p requestParams) int64 {
 // progress, when non-nil, receives cumulative chunk counts across every
 // streaming pass (the async status endpoint's chunks_done/chunks_total);
 // the total becomes known right after the validation pass.
-func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p requestParams, digest string, ws *mat.Workspace, progress func(done, total int64)) ([]byte, error) {
+//
+// shardable allows a streamed assessment to delegate its sketch pass to
+// the cluster. It is only honored with nil progress (the sharded pass
+// bypasses the chunk counters, which would break the chunks_done ==
+// chunks_total invariant) and must be false inside a cluster task runner
+// (a task enqueuing sub-tasks deadlocks a lone worker on its own queue).
+func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p requestParams, digest string, ws *mat.Workspace, progress func(done, total int64), shardable bool) ([]byte, error) {
 	var done, total int64
 	note := func() {
 		if progress != nil {
@@ -559,7 +582,7 @@ func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p 
 	chunk := int64(p.Chunk)
 	total = (rows + chunk - 1) / chunk * passesFor(p)
 	note()
-	rep, utilities, err := s.assess(ctx, orig, names, p, ws, wrap)
+	rep, utilities, err := s.assess(ctx, orig, names, p, ws, wrap, shardable && progress == nil)
 	if err != nil {
 		return nil, err
 	}
@@ -579,7 +602,7 @@ func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p 
 // runs the attack battery against it, in the requested mode. wrap
 // decorates every additional source the battery opens (the disguised
 // spool) with the caller's cancellation and progress accounting.
-func (s *Server) assess(ctx context.Context, orig stream.Source, names []string, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, []core.UtilityResult, error) {
+func (s *Server) assess(ctx context.Context, orig stream.Source, names []string, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source, shardable bool) (*core.PrivacyReport, []core.UtilityResult, error) {
 	bd, err := buildDefense(p, orig)
 	if err != nil {
 		return nil, nil, err
@@ -610,7 +633,7 @@ func (s *Server) assess(ctx context.Context, orig stream.Source, names []string,
 	}
 
 	if p.Stream {
-		rep, err := s.assessStream(orig, disgPath, bd, p, ws, wrap)
+		rep, err := s.assessStream(ctx, orig, disgPath, bd, p, ws, wrap, shardable)
 		return rep, nil, err
 	}
 	return s.assessMemory(ctx, orig, disgPath, bd, p, ws, wrap)
@@ -618,16 +641,23 @@ func (s *Server) assess(ctx context.Context, orig stream.Source, names []string,
 
 // assessStream runs the out-of-core battery through the sweep engine:
 // NDR baseline plus the selected streamable attacks, never materializing
-// either data set. nil baseline and sketch mean this single point
-// computes both itself, exactly as a one-point sweep group would.
-func (s *Server) assessStream(orig stream.Source, disgPath string, bd core.BuiltDefense, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source) (*core.PrivacyReport, error) {
+// either data set. nil baseline means this single point computes its own
+// NDR, exactly as a one-point sweep group would. The sketch is nil
+// (every attack runs its own pass 1) unless the cluster may shard it —
+// either way the attacks see bit-identical moments, so the report bytes
+// do not depend on the path taken.
+func (s *Server) assessStream(ctx context.Context, orig stream.Source, disgPath string, bd core.BuiltDefense, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source, shardable bool) (*core.PrivacyReport, error) {
 	disgSrc, err := dataset.OpenCSVChunks(disgPath, p.Chunk)
 	if err != nil {
 		return nil, err
 	}
 	defer disgSrc.Close()
+	var sketch core.SketchFn
+	if shardable && s.cluster != nil {
+		sketch = s.clusterSketch(ctx, disgPath, p.Chunk)
+	}
 	env := sweep.Env{Reg: defaultRegistry, WS: ws}
-	return env.EvaluateStreamPoint(sweepParams(p), orig, wrap(disgSrc), bd, nil, nil)
+	return env.EvaluateStreamPoint(sweepParams(p), orig, wrap(disgSrc), bd, nil, sketch)
 }
 
 // assessMemory loads both copies, runs the selected battery (including
@@ -693,6 +723,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// terminal state).
 		SweepPointsQueued int64 `json:"sweep_points_queued"`
 		SweepPointsDone   int64 `json:"sweep_points_done"`
+		// Cluster section: per-node heartbeat gauges and task-queue
+		// depths; absent on single-process servers.
+		Cluster *clusterStatus `json:"cluster,omitempty"`
 	}{
 		Status:            "ok",
 		Workers:           s.cfg.Workers,
@@ -708,6 +741,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		JobsFinished:      jobsTerminal,
 		SweepPointsQueued: pointsQueued,
 		SweepPointsDone:   pointsDone,
+		Cluster:           s.clusterHealth(),
 	}
 	writeJSON(w, resp)
 }

@@ -100,6 +100,17 @@ func (s *Server) runJob(ctx context.Context, spec json.RawMessage, upload string
 	if sp.Type == jobTypeSweep {
 		return s.runSweepJob(ctx, sp, upload, ws, progress)
 	}
+	// In cluster mode a plain assessment is delegated to the shared task
+	// queue, where any attached worker process may compute it (and the
+	// shared result cache serves repeats from every node). Delegation
+	// failing for infrastructure reasons falls back to the local path —
+	// the results are byte-identical either way. Delegated jobs report no
+	// chunk progress; their chunks tick on whichever node runs them.
+	if s.cluster != nil {
+		if body, err, delegated := s.runJobViaCluster(ctx, spec, sp, upload); delegated {
+			return body, err
+		}
+	}
 	p := sp.params()
 	src, err := dataset.OpenCSVChunks(upload, p.Chunk)
 	if err != nil {
@@ -112,7 +123,7 @@ func (s *Server) runJob(ctx context.Context, spec json.RawMessage, upload string
 			progress(jobs.Progress{ChunksDone: done, ChunksTotal: total})
 		}
 	}
-	return s.runAssessment(ctx, src, p, sp.Digest, ws, chunkProg)
+	return s.runAssessment(ctx, src, p, sp.Digest, ws, chunkProg, true)
 }
 
 const jobTypeSweep = "sweep"

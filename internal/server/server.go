@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"randpriv/internal/cluster"
 	"randpriv/internal/jobs"
 	"randpriv/internal/mat"
 	"randpriv/internal/sweep"
@@ -83,6 +84,22 @@ type Config struct {
 	// to; a larger spec is rejected with 400 before any data work
 	// (default: 4096; negative removes the cap).
 	SweepMaxPoints int
+	// ClusterDir, when set, turns the server into a cluster coordinator
+	// over this shared state directory: plain assessment jobs are
+	// delegated to the task queue, streamed assessments shard their
+	// sketch pass across alive workers, and /healthz reports per-node
+	// gauges. Empty (the default) keeps the server single-process.
+	ClusterDir string
+	// NodeID is this process's cluster identity (filename-safe; default:
+	// hostname-pid). Only meaningful with ClusterDir.
+	NodeID string
+	// ClusterWorkers is how many claim loops this coordinator embeds, so
+	// a solo node still executes its own delegated work (default: 1;
+	// negative means none — pure coordination).
+	ClusterWorkers int
+	// ClusterLeaseTTL is how stale a node's heartbeat may grow before
+	// its task leases are reclaimed by other nodes (default: 5s).
+	ClusterLeaseTTL time.Duration
 	// Log receives request-level diagnostics; nil uses log.Default().
 	Log *log.Logger
 }
@@ -148,6 +165,16 @@ func (c Config) withDefaults() Config {
 	if c.SweepMaxPoints < 0 {
 		c.SweepMaxPoints = 0 // sweep.Expand: 0 means unbounded
 	}
+	if c.ClusterDir != "" {
+		if c.NodeID == "" {
+			c.NodeID = defaultNodeID()
+		}
+		if c.ClusterLeaseTTL <= 0 {
+			c.ClusterLeaseTTL = 5 * time.Second
+		}
+		// ClusterWorkers passes through: the coordinator reads 0 as "one
+		// embedded worker" and negative as "none".
+	}
 	if c.Log == nil {
 		c.Log = log.Default()
 	}
@@ -157,12 +184,13 @@ func (c Config) withDefaults() Config {
 // Server is the randprivd HTTP service. Create with New, serve via
 // ServeHTTP (it implements http.Handler), and Close when done.
 type Server struct {
-	cfg   Config
-	pool  *workerPool
-	cache *lruCache
-	jobs  *jobs.Manager
-	jobWS sync.Pool // *mat.Workspace scratch arenas for job workers
-	mux   *http.ServeMux
+	cfg     Config
+	pool    *workerPool
+	cache   *lruCache
+	jobs    *jobs.Manager
+	jobWS   sync.Pool // *mat.Workspace scratch arenas for job workers
+	cluster *cluster.Coordinator
+	mux     *http.ServeMux
 }
 
 // New builds a Server from cfg (zero-value fields take defaults). The
@@ -177,6 +205,14 @@ func New(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 	}
 	s.jobWS.New = func() any { return mat.NewWorkspace() }
+	// The cluster must be up before the jobs manager: recovery re-runs
+	// persisted jobs immediately, and those runs read s.cluster.
+	if cfg.ClusterDir != "" {
+		if err := s.openCluster(); err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+	}
 	mgr, err := jobs.NewManager(jobs.Options{
 		Dir:        cfg.JobsDir,
 		Workers:    cfg.JobWorkers,
@@ -185,6 +221,9 @@ func New(cfg Config) (*Server, error) {
 		Log:        cfg.Log,
 	}, s.runJob)
 	if err != nil {
+		if s.cluster != nil {
+			s.cluster.Close()
+		}
 		s.pool.Close()
 		return nil, err
 	}
@@ -205,9 +244,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close stops the job manager (canceling running jobs; their durable
-// state re-runs them on the next start) and drains the request pool.
+// state re-runs them on the next start), the cluster coordinator (its
+// embedded workers release their leases gracefully), and drains the
+// request pool.
 func (s *Server) Close() {
 	s.jobs.Close()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 	s.pool.Close()
 }
 

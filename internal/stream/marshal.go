@@ -1,0 +1,74 @@
+// Bit-exact wire form for Moments sketches. The cluster layer ships
+// per-chunk sketches between processes through the shared state dir, and
+// the whole multi-node byte-identity contract rests on the sketch that
+// comes back being the sketch that was sent — so the codec stores raw
+// IEEE-754 bits (math.Float64bits), never a decimal rendering. Only the
+// maintained upper triangle of M2 travels; the lower triangle is zero by
+// construction on both ends.
+
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// momentsMagic guards against feeding an arbitrary file to UnmarshalBinary.
+// The trailing byte is a format version.
+var momentsMagic = [4]byte{'m', 'o', 'm', '1'}
+
+// MarshalBinary encodes the sketch bit-exactly: magic, m, n, the m means
+// and the m·(m+1)/2 upper-triangle co-moments, all little-endian uint64
+// float bits. The encoding is canonical — equal sketches (same bits)
+// produce equal bytes — so it can double as a content-address.
+func (mo *Moments) MarshalBinary() ([]byte, error) {
+	tri := mo.m * (mo.m + 1) / 2
+	out := make([]byte, 0, 4+8+8+8*(mo.m+tri))
+	out = append(out, momentsMagic[:]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(mo.m))
+	out = binary.LittleEndian.AppendUint64(out, uint64(mo.n))
+	for _, v := range mo.mean {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	for a := 0; a < mo.m; a++ {
+		for b := a; b < mo.m; b++ {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(mo.m2[a*mo.m+b]))
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a MarshalBinary encoding into mo, replacing its
+// contents (scratch buffers are re-sized as needed, so a zero Moments
+// works as the target).
+func (mo *Moments) UnmarshalBinary(data []byte) error {
+	if len(data) < 4+16 || [4]byte(data[:4]) != momentsMagic {
+		return fmt.Errorf("stream: not a moments sketch encoding")
+	}
+	m := int(binary.LittleEndian.Uint64(data[4:]))
+	n := int64(binary.LittleEndian.Uint64(data[12:]))
+	if m < 0 || n < 0 {
+		return fmt.Errorf("stream: corrupt moments sketch (m=%d, n=%d)", m, n)
+	}
+	tri := m * (m + 1) / 2
+	want := 4 + 16 + 8*(m+tri)
+	if len(data) != want {
+		return fmt.Errorf("stream: moments sketch is %d bytes, want %d for m=%d", len(data), want, m)
+	}
+	fresh := NewMoments(m)
+	fresh.n = n
+	off := 20
+	for j := 0; j < m; j++ {
+		fresh.mean[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	}
+	for a := 0; a < m; a++ {
+		for b := a; b < m; b++ {
+			fresh.m2[a*m+b] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	*mo = *fresh
+	return nil
+}

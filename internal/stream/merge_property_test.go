@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"randpriv/internal/mat"
+)
+
+// sketchBytes is the bit-exact fingerprint the properties compare on.
+func sketchBytes(t *testing.T, mo *Moments) []byte {
+	t.Helper()
+	b, err := mo.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal sketch: %v", err)
+	}
+	return b
+}
+
+// randomPartition splits n rows at random points into chunk sizes ≥ 1,
+// biased to include single-row chunks.
+func randomPartition(rng *rand.Rand, n int) []int {
+	var sizes []int
+	for left := n; left > 0; {
+		var s int
+		switch rng.Intn(4) {
+		case 0:
+			s = 1 // force single-row chunks into every run
+		default:
+			s = 1 + rng.Intn(left)
+		}
+		if s > left {
+			s = left
+		}
+		sizes = append(sizes, s)
+		left -= s
+	}
+	return sizes
+}
+
+// TestMergePartitionBitIdentical is the property behind the cluster
+// layer's byte-identity claim: for a FIXED chunk partition, sketching
+// each chunk independently and Chan-merging the per-chunk sketches in
+// chunk order — however the chunks are grouped into contiguous shards,
+// including empty shards and single-row chunks — is bit-identical to the
+// sequential accumulate over the same chunk sequence. Fuzzed over random
+// data shapes, random split points and random shard groupings.
+func TestMergePartitionBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250808))
+	for iter := 0; iter < 120; iter++ {
+		n := 1 + rng.Intn(200)
+		m := 1 + rng.Intn(12)
+		data := mat.Zeros(n, m)
+		raw := data.Raw()
+		for i := range raw {
+			// Mixed scales so the last bits actually carry information.
+			raw[i] = (rng.NormFloat64() + 3) * float64(1+rng.Intn(1000))
+		}
+		sizes := randomPartition(rng, n)
+
+		// Reference: the sequential accumulate (what stream.Accumulate
+		// with workers=1 does for this partition).
+		seq := NewMoments(m)
+		row := 0
+		var chunks []*mat.Dense
+		for _, s := range sizes {
+			c := data.Slice(row, row+s, 0, m)
+			chunks = append(chunks, c)
+			seq.UpdateChunk(c)
+			row += s
+		}
+
+		// Cluster-style: fresh per-chunk sketches, arbitrarily grouped
+		// into contiguous shards (some empty), merged strictly in global
+		// chunk order.
+		var perChunk []*Moments
+		for _, c := range chunks {
+			mo := NewMoments(m)
+			mo.UpdateChunk(c)
+			perChunk = append(perChunk, mo)
+		}
+		acc := NewMoments(m)
+		i := 0
+		for i < len(perChunk) {
+			if rng.Intn(3) == 0 {
+				// Empty shard: contributes an empty sketch, which must be
+				// a bit-exact no-op in the merge.
+				if err := acc.Merge(NewMoments(m)); err != nil {
+					t.Fatalf("merge empty sketch: %v", err)
+				}
+				continue
+			}
+			shardLen := 1 + rng.Intn(len(perChunk)-i)
+			for _, mo := range perChunk[i : i+shardLen] {
+				if err := acc.Merge(mo); err != nil {
+					t.Fatalf("merge chunk sketch: %v", err)
+				}
+			}
+			i += shardLen
+		}
+
+		if !bytes.Equal(sketchBytes(t, seq), sketchBytes(t, acc)) {
+			t.Fatalf("iter %d (n=%d m=%d chunks=%d): merged per-chunk sketches differ from sequential accumulate",
+				iter, n, m, len(sizes))
+		}
+
+		// And the wire codec must round-trip those bits exactly, merge
+		// included: decode every per-chunk sketch and re-merge.
+		dec := NewMoments(0)
+		reacc := NewMoments(m)
+		for _, mo := range perChunk {
+			b := sketchBytes(t, mo)
+			if err := dec.UnmarshalBinary(b); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !bytes.Equal(sketchBytes(t, dec), b) {
+				t.Fatalf("iter %d: codec round-trip changed sketch bits", iter)
+			}
+			if err := reacc.Merge(dec); err != nil {
+				t.Fatalf("merge decoded sketch: %v", err)
+			}
+		}
+		if !bytes.Equal(sketchBytes(t, seq), sketchBytes(t, reacc)) {
+			t.Fatalf("iter %d: merging decoded sketches drifted from sequential accumulate", iter)
+		}
+	}
+}
+
+// TestMomentsCodecRejectsGarbage pins the codec's corruption surface: a
+// truncated, resized or mislabeled encoding must error, never decode into
+// a quietly wrong sketch.
+func TestMomentsCodecRejectsGarbage(t *testing.T) {
+	mo := NewMoments(3)
+	mo.Update([]float64{1, 2, 3})
+	mo.Update([]float64{4, 5, 6})
+	good, err := mo.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      good[:8],
+		"bad magic":  append([]byte("nope"), good[4:]...),
+		"truncated":  good[:len(good)-1],
+		"oversized":  append(append([]byte(nil), good...), 0),
+		"plain junk": []byte("definitely not a sketch"),
+	}
+	for name, b := range cases {
+		var out Moments
+		if err := out.UnmarshalBinary(b); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+	var out Moments
+	if err := out.UnmarshalBinary(good); err != nil {
+		t.Fatalf("decode good encoding: %v", err)
+	}
+	if out.Count() != 2 || out.Dim() != 3 {
+		t.Fatalf("decoded n=%d m=%d, want 2, 3", out.Count(), out.Dim())
+	}
+}

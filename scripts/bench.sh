@@ -5,7 +5,7 @@
 # Usage:
 #   scripts/bench.sh [output.json] [benchtime]
 #
-# Defaults: output BENCH_PR7.json in the repo root, -benchtime 100x (fixed
+# Defaults: output BENCH_PR8.json in the repo root, -benchtime 100x (fixed
 # iteration counts keep a run to a couple of minutes and make successive
 # snapshots comparable; raise it on quiet machines for tighter numbers).
 #
@@ -24,14 +24,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 BENCHTIME="${2:-100x}"
 
-PATTERN='BenchmarkAttackPCADR$|BenchmarkAttackBEDR$|BenchmarkAttackSF$|BenchmarkEigenSym$|BenchmarkEigenSymJacobi$|BenchmarkMatMul$|BenchmarkCovarianceMatrix$|BenchmarkMulABT$|BenchmarkSymRankK$|BenchmarkStreamingAttack$|BenchmarkSweepVsSequential$'
+PATTERN='BenchmarkAttackPCADR$|BenchmarkAttackBEDR$|BenchmarkAttackSF$|BenchmarkEigenSym$|BenchmarkEigenSymJacobi$|BenchmarkMatMul$|BenchmarkCovarianceMatrix$|BenchmarkMulABT$|BenchmarkSymRankK$|BenchmarkStreamingAttack$|BenchmarkSweepVsSequential$|BenchmarkShardedSketch$'
 
 RAW="${OUT}.txt"
 echo "running benches (pattern: ${PATTERN}, benchtime: ${BENCHTIME}) ..." >&2
-go test -run '^$' -bench "${PATTERN}" -benchmem -benchtime "${BENCHTIME}" . ./internal/server >"${RAW}"
+go test -run '^$' -bench "${PATTERN}" -benchmem -benchtime "${BENCHTIME}" . ./internal/server ./internal/cluster >"${RAW}"
 cat "${RAW}" >&2
 
 STAMP="$(date -u '+%Y-%m-%dT%H:%M:%SZ')"

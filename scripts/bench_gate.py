@@ -6,7 +6,7 @@ Usage:
 
 Both files are scripts/bench.sh snapshots; the comparison is between the
 "current" section of each (the baseline file's "current" is the recorded
-reference run — BENCH_PR7.json pins the PR 7 numbers). The gate fails
+reference run — BENCH_PR8.json pins the PR 8 numbers). The gate fails
 (exit 1) when any benchmark present in both files regresses by more than
 --threshold in ns/op. allocs/op changes are reported but advisory: CI
 boxes are noisy in time, exact in allocation counts, so a new alloc

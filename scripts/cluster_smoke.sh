@@ -1,0 +1,105 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end smoke of the coordinator/worker cluster
+# with real processes: the same streamed assessment job must return
+# byte-identical results from a single-process server, a 1-worker
+# cluster and a 2-worker cluster. This is the process-level version of
+# the in-process identity tests (TestClusterAssessByteIdentity), run in
+# CI so the flag wiring, the worker role and the shared state dir are
+# exercised the way an operator would.
+#
+# Usage: scripts/cluster_smoke.sh
+#
+# POSIX sh, same portability rules as bench.sh. Needs curl.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+PIDS=""
+cleanup() {
+    # shellcheck disable=SC2086
+    [ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "building ..." >&2
+go build -o "$WORK/randprivd" ./cmd/randprivd
+go run ./cmd/randpriv gen -n 600 -m 6 -p 2 -seed 7 -out "$WORK/data.csv"
+
+QUERY='sigma=5&seed=11&stream=1&chunk=32'
+
+# wait_http URL — poll until the endpoint answers.
+wait_http() {
+    i=0
+    while ! curl -sf "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && { echo "timeout waiting for $1" >&2; exit 1; }
+        sleep 0.2
+    done
+}
+
+# run_job PORT OUT — submit the job, poll to completion, store the result.
+run_job() {
+    port="$1"; out="$2"
+    id="$(curl -sf --data-binary @"$WORK/data.csv" \
+        "localhost:${port}/v1/jobs?${QUERY}" \
+        | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+    [ -n "$id" ] || { echo "job submit on :${port} returned no id" >&2; exit 1; }
+    i=0
+    while :; do
+        state="$(curl -sf "localhost:${port}/v1/jobs/${id}" \
+            | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+        case "$state" in
+        done) break ;;
+        failed | canceled) echo "job ${id} ended ${state}" >&2; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -ge 300 ] && { echo "timeout waiting for job ${id}" >&2; exit 1; }
+        sleep 0.2
+    done
+    curl -sf "localhost:${port}/v1/jobs/${id}/result" >"$out"
+}
+
+echo "baseline: single process, synchronous assess ..." >&2
+"$WORK/randprivd" -addr :18080 -spool "$WORK/spool0" -jobs-dir "$WORK/jobs0" &
+PIDS="$PIDS $!"
+mkdir -p "$WORK/spool0"
+wait_http localhost:18080/healthz
+curl -sf --data-binary @"$WORK/data.csv" \
+    "localhost:18080/v1/assess?${QUERY}" >"$WORK/base.json"
+
+echo "cluster A: coordinator (no embedded execution) + 1 worker ..." >&2
+"$WORK/randprivd" -addr :18081 -cluster-dir "$WORK/clusterA" -node-id coord-a \
+    -cluster-workers -1 -spool "$WORK/spoolA" -jobs-dir "$WORK/jobsA" &
+PIDS="$PIDS $!"
+mkdir -p "$WORK/spoolA"
+"$WORK/randprivd" -role worker -addr :18082 -cluster-dir "$WORK/clusterA" -node-id wa1 &
+PIDS="$PIDS $!"
+wait_http localhost:18081/healthz
+wait_http localhost:18082/healthz
+run_job 18081 "$WORK/one.json"
+
+echo "cluster B: coordinator (no embedded execution) + 2 workers ..." >&2
+"$WORK/randprivd" -addr :18083 -cluster-dir "$WORK/clusterB" -node-id coord-b \
+    -cluster-workers -1 -spool "$WORK/spoolB" -jobs-dir "$WORK/jobsB" &
+PIDS="$PIDS $!"
+mkdir -p "$WORK/spoolB"
+"$WORK/randprivd" -role worker -addr :18084 -cluster-dir "$WORK/clusterB" -node-id wb1 &
+PIDS="$PIDS $!"
+"$WORK/randprivd" -role worker -addr :18085 -cluster-dir "$WORK/clusterB" -node-id wb2 &
+PIDS="$PIDS $!"
+wait_http localhost:18083/healthz
+wait_http localhost:18084/healthz
+wait_http localhost:18085/healthz
+run_job 18083 "$WORK/two.json"
+
+cmp "$WORK/base.json" "$WORK/one.json" || {
+    echo "FAIL: 1-worker cluster result differs from single-process baseline" >&2
+    exit 1
+}
+cmp "$WORK/base.json" "$WORK/two.json" || {
+    echo "FAIL: 2-worker cluster result differs from single-process baseline" >&2
+    exit 1
+}
+echo "OK: single-process, 1-worker and 2-worker results are byte-identical" >&2
