@@ -91,12 +91,28 @@ func run(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	// Reject nonsense values at startup instead of letting a typo run a
+	// misconfigured daemon. Negative values that mean something stay
+	// legal: -job-ttl < 0 keeps jobs forever, and a coordinator's
+	// -cluster-workers < 0 disables its embedded claim loops.
+	if *timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive, got %v", *timeout)
+	}
+	if *queue < 0 {
+		return fmt.Errorf("-queue must be >= 0, got %d", *queue)
+	}
+	if *jobTTL == 0 {
+		return fmt.Errorf("-job-ttl must be nonzero (positive expires finished jobs, negative keeps them forever)")
+	}
 	if *role != "coordinator" && *role != "worker" {
 		return fmt.Errorf("unknown -role %q (want coordinator or worker)", *role)
 	}
 	if *role == "worker" {
 		if *clusterDir == "" {
 			return fmt.Errorf("-role worker requires -cluster-dir")
+		}
+		if *clusterWorkers < 0 {
+			return fmt.Errorf("-cluster-workers must be >= 0 for -role worker, got %d (a worker without claim loops does nothing)", *clusterWorkers)
 		}
 		return runWorker(*addr, *clusterDir, *nodeID, *clusterWorkers, *chunk, *spool, *timeout, logger)
 	}

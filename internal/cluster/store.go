@@ -21,24 +21,54 @@
 // every task runner is deterministic in the task's content-addressed
 // inputs, so two completions write byte-identical done files and the
 // last rename wins without changing anything.
+//
+// Storage faults are part of the model, not an afterthought: every
+// filesystem touch goes through a faultfs.FS handle (injectable by the
+// chaos suite), every commit point fsyncs the temp file and its parent
+// directory before declaring success, transient-classifiable errors are
+// retried under a capped-backoff policy, and Open sweeps the tmp/
+// staging area for put-* files a crashed writer stranded.
 package cluster
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"strings"
 	"time"
+
+	"randpriv/internal/faultfs"
+	"randpriv/internal/retry"
 )
 
 // Store is a handle on the shared cluster state directory. It holds no
-// in-memory state: any number of Store instances in any number of
-// processes may point at the same directory.
+// in-memory state beyond its filesystem handle: any number of Store
+// instances in any number of processes may point at the same directory.
 type Store struct {
-	root string
+	root    string
+	fs      faultfs.FS
+	ioRetry retry.Policy
+}
+
+// StoreOptions tunes a Store beyond its root directory.
+type StoreOptions struct {
+	// FS is the filesystem the state dir lives on; nil uses the OS
+	// passthrough. The chaos suite injects storage faults through it.
+	FS faultfs.FS
+	// Retry is the backoff policy wrapped around transient-classifiable
+	// state-dir I/O. A zero Attempts selects the default: 4 attempts,
+	// 5ms base, 100ms cap, no jitter (deterministic).
+	Retry retry.Policy
+	// OrphanAge is how old a tmp/put-* staging file must be before
+	// Open's startup sweep removes it (another live process may still
+	// be mid-write on a younger one). 0 means the 1h default; negative
+	// disables the sweep. Tests call SweepOrphans(0) directly for an
+	// unconditional sweep.
+	OrphanAge time.Duration
 }
 
 // Subdirectories of the state dir, created by Open.
@@ -52,28 +82,87 @@ var storeLayout = []string{
 	"tmp",
 }
 
+// defaultOrphanAge gates the startup sweep: a staging file this old has
+// no live writer (writes are seconds, not hours).
+const defaultOrphanAge = time.Hour
+
 // Open creates (if needed) the state directory layout and returns a
-// handle. Open is idempotent and safe to call concurrently from many
-// processes — MkdirAll tolerates losing every race.
+// handle with default options. Open is idempotent and safe to call
+// concurrently from many processes — MkdirAll tolerates losing every
+// race, and the orphan sweep is age-gated so it can never remove a
+// staging file another live process is still writing.
 func Open(root string) (*Store, error) {
+	return OpenStore(root, StoreOptions{})
+}
+
+// OpenStore is Open with explicit options.
+func OpenStore(root string, opts StoreOptions) (*Store, error) {
 	if root == "" {
 		return nil, fmt.Errorf("cluster: state dir is required")
 	}
+	ioRetry := opts.Retry
+	if ioRetry.Attempts == 0 {
+		ioRetry = retry.Policy{Attempts: 4, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond}
+	}
+	s := &Store{root: root, fs: faultfs.Default(opts.FS), ioRetry: ioRetry}
 	for _, d := range storeLayout {
-		if err := os.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
+		if err := s.fs.MkdirAll(filepath.Join(root, d), 0o755); err != nil {
 			return nil, fmt.Errorf("cluster: create state dir: %w", err)
 		}
 	}
-	return &Store{root: root}, nil
+	age := opts.OrphanAge
+	if age == 0 {
+		age = defaultOrphanAge
+	}
+	if age > 0 {
+		// Best-effort: a sweep failure must not fail Open — the orphans
+		// cost disk space, not correctness.
+		if n, err := s.SweepOrphans(age); err == nil && n > 0 {
+			// No logger here by design; the store is process-shared state,
+			// not a service. Callers see the count via SweepOrphans.
+			_ = n
+		}
+	}
+	return s, nil
 }
 
 // Root returns the state directory path.
 func (s *Store) Root() string { return s.root }
 
+func (s *Store) tmpDir() string     { return filepath.Join(s.root, "tmp") }
 func (s *Store) pendingDir() string { return filepath.Join(s.root, "tasks", "pending") }
 func (s *Store) claimedDir() string { return filepath.Join(s.root, "tasks", "claimed") }
 func (s *Store) doneDir() string    { return filepath.Join(s.root, "tasks", "done") }
 func (s *Store) nodesDir() string   { return filepath.Join(s.root, "nodes") }
+
+// SweepOrphans removes tmp/put-* staging files older than olderThan (0
+// removes all of them) and returns how many went. A put-* file exists
+// only between CreateTemp and the commit rename; one that outlives its
+// writer is a crash leftover no future operation will ever touch.
+func (s *Store) SweepOrphans(olderThan time.Duration) (int, error) {
+	entries, err := s.fs.ReadDir(s.tmpDir())
+	if err != nil {
+		return 0, fmt.Errorf("cluster: scan tmp: %w", err)
+	}
+	cutoff := time.Now().Add(-olderThan)
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "put-") {
+			continue
+		}
+		path := filepath.Join(s.tmpDir(), e.Name())
+		if olderThan > 0 {
+			info, err := s.fs.Stat(path)
+			if err != nil || info.ModTime().After(cutoff) {
+				continue
+			}
+		}
+		if s.fs.Remove(path) == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
 
 // hexDigest reports whether d looks like a hex SHA-256 — the only names
 // the CAS and the task queue accept. Everything read back from shared
@@ -102,27 +191,46 @@ func (s *Store) HasBlob(digest string) bool {
 	if !hexDigest(digest) {
 		return false
 	}
-	_, err := os.Stat(s.CASPath(digest))
+	_, err := s.fs.Stat(s.CASPath(digest))
 	return err == nil
 }
 
 // writeAtomic writes body into the store via a temp file in <dir>/tmp
-// and a rename, so concurrent readers (and writers of the same path, on
-// every OS rename is atomic on) never observe a partial file.
+// and a rename, with the full crash-durability protocol at the commit
+// point: the temp file is fsynced before the rename and the target's
+// directory after it, so a committed write survives power loss, not
+// just process death. Transient failures retry the whole protocol with
+// a fresh temp file — which is why write must be replayable (every
+// caller either writes from memory or re-seeks its source). A failed
+// attempt's temp file is removed immediately; what a crash strands, the
+// startup sweep reclaims.
 func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
-	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "put-*")
+	// Store writes retry on a background context on purpose: the store
+	// is process-shared durable state and a commit in flight must not be
+	// abandoned because one caller's request context expired (attempts
+	// are bounded, so nothing can hang on it).
+	err := s.ioRetry.Do(context.Background(), func() error {
+		tmp, err := s.fs.CreateTemp(s.tmpDir(), "put-*")
+		if err != nil {
+			return err
+		}
+		err = write(tmp)
+		if err == nil {
+			err = tmp.Sync()
+		}
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = s.fs.Rename(tmp.Name(), path)
+		}
+		if err != nil {
+			s.fs.Remove(tmp.Name())
+			return err
+		}
+		return s.fs.SyncDir(filepath.Dir(path))
+	})
 	if err != nil {
-		return fmt.Errorf("cluster: create temp: %w", err)
-	}
-	err = write(tmp)
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp.Name(), path)
-	}
-	if err != nil {
-		os.Remove(tmp.Name())
 		return fmt.Errorf("cluster: write %s: %w", filepath.Base(path), err)
 	}
 	return nil
@@ -133,7 +241,7 @@ func (s *Store) writeAtomic(path string, write func(io.Writer) error) error {
 // whole point of content addressing: identical uploads across nodes hit
 // the same blob once.
 func (s *Store) PutFile(path string) (string, error) {
-	f, err := os.Open(path)
+	f, err := s.fs.Open(path)
 	if err != nil {
 		return "", fmt.Errorf("cluster: open %s: %w", path, err)
 	}
@@ -146,10 +254,12 @@ func (s *Store) PutFile(path string) (string, error) {
 	if s.HasBlob(digest) {
 		return digest, nil
 	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return "", fmt.Errorf("cluster: rewind %s: %w", path, err)
-	}
+	// The write func re-seeks on entry so a retried attempt replays the
+	// source from the top instead of copying a suffix.
 	err = s.writeAtomic(s.CASPath(digest), func(w io.Writer) error {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
 		_, err := io.Copy(w, f)
 		return err
 	})
@@ -187,8 +297,10 @@ func (s *Store) resultPath(key string) string {
 // This is the cross-node analogue of the server's in-process assessment
 // LRU: entries are the exact response bytes, keyed on the same
 // sweep.CacheKey string, so any node's computation serves every node.
+// A read fault reads as a miss — the cache is an accelerator, and the
+// caller recomputes identical bytes.
 func (s *Store) CachedResult(key string) ([]byte, bool) {
-	body, err := os.ReadFile(s.resultPath(key))
+	body, err := s.fs.ReadFile(s.resultPath(key))
 	if err != nil {
 		return nil, false
 	}
@@ -235,7 +347,7 @@ func (s *Store) WriteHeartbeat(hb Heartbeat) error {
 // dead node — that is what lets the fault harness kill a worker by
 // corrupting its heartbeat bytes.
 func (s *Store) nodeAlive(node string, ttl time.Duration, now time.Time) bool {
-	body, err := os.ReadFile(filepath.Join(s.nodesDir(), node+".json"))
+	body, err := s.fs.ReadFile(filepath.Join(s.nodesDir(), node+".json"))
 	if err != nil {
 		return false
 	}
@@ -250,13 +362,13 @@ func (s *Store) nodeAlive(node string, ttl time.Duration, now time.Time) bool {
 // order. Corrupt heartbeat files are skipped — /healthz reports what can
 // be known, and the reclaim path already treats those nodes as dead.
 func (s *Store) Nodes() ([]Heartbeat, error) {
-	entries, err := os.ReadDir(s.nodesDir())
+	entries, err := s.fs.ReadDir(s.nodesDir())
 	if err != nil {
 		return nil, fmt.Errorf("cluster: scan nodes: %w", err)
 	}
 	var out []Heartbeat
 	for _, e := range entries {
-		body, err := os.ReadFile(filepath.Join(s.nodesDir(), e.Name()))
+		body, err := s.fs.ReadFile(filepath.Join(s.nodesDir(), e.Name()))
 		if err != nil {
 			continue
 		}
@@ -273,7 +385,7 @@ func (s *Store) Nodes() ([]Heartbeat, error) {
 // /healthz cluster gauges.
 func (s *Store) QueueStats() (pending, claimed, done int) {
 	count := func(dir string) int {
-		entries, err := os.ReadDir(dir)
+		entries, err := s.fs.ReadDir(dir)
 		if err != nil {
 			return 0
 		}

@@ -4,6 +4,7 @@
 package cluster
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -11,7 +12,6 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -130,26 +130,35 @@ func (s *Store) Enqueue(t Task) error {
 
 // taskResolved reports whether a done file exists for id.
 func (s *Store) taskResolved(id string) bool {
-	_, err := os.Stat(filepath.Join(s.doneDir(), id+".json"))
+	_, err := s.fs.Stat(filepath.Join(s.doneDir(), id+".json"))
 	return err == nil
 }
 
 // taskClaimed reports whether any node currently holds a lease on id.
 func (s *Store) taskClaimed(id string) bool {
-	matches, _ := filepath.Glob(filepath.Join(s.claimedDir(), id+".*.json"))
-	return len(matches) > 0
+	entries, err := s.fs.ReadDir(s.claimedDir())
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), id+".") {
+			return true
+		}
+	}
+	return false
 }
 
 // Claim leases one pending task to node via the atomic-rename protocol
 // and returns it, or nil when nothing is claimable. Tasks are scanned in
 // name order so competing claimers mostly collide on the same few files
 // and resolve quickly; the rename is the arbiter — exactly one claimer
-// wins each task.
+// wins each task. Claim renames are deliberately NOT retried: losing the
+// race is the common case, not a fault, and a retry would just re-lose.
 func (s *Store) Claim(node string) (*Task, error) {
 	if err := validNodeID(node); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(s.pendingDir())
+	entries, err := s.fs.ReadDir(s.pendingDir())
 	if err != nil {
 		return nil, fmt.Errorf("cluster: scan pending: %w", err)
 	}
@@ -163,15 +172,15 @@ func (s *Store) Claim(node string) (*Task, error) {
 		if s.taskResolved(id) {
 			// A reclaim raced a completion: the work is already done, so
 			// the stale pending file is garbage, not work.
-			os.Remove(src)
+			s.fs.Remove(src)
 			continue
 		}
-		body, err := os.ReadFile(src)
+		body, err := s.fs.ReadFile(src)
 		if err != nil {
 			continue // lost the claim race at the read
 		}
 		dst := filepath.Join(s.claimedDir(), id+"."+node+".json")
-		if err := os.Rename(src, dst); err != nil {
+		if err := s.fs.Rename(src, dst); err != nil {
 			continue // lost the claim race at the rename
 		}
 		var t Task
@@ -197,7 +206,7 @@ func (s *Store) Release(t *Task) error {
 	}
 	src := filepath.Join(s.claimedDir(), t.ID+"."+t.owner+".json")
 	dst := filepath.Join(s.pendingDir(), t.ID+".json")
-	if err := os.Rename(src, dst); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	if err := s.fs.Rename(src, dst); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("cluster: release task: %w", err)
 	}
 	return nil
@@ -220,15 +229,22 @@ func (s *Store) Complete(t *Task, result []byte, taskErr string) error {
 		return err
 	}
 	if t.owner != "" {
-		os.Remove(filepath.Join(s.claimedDir(), t.ID+"."+t.owner+".json"))
+		s.fs.Remove(filepath.Join(s.claimedDir(), t.ID+"."+t.owner+".json"))
 	}
 	return nil
 }
 
 // TaskResult reads a task's completion envelope. ok is false while the
-// task is still pending or claimed.
+// task is still pending or claimed. Transient read faults (a device
+// hiccup under a polling Await) retry before surfacing; a missing file
+// is not a fault, just "not done yet".
 func (s *Store) TaskResult(id string) (result []byte, taskErr string, ok bool, err error) {
-	body, err := os.ReadFile(filepath.Join(s.doneDir(), id+".json"))
+	var body []byte
+	err = s.ioRetry.Do(context.Background(), func() error {
+		var rerr error
+		body, rerr = s.fs.ReadFile(filepath.Join(s.doneDir(), id+".json"))
+		return rerr
+	})
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, "", false, nil
 	}
@@ -248,7 +264,7 @@ func (s *Store) TaskResult(id string) (result []byte, taskErr string, ok bool, e
 // Any node may run this — typically the coordinator, while it waits on
 // its shard tasks.
 func (s *Store) ReclaimExpired(ttl time.Duration, now time.Time) (int, error) {
-	entries, err := os.ReadDir(s.claimedDir())
+	entries, err := s.fs.ReadDir(s.claimedDir())
 	if err != nil {
 		return 0, fmt.Errorf("cluster: scan claimed: %w", err)
 	}
@@ -268,10 +284,10 @@ func (s *Store) ReclaimExpired(ttl time.Duration, now time.Time) (int, error) {
 		if s.taskResolved(id) {
 			// The owner completed and crashed before removing its claim
 			// file; nothing to re-run.
-			os.Remove(src)
+			s.fs.Remove(src)
 			continue
 		}
-		if err := os.Rename(src, filepath.Join(s.pendingDir(), id+".json")); err != nil {
+		if err := s.fs.Rename(src, filepath.Join(s.pendingDir(), id+".json")); err != nil {
 			continue // someone else reclaimed or the owner completed; either way resolved
 		}
 		reclaimed++

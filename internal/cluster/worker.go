@@ -6,6 +6,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -178,27 +179,60 @@ func (w *Worker) heartbeatLoop() {
 	}
 }
 
+// maxClaimBackoff caps how far the claim loop backs off when the state
+// dir itself is erroring: far enough to stop hammering a sick disk,
+// near enough to resume within a couple of seconds of it healing.
+const maxClaimBackoff = 2 * time.Second
+
 func (w *Worker) claimLoop() {
 	defer w.wg.Done()
+	// Consecutive Claim errors back the poll off exponentially (with a
+	// small deterministic jitter keyed on the node id, so a fleet of
+	// workers facing the same sick disk doesn't retry in lockstep). Any
+	// success — a task or a clean empty scan — resets the backoff.
+	jitter := rand.New(rand.NewSource(int64(nodeSeed(w.opts.Node))))
+	errStreak := 0
 	for {
 		if w.ctx.Err() != nil {
 			return
 		}
 		t, err := w.store.Claim(w.opts.Node)
 		if err != nil {
-			w.opts.Log.Printf("cluster: %s: claim: %v", w.opts.Node, err)
+			errStreak++
+			w.opts.Log.Printf("cluster: %s: claim (streak %d): %v", w.opts.Node, errStreak, err)
+		} else {
+			errStreak = 0
 		}
 		if t == nil {
+			sleep := w.opts.Poll
+			if errStreak > 0 {
+				sleep = w.opts.Poll << uint(errStreak-1)
+				if sleep <= 0 || sleep > maxClaimBackoff {
+					sleep = maxClaimBackoff
+				}
+				sleep += time.Duration(jitter.Int63n(int64(w.opts.Poll) + 1))
+			}
 			select {
 			case <-w.ctx.Done():
 				return
-			case <-time.After(w.opts.Poll):
+			case <-time.After(sleep):
 			}
 			continue
 		}
 		w.claimed.Add(1)
 		w.runClaimed(t)
 	}
+}
+
+// nodeSeed hashes a node id into a jitter seed: stable per node,
+// different across nodes.
+func nodeSeed(node string) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // runClaimed executes one leased task through the completion protocol.

@@ -1,0 +1,184 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// writeFile is the test's minimal write path through an FS.
+func writeFile(fsys FS, path string, body []byte) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Default(nil)
+	path := filepath.Join(dir, "a.txt")
+	if err := writeFile(fsys, path, []byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	body, err := fsys.ReadFile(path)
+	if err != nil || string(body) != "hello" {
+		t.Fatalf("read back = %q, %v", body, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatalf("sync dir: %v", err)
+	}
+	dst := filepath.Join(dir, "b.txt")
+	if err := fsys.Rename(path, dst); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if _, err := fsys.Stat(dst); err != nil {
+		t.Fatalf("stat after rename: %v", err)
+	}
+}
+
+// TestInjectorDeterminism: the same schedule over the same call
+// sequence fires at exactly the same calls, every run.
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() []int {
+		dir := t.TempDir()
+		inj := NewInjector(nil, Rule{Op: OpWrite, Path: "data", After: 1, Times: 2, Err: ErrNoSpace})
+		var fired []int
+		for i := 0; i < 6; i++ {
+			err := writeFile(inj, filepath.Join(dir, "data.bin"), []byte("x"))
+			if err != nil {
+				if !errors.Is(err, syscall.ENOSPC) {
+					t.Fatalf("call %d: err = %v, want ENOSPC", i, err)
+				}
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != 2 || a[0] != 1 || a[1] != 2 {
+		t.Fatalf("faults fired at calls %v, want [1 2] (After=1 skips the first, Times=2 fires twice)", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic: run1 %v run2 %v", a, b)
+		}
+	}
+}
+
+func TestInjectedErrorsAreRealErrnos(t *testing.T) {
+	inj := NewInjector(nil, Rule{Op: OpOpen, Path: "victim"})
+	_, err := inj.Open(filepath.Join(t.TempDir(), "victim.txt"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO via errors.Is", err)
+	}
+	var pe *os.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *fs.PathError (what a real failing open returns)", err)
+	}
+}
+
+// TestTornWrite: a KeepBytes rule persists exactly that prefix before
+// surfacing the error — the partial-page-flush model.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, Rule{Op: OpWrite, Path: "torn", KeepBytes: 3})
+	path := filepath.Join(dir, "torn.bin")
+	err := writeFile(inj, path, []byte("abcdefgh"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write err = %v, want EIO", err)
+	}
+	body, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("read torn file: %v", rerr)
+	}
+	if string(body) != "abc" {
+		t.Fatalf("torn file holds %q, want the 3-byte prefix \"abc\"", body)
+	}
+}
+
+// TestCrashHaltsEverything: after a crash rule fires, the matched op
+// does not take effect and every later op fails with ErrCrashed.
+func TestCrashHaltsEverything(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "tmp-file")
+	dst := filepath.Join(dir, "committed")
+	if err := os.WriteFile(src, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(nil, Rule{Op: OpRename, Path: "committed", Crash: true})
+	if err := inj.Rename(src, dst); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename err = %v, want ErrCrashed", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() = false after crash rule fired")
+	}
+	// The rename must NOT have happened: the crash point is *between*
+	// the temp write and the commit.
+	if _, err := os.Stat(dst); err == nil {
+		t.Fatal("crashed rename still committed the file")
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("temp file gone after crashed rename: %v", err)
+	}
+	// Everything after the crash fails, even ops no rule mentions.
+	if _, err := inj.ReadFile(src); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read err = %v, want ErrCrashed", err)
+	}
+	if err := inj.MkdirAll(filepath.Join(dir, "sub"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash mkdir err = %v, want ErrCrashed", err)
+	}
+	// A fresh FS over the same directory (the "restart") sees the
+	// pre-crash state intact.
+	clean := Default(nil)
+	body, err := clean.ReadFile(src)
+	if err != nil || string(body) != "payload" {
+		t.Fatalf("post-restart read = %q, %v", body, err)
+	}
+}
+
+func TestFaultsCounter(t *testing.T) {
+	inj := NewInjector(nil,
+		Rule{Op: OpStat, Path: "x", Times: 3},
+		Rule{Op: OpRemove, Path: "y"},
+	)
+	for i := 0; i < 5; i++ {
+		inj.Stat("x") //nolint:errcheck
+	}
+	inj.Remove("y") //nolint:errcheck
+	if got := inj.Faults(); got != 4 {
+		t.Fatalf("Faults() = %d, want 4 (3 stats + 1 remove)", got)
+	}
+}
+
+func TestInjFileReadFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.bin")
+	if err := os.WriteFile(path, []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(nil, Rule{Op: OpRead, Path: "r.bin", After: 1})
+	f, err := inj.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatalf("first read should pass: %v", err)
+	}
+	if _, err := f.Read(buf); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("second read err = %v, want EIO", err)
+	}
+	if _, err := io.ReadAll(f); err != nil {
+		t.Fatalf("third read should pass again (Times=1): %v", err)
+	}
+}

@@ -1,0 +1,293 @@
+// The deterministic fault injector: a schedule of rules replayed over a
+// wrapped FS. Determinism is the whole point — a chaos test that found a
+// bug must reproduce it on every run, so nothing here consults a clock
+// or an unseeded RNG. A schedule fires on call counts: "the 3rd write
+// under tasks/", "every read of job.json after the first".
+
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op names one filesystem operation class for rule matching.
+type Op string
+
+const (
+	OpOpen    Op = "open"
+	OpCreate  Op = "create" // Create and CreateTemp
+	OpRead    Op = "read"   // File.Read and ReadFile
+	OpWrite   Op = "write"
+	OpSync    Op = "sync" // File.Sync and SyncDir
+	OpClose   Op = "close"
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove" // Remove and RemoveAll
+	OpMkdir   Op = "mkdir"
+	OpReadDir Op = "readdir"
+	OpStat    Op = "stat"
+)
+
+// Common injected errnos, wrapped as real *fs.PathErrors so production
+// error classification (retry.Transient) sees exactly what a failing
+// disk would produce.
+var (
+	ErrIO      = syscall.EIO
+	ErrNoSpace = syscall.ENOSPC
+)
+
+// ErrCrashed is returned by every operation after a crash point fired:
+// the simulated process is dead and nothing it does reaches the disk.
+// Tests "restart" by opening a fresh store over the same directory with
+// a clean FS.
+var ErrCrashed = errors.New("faultfs: filesystem halted at crash point")
+
+// Rule is one scheduled fault. A rule matches calls of its Op whose
+// path contains Path (empty matches everything); it skips the first
+// After matches, then fires on the next Times matches (Times 0 means
+// once). What firing does:
+//
+//   - Err non-nil: the call fails with Err (wrapped in a *fs.PathError).
+//   - KeepBytes > 0 with OpWrite: a torn write — the first KeepBytes
+//     bytes of the failing write persist, then the error surfaces. This
+//     models a partial page flush before the device failed.
+//   - Crash: after the fault (and any torn prefix) is applied, the
+//     filesystem halts — the matched operation does NOT take effect and
+//     every later call returns ErrCrashed.
+type Rule struct {
+	Op        Op
+	Path      string
+	After     int
+	Times     int
+	Err       error
+	KeepBytes int
+	Crash     bool
+}
+
+type ruleState struct {
+	Rule
+	matched int // matching calls seen so far
+	fired   int // faults delivered so far
+}
+
+// Injector is an FS that replays a fault schedule over an inner FS.
+// Safe for concurrent use.
+type Injector struct {
+	inner FS
+
+	mu      sync.Mutex
+	rules   []*ruleState
+	crashed bool
+	faults  int // total faults delivered, for test assertions
+}
+
+// NewInjector wraps inner (nil means the OS passthrough) with schedule.
+func NewInjector(inner FS, schedule ...Rule) *Injector {
+	inj := &Injector{inner: Default(inner)}
+	for _, r := range schedule {
+		if r.Times == 0 {
+			r.Times = 1
+		}
+		if r.Err == nil {
+			if r.Crash {
+				r.Err = ErrCrashed
+			} else {
+				r.Err = ErrIO
+			}
+		}
+		inj.rules = append(inj.rules, &ruleState{Rule: r})
+	}
+	return inj
+}
+
+// Faults reports how many faults the schedule has delivered.
+func (i *Injector) Faults() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.faults
+}
+
+// Crashed reports whether a crash point has fired.
+func (i *Injector) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// check consults the schedule for one call. It returns the rule that
+// fired (nil for a clean call). The caller applies the fault.
+func (i *Injector) check(op Op, path string) *ruleState {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return &ruleState{Rule: Rule{Op: op, Path: path, Err: ErrCrashed}}
+	}
+	for _, r := range i.rules {
+		if r.Op != op || !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.After || r.fired >= r.Times {
+			continue
+		}
+		r.fired++
+		i.faults++
+		if r.Crash {
+			i.crashed = true
+		}
+		return r
+	}
+	return nil
+}
+
+// pathErr wraps an injected errno the way the os package would.
+func pathErr(op Op, path string, err error) error {
+	if errors.Is(err, ErrCrashed) {
+		return fmt.Errorf("%s %s: %w", op, path, ErrCrashed)
+	}
+	return &fs.PathError{Op: string(op), Path: path, Err: err}
+}
+
+func (i *Injector) Open(name string) (File, error) {
+	if r := i.check(OpOpen, name); r != nil {
+		return nil, pathErr(OpOpen, name, r.Err)
+	}
+	f, err := i.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f}, nil
+}
+
+func (i *Injector) Create(name string) (File, error) {
+	if r := i.check(OpCreate, name); r != nil {
+		return nil, pathErr(OpCreate, name, r.Err)
+	}
+	f, err := i.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f}, nil
+}
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if r := i.check(OpCreate, dir+"/"+pattern); r != nil {
+		return nil, pathErr(OpCreate, dir, r.Err)
+	}
+	f, err := i.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f}, nil
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	if r := i.check(OpRead, name); r != nil {
+		return nil, pathErr(OpRead, name, r.Err)
+	}
+	return i.inner.ReadFile(name)
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if r := i.check(OpRename, oldpath+" -> "+newpath); r != nil {
+		return pathErr(OpRename, newpath, r.Err)
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	if r := i.check(OpRemove, name); r != nil {
+		return pathErr(OpRemove, name, r.Err)
+	}
+	return i.inner.Remove(name)
+}
+
+func (i *Injector) RemoveAll(path string) error {
+	if r := i.check(OpRemove, path); r != nil {
+		return pathErr(OpRemove, path, r.Err)
+	}
+	return i.inner.RemoveAll(path)
+}
+
+func (i *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if r := i.check(OpMkdir, path); r != nil {
+		return pathErr(OpMkdir, path, r.Err)
+	}
+	return i.inner.MkdirAll(path, perm)
+}
+
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if r := i.check(OpReadDir, name); r != nil {
+		return nil, pathErr(OpReadDir, name, r.Err)
+	}
+	return i.inner.ReadDir(name)
+}
+
+func (i *Injector) Stat(name string) (fs.FileInfo, error) {
+	if r := i.check(OpStat, name); r != nil {
+		return nil, pathErr(OpStat, name, r.Err)
+	}
+	return i.inner.Stat(name)
+}
+
+func (i *Injector) SyncDir(dir string) error {
+	if r := i.check(OpSync, dir); r != nil {
+		return pathErr(OpSync, dir, r.Err)
+	}
+	return i.inner.SyncDir(dir)
+}
+
+// injFile threads per-file reads/writes/syncs back through the
+// schedule, keyed by the file's path.
+type injFile struct {
+	inj *Injector
+	f   File
+}
+
+func (w *injFile) Name() string { return w.f.Name() }
+
+func (w *injFile) Read(p []byte) (int, error) {
+	if r := w.inj.check(OpRead, w.f.Name()); r != nil {
+		return 0, pathErr(OpRead, w.f.Name(), r.Err)
+	}
+	return w.f.Read(p)
+}
+
+func (w *injFile) Write(p []byte) (int, error) {
+	if r := w.inj.check(OpWrite, w.f.Name()); r != nil {
+		n := 0
+		if r.KeepBytes > 0 {
+			// Torn write: a prefix reaches the disk before the fault.
+			keep := r.KeepBytes
+			if keep > len(p) {
+				keep = len(p)
+			}
+			n, _ = w.f.Write(p[:keep])
+		}
+		return n, pathErr(OpWrite, w.f.Name(), r.Err)
+	}
+	return w.f.Write(p)
+}
+
+func (w *injFile) Seek(offset int64, whence int) (int64, error) {
+	return w.f.Seek(offset, whence)
+}
+
+func (w *injFile) Sync() error {
+	if r := w.inj.check(OpSync, w.f.Name()); r != nil {
+		return pathErr(OpSync, w.f.Name(), r.Err)
+	}
+	return w.f.Sync()
+}
+
+func (w *injFile) Close() error {
+	if r := w.inj.check(OpClose, w.f.Name()); r != nil {
+		w.f.Close()
+		return pathErr(OpClose, w.f.Name(), r.Err)
+	}
+	return w.f.Close()
+}

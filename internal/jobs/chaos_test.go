@@ -1,0 +1,175 @@
+// The jobs-plane chaos suite: seeded storage-fault schedules replayed
+// against the manager's durable state machine. The contract under test
+// is absolute: every run either yields the exact golden bytes (after
+// retries, fallback, or recovery) or surfaces a clean typed error —
+// never a torn record, never an unrecoverable state dir.
+
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"randpriv/internal/faultfs"
+	"randpriv/internal/retry"
+)
+
+const chaosSpec = `{"sigma":5}`
+
+// goldenResult computes the fault-free result bytes for the canonical
+// chaos job — the byte-identity reference every faulted run must match.
+func goldenResult(t *testing.T) []byte {
+	t.Helper()
+	m := newTestManager(t, t.TempDir(), Options{Workers: 1}, echoRunner)
+	snap, err := m.Submit(json.RawMessage(chaosSpec), "digest-chaos", strings.NewReader("a,b\n1,2\n"))
+	if err != nil {
+		t.Fatalf("golden submit: %v", err)
+	}
+	waitState(t, m, snap.ID, StateDone)
+	body, err := m.Result(snap.ID)
+	if err != nil {
+		t.Fatalf("golden result: %v", err)
+	}
+	return body
+}
+
+// countTempFiles walks the state dir for stranded atomic-write temps.
+func countTempFiles(t *testing.T, dir string) int {
+	t.Helper()
+	count := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), tmpPrefix) {
+			count++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", dir, err)
+	}
+	return count
+}
+
+// TestChaosTransientFaultsRetryToGolden: ENOSPC on the first persist
+// attempt and EIO on the first result read are absorbed by the retry
+// policy; the job completes and its bytes match the fault-free golden.
+func TestChaosTransientFaultsRetryToGolden(t *testing.T) {
+	want := goldenResult(t)
+	inj := faultfs.NewInjector(nil,
+		// First write to an atomic-write temp file fails with ENOSPC.
+		faultfs.Rule{Op: faultfs.OpWrite, Path: tmpPrefix, Err: faultfs.ErrNoSpace},
+		// First read of the stored result fails with EIO.
+		faultfs.Rule{Op: faultfs.OpRead, Path: "result.json", Err: faultfs.ErrIO},
+	)
+	m := newTestManager(t, t.TempDir(), Options{Workers: 1, FS: inj}, echoRunner)
+	snap, err := m.Submit(json.RawMessage(chaosSpec), "digest-chaos", strings.NewReader("a,b\n1,2\n"))
+	if err != nil {
+		t.Fatalf("Submit under fault schedule: %v", err)
+	}
+	waitState(t, m, snap.ID, StateDone)
+	got, err := m.Result(snap.ID)
+	if err != nil {
+		t.Fatalf("Result under fault schedule: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("faulted result = %q, want golden %q", got, want)
+	}
+	if inj.Faults() < 2 {
+		t.Fatalf("schedule delivered %d faults, want at least 2 (the test exercised nothing)", inj.Faults())
+	}
+}
+
+// TestChaosCrashAtCommitRecoversClean: the filesystem halts at the
+// rename that would commit the job record. Submit surfaces a clean
+// error; a restarted manager over the same directory sweeps the
+// stranded temp, removes the orphan dir, and serves the golden bytes
+// for a resubmission.
+func TestChaosCrashAtCommitRecoversClean(t *testing.T) {
+	want := goldenResult(t)
+	dir := t.TempDir()
+	inj := faultfs.NewInjector(nil,
+		faultfs.Rule{Op: faultfs.OpRename, Path: tmpPrefix, Crash: true},
+	)
+	m, err := NewManager(Options{Dir: dir, Workers: 1, FS: inj}, echoRunner)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	_, err = m.Submit(json.RawMessage(chaosSpec), "digest-chaos", strings.NewReader("a,b\n1,2\n"))
+	if !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("Submit at crash point: err = %v, want ErrCrashed (a clean error, not a half-accepted job)", err)
+	}
+	m.Close()
+	// The crash stranded a temp file and an upload in a dir without a
+	// job record; both must exist now or the recovery assertions below
+	// assert nothing.
+	if countTempFiles(t, dir) == 0 {
+		t.Fatal("crash left no stranded temp file; the schedule missed its target")
+	}
+
+	// "Restart": a fresh manager over the same directory, clean FS.
+	m2 := newTestManager(t, dir, Options{Workers: 1}, echoRunner)
+	if n := countTempFiles(t, dir); n != 0 {
+		t.Fatalf("%d stranded temp file(s) survived the startup sweep", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("orphan job dir %s survived recovery (no job.json was ever committed for it)", e.Name())
+		}
+	}
+	snap, err := m2.Submit(json.RawMessage(chaosSpec), "digest-chaos", strings.NewReader("a,b\n1,2\n"))
+	if err != nil {
+		t.Fatalf("resubmit after recovery: %v", err)
+	}
+	waitState(t, m2, snap.ID, StateDone)
+	got, err := m2.Result(snap.ID)
+	if err != nil {
+		t.Fatalf("Result after recovery: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("post-recovery result = %q, want golden %q", got, want)
+	}
+}
+
+// TestChaosPersistentFaultStormExhausts: a fault that outlives the
+// retry budget surfaces as a typed ExhaustedError, and the manager
+// keeps serving once the storm clears.
+func TestChaosPersistentFaultStormExhausts(t *testing.T) {
+	want := goldenResult(t)
+	// The submit-time persist makes up to 4 attempts; fail exactly that
+	// many temp writes so the storm covers one whole persist, then clears.
+	inj := faultfs.NewInjector(nil,
+		faultfs.Rule{Op: faultfs.OpWrite, Path: tmpPrefix, Times: 4, Err: faultfs.ErrIO},
+	)
+	m := newTestManager(t, t.TempDir(), Options{Workers: 1, FS: inj}, echoRunner)
+	_, err := m.Submit(json.RawMessage(chaosSpec), "digest-chaos", strings.NewReader("a,b\n1,2\n"))
+	var ex *retry.ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("Submit under storm: err = %v, want a retry.ExhaustedError", err)
+	}
+	if ex.Attempts != 4 {
+		t.Fatalf("exhausted after %d attempts, want the policy's 4", ex.Attempts)
+	}
+	// The storm is spent; the same manager must now work, no restart.
+	snap, err := m.Submit(json.RawMessage(chaosSpec), "digest-chaos", strings.NewReader("a,b\n1,2\n"))
+	if err != nil {
+		t.Fatalf("Submit after storm: %v", err)
+	}
+	waitState(t, m, snap.ID, StateDone)
+	got, err := m.Result(snap.ID)
+	if err != nil {
+		t.Fatalf("Result after storm: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("post-storm result = %q, want golden %q", got, want)
+	}
+}

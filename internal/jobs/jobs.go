@@ -31,11 +31,13 @@ import (
 	"io"
 	"io/fs"
 	"log"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
+
+	"randpriv/internal/faultfs"
+	"randpriv/internal/retry"
 )
 
 // State is a job's lifecycle phase.
@@ -130,12 +132,20 @@ type Options struct {
 	TTL time.Duration
 	// Log receives recovery/expiry diagnostics; nil uses log.Default().
 	Log *log.Logger
+	// FS is the filesystem the state dir lives on; nil uses the OS
+	// passthrough. The chaos suite injects storage faults through it.
+	FS faultfs.FS
+	// Retry is the backoff policy wrapped around every state-dir I/O
+	// whose failure is transient-classifiable (see retry.Transient).
+	// A zero Attempts selects the default: 4 attempts, 5ms base.
+	Retry retry.Policy
 }
 
 // job is the manager's mutable record. Fields after mu are guarded by it.
 type job struct {
 	id      string
 	dir     string
+	fs      faultfs.FS
 	created time.Time
 
 	doneCh   chan struct{} // closed via finish() when the job stops being worked on
@@ -167,13 +177,15 @@ func (j *job) removeFiles() {
 		return
 	}
 	j.removed = true
-	os.RemoveAll(j.dir)
+	faultfs.Default(j.fs).RemoveAll(j.dir)
 }
 
 // Manager owns the state dir, the worker pool and the job table.
 type Manager struct {
-	opts Options
-	run  Runner
+	opts    Options
+	run     Runner
+	fs      faultfs.FS
+	ioRetry retry.Policy
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -207,13 +219,20 @@ func NewManager(opts Options, run Runner) (*Manager, error) {
 	if opts.Log == nil {
 		opts.Log = log.Default()
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	ioRetry := opts.Retry
+	if ioRetry.Attempts == 0 {
+		ioRetry = retry.Policy{Attempts: 4, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond}
+	}
+	fsys := faultfs.Default(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: create state dir: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		opts:    opts,
 		run:     run,
+		fs:      fsys,
+		ioRetry: ioRetry,
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*job),
@@ -257,7 +276,7 @@ func (m *Manager) Close() {
 // identity of the body (randprivd uses the hex SHA-256 it already
 // computes while spooling); Submit verifies nothing about it.
 func (m *Manager) Submit(spec json.RawMessage, digest string, body io.Reader) (Snapshot, error) {
-	return m.submit(spec, digest, func(dst string) error { return spoolUpload(dst, body) })
+	return m.submit(spec, digest, func(dst string) error { return m.spoolUpload(dst, body) })
 }
 
 // SubmitFile is Submit for an upload that is already on disk: the
@@ -266,7 +285,7 @@ func (m *Manager) Submit(spec json.RawMessage, digest string, body io.Reader) (S
 // a different filesystem) instead of copying the bytes a second time.
 // On any error the caller still owns whatever remains at path.
 func (m *Manager) SubmitFile(spec json.RawMessage, digest string, path string) (Snapshot, error) {
-	return m.submit(spec, digest, func(dst string) error { return adoptFile(dst, path) })
+	return m.submit(spec, digest, func(dst string) error { return m.adoptFile(dst, path) })
 }
 
 // Full reports whether a Submit right now would be rejected with
@@ -300,32 +319,33 @@ func (m *Manager) submit(spec json.RawMessage, digest string, place func(dst str
 	j := &job{
 		id:      id,
 		dir:     filepath.Join(m.opts.Dir, id),
+		fs:      m.fs,
 		created: time.Now().UTC(),
 		doneCh:  make(chan struct{}),
 		spec:    append(json.RawMessage(nil), spec...),
 		digest:  digest,
 		state:   StateQueued,
 	}
-	if err := os.Mkdir(j.dir, 0o755); err != nil {
+	if err := m.fs.MkdirAll(j.dir, 0o755); err != nil {
 		return Snapshot{}, fmt.Errorf("jobs: create job dir: %w", err)
 	}
 	if err := place(j.uploadPath()); err != nil {
-		os.RemoveAll(j.dir)
+		m.fs.RemoveAll(j.dir)
 		return Snapshot{}, err
 	}
-	if err := writeJobFile(j); err != nil {
-		os.RemoveAll(j.dir)
+	if err := m.writeJobFile(j); err != nil {
+		m.fs.RemoveAll(j.dir)
 		return Snapshot{}, err
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closing {
-		os.RemoveAll(j.dir)
+		m.fs.RemoveAll(j.dir)
 		return Snapshot{}, fmt.Errorf("jobs: manager is closed")
 	}
 	if m.inflight >= m.opts.QueueDepth+m.opts.Workers {
-		os.RemoveAll(j.dir)
+		m.fs.RemoveAll(j.dir)
 		return Snapshot{}, ErrQueueFull
 	}
 	m.jobs[j.id] = j
@@ -361,7 +381,12 @@ func (m *Manager) Result(id string) ([]byte, error) {
 	if state != StateDone {
 		return nil, &NotReadyError{State: state, Err: errMsg}
 	}
-	body, err := os.ReadFile(j.resultPath())
+	var body []byte
+	err := m.ioRetry.Do(context.Background(), func() error {
+		var rerr error
+		body, rerr = m.fs.ReadFile(j.resultPath())
+		return rerr
+	})
 	if err != nil {
 		// The TTL sweeper may have expired the job between the state
 		// check above and this read; a vanished result is the same
@@ -493,7 +518,7 @@ func (m *Manager) runOne(j *job) {
 	j.cancel = cancel
 	spec := j.spec
 	j.mu.Unlock()
-	if err := writeJobFile(j); err != nil {
+	if err := m.writeJobFile(j); err != nil {
 		m.opts.Log.Printf("jobs: persist %s running: %v", j.id, err)
 	}
 
@@ -504,7 +529,7 @@ func (m *Manager) runOne(j *job) {
 	}
 	body, err := m.runProtected(ctx, spec, j.uploadPath(), progress)
 	if err == nil {
-		err = writeFileAtomic(j.resultPath(), body)
+		err = m.writeFileAtomic(j.resultPath(), body)
 	}
 
 	j.mu.Lock()
@@ -546,7 +571,7 @@ func (m *Manager) runOne(j *job) {
 		j.removeFiles()
 		return
 	}
-	if err := writeJobFile(j); err != nil {
+	if err := m.writeJobFile(j); err != nil {
 		m.opts.Log.Printf("jobs: persist %s terminal: %v", j.id, err)
 	}
 }
@@ -615,7 +640,13 @@ func (m *Manager) expire(now time.Time) {
 // entries are logged and skipped, never deleted — a bug in this code must
 // not destroy user data.
 func (m *Manager) recover() error {
-	entries, err := os.ReadDir(m.opts.Dir)
+	// Sweep first: atomic-write temps a crashed predecessor stranded are
+	// garbage by definition (only one manager may own a state dir), and
+	// removing them before the scan keeps the orphan accounting exact.
+	if n := m.sweepTempFiles(m.opts.Dir); n > 0 {
+		m.opts.Log.Printf("jobs: removed %d stranded temp file(s)", n)
+	}
+	entries, err := m.fs.ReadDir(m.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("jobs: scan state dir: %w", err)
 	}
@@ -625,7 +656,7 @@ func (m *Manager) recover() error {
 			continue
 		}
 		dir := filepath.Join(m.opts.Dir, e.Name())
-		j, err := readJobFile(dir)
+		j, err := m.readJobFile(dir)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
 				// No job.json at all: a crash between Submit's spool and
@@ -633,15 +664,16 @@ func (m *Manager) recover() error {
 				// never an accepted job, and nothing else will ever
 				// reclaim the orphaned upload — remove it now.
 				m.opts.Log.Printf("jobs: removing orphan dir %s (no job record)", e.Name())
-				os.RemoveAll(dir)
+				m.fs.RemoveAll(dir)
 			} else {
 				m.opts.Log.Printf("jobs: skipping unreadable job %s: %v", e.Name(), err)
 			}
 			continue
 		}
+		j.fs = m.fs
 		switch {
 		case j.state == StateDone:
-			if _, err := os.Stat(j.resultPath()); err != nil {
+			if _, err := m.fs.Stat(j.resultPath()); err != nil {
 				j.state = StateFailed
 				j.err = "jobs: result file lost"
 			}

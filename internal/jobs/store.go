@@ -4,18 +4,24 @@
 //	<dir>/<id>/upload.csv  — the spooled request body, byte-exact
 //	<dir>/<id>/result.json — the runner's output (present iff done)
 //
-// job.json is the recovery unit: it is rewritten with tmp+rename on every
-// state transition, so a crash leaves either the old or the new record,
-// never a torn one.
+// job.json is the recovery unit: it is rewritten with tmp+fsync+rename
+// (and a parent-directory sync) on every state transition, so a crash —
+// of the process or of the storage underneath it — leaves either the
+// old or the new record durably on disk, never a torn one. Every
+// filesystem touch goes through the manager's faultfs.FS handle, which
+// is what lets the chaos suite replay seeded storage faults against
+// this exact code, and every transient-classifiable failure is retried
+// under the manager's backoff policy before it is surfaced.
 
 package jobs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"strings"
 	"time"
 )
 
@@ -36,14 +42,19 @@ type jobRecord struct {
 	Finished time.Time `json:"finished,omitempty"`
 }
 
-const jobFileName = "job.json"
+const (
+	jobFileName = "job.json"
+	// tmpPrefix names the atomic-write temp files; the recovery sweep
+	// removes any that a crash stranded.
+	tmpPrefix = ".tmp-"
+)
 
 // writeJobFile persists the job's current state atomically. The write
 // happens under j.mu — the same lock removeFiles deletes the dir under —
 // so a persist can never interleave with a removal and recreate job state
 // inside a half-deleted directory; once the job is removed, persisting it
 // is a no-op.
-func writeJobFile(j *job) error {
+func (m *Manager) writeJobFile(j *job) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.removed {
@@ -64,14 +75,19 @@ func writeJobFile(j *job) error {
 	if err != nil {
 		return fmt.Errorf("jobs: encode job record: %w", err)
 	}
-	return writeFileAtomic(filepath.Join(j.dir, jobFileName), append(body, '\n'))
+	return m.writeFileAtomic(filepath.Join(j.dir, jobFileName), append(body, '\n'))
 }
 
 // readJobFile loads a job from its directory. The directory name is the
 // source of truth for the id (a copied state dir keeps working); a
 // mismatching record id is corruption and is rejected.
-func readJobFile(dir string) (*job, error) {
-	body, err := os.ReadFile(filepath.Join(dir, jobFileName))
+func (m *Manager) readJobFile(dir string) (*job, error) {
+	var body []byte
+	err := m.ioRetry.Do(context.Background(), func() error {
+		var rerr error
+		body, rerr = m.fs.ReadFile(filepath.Join(dir, jobFileName))
+		return rerr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -106,9 +122,10 @@ func readJobFile(dir string) (*job, error) {
 
 // spoolUpload copies body to path, fsync-free (the durability unit is the
 // job record; a torn upload from a crash mid-Submit is an orphan dir the
-// next recovery skips, because job.json was never written).
-func spoolUpload(path string, body io.Reader) error {
-	f, err := os.Create(path)
+// next recovery skips, because job.json was never written). No retry
+// either: body is a one-shot reader, so a failed copy cannot replay.
+func (m *Manager) spoolUpload(path string, body io.Reader) error {
+	f, err := m.fs.Create(path)
 	if err != nil {
 		return fmt.Errorf("jobs: spool upload: %w", err)
 	}
@@ -117,7 +134,7 @@ func spoolUpload(path string, body io.Reader) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(path)
+		m.fs.Remove(path)
 		return fmt.Errorf("jobs: spool upload: %w", err)
 	}
 	return nil
@@ -126,40 +143,92 @@ func spoolUpload(path string, body io.Reader) error {
 // adoptFile moves src to dst, preferring a rename (no byte copy); when
 // the two live on different filesystems it falls back to copy-and-remove.
 // On success src is gone; on failure the caller keeps whatever remains.
-func adoptFile(dst, src string) error {
-	if err := os.Rename(src, dst); err == nil {
+func (m *Manager) adoptFile(dst, src string) error {
+	if err := m.fs.Rename(src, dst); err == nil {
 		return nil
 	}
-	f, err := os.Open(src)
+	f, err := m.fs.Open(src)
 	if err != nil {
 		return fmt.Errorf("jobs: adopt upload: %w", err)
 	}
 	defer f.Close()
-	if err := spoolUpload(dst, f); err != nil {
+	if err := m.spoolUpload(dst, f); err != nil {
 		return err
 	}
-	os.Remove(src)
+	m.fs.Remove(src)
 	return nil
 }
 
 // writeFileAtomic writes body to path via a same-directory temp file and
-// rename, so readers never observe a partial file.
-func writeFileAtomic(path string, body []byte) error {
+// rename, fsyncing the temp file before the rename and the directory
+// after it — the full crash-durability protocol, so a committed write
+// survives power loss, not just process death. Transient failures retry
+// the whole protocol with a fresh temp file; the failed attempt's temp
+// is removed immediately (and the startup sweep catches what a crash
+// strands).
+func (m *Manager) writeFileAtomic(path string, body []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	// Persistence retries run on a background context on purpose: a job
+	// finishing while the manager closes must still commit its terminal
+	// record (the attempts are bounded, so shutdown cannot hang on it).
+	err := m.ioRetry.Do(context.Background(), func() error {
+		tmp, err := m.fs.CreateTemp(dir, tmpPrefix+"*")
+		if err != nil {
+			return err
+		}
+		_, err = tmp.Write(body)
+		if err == nil {
+			err = tmp.Sync()
+		}
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = m.fs.Rename(tmp.Name(), path)
+		}
+		if err != nil {
+			m.fs.Remove(tmp.Name())
+			return err
+		}
+		return m.fs.SyncDir(dir)
+	})
 	if err != nil {
-		return fmt.Errorf("jobs: write %s: %w", filepath.Base(path), err)
-	}
-	_, err = tmp.Write(body)
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp.Name(), path)
-	}
-	if err != nil {
-		os.Remove(tmp.Name())
 		return fmt.Errorf("jobs: write %s: %w", filepath.Base(path), err)
 	}
 	return nil
+}
+
+// sweepTempFiles removes stranded atomic-write temp files under dir
+// (one level deep — temps live next to the job.json they were meant to
+// replace). Only this manager writes the state dir, so any temp present
+// at startup is an orphan from a crashed predecessor by definition. It
+// returns how many were removed.
+func (m *Manager) sweepTempFiles(dir string) int {
+	removed := 0
+	entries, err := m.fs.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case !e.IsDir() && strings.HasPrefix(name, tmpPrefix):
+			if m.fs.Remove(filepath.Join(dir, name)) == nil {
+				removed++
+			}
+		case e.IsDir():
+			sub, err := m.fs.ReadDir(filepath.Join(dir, name))
+			if err != nil {
+				continue
+			}
+			for _, se := range sub {
+				if !se.IsDir() && strings.HasPrefix(se.Name(), tmpPrefix) {
+					if m.fs.Remove(filepath.Join(dir, name, se.Name())) == nil {
+						removed++
+					}
+				}
+			}
+		}
+	}
+	return removed
 }

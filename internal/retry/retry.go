@@ -1,0 +1,178 @@
+// Package retry is the small, deterministic retry/backoff policy behind
+// the durable planes: capped exponential backoff with seeded jitter,
+// context-aware sleeping, and a shared taxonomy of which I/O errors are
+// worth retrying at all.
+//
+// Determinism matters here the same way it matters to the assessment
+// pipeline: the chaos suite replays seeded fault schedules, and the
+// retry layer's behavior over them must be replayable too. A Policy's
+// jitter comes from its own seed, never from a global RNG or the clock,
+// so the exact sleep sequence of a run is a pure function of (Policy,
+// error sequence).
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"syscall"
+	"time"
+)
+
+// Policy describes one retry discipline. The zero value is usable and
+// means "no retries" (one attempt, no sleeping).
+type Policy struct {
+	// Attempts is the total number of tries, including the first
+	// (values < 1 read as 1).
+	Attempts int
+	// Base is the backoff before the second attempt; each further
+	// attempt doubles it (default 5ms when Attempts > 1).
+	Base time.Duration
+	// Max caps the backoff growth (default 32×Base).
+	Max time.Duration
+	// Jitter is the fraction of each backoff that is randomized, in
+	// [0, 1): a sleep is backoff×(1-Jitter) + backoff×Jitter×u for a
+	// seeded uniform u. Zero disables jitter entirely.
+	Jitter float64
+	// Seed feeds the jitter RNG. Two Do calls with the same Policy see
+	// the same jitter sequence — deterministic by construction.
+	Seed int64
+	// Retryable classifies errors; nil means Transient. Returning false
+	// stops immediately and surfaces the error as-is.
+	Retryable func(error) bool
+	// Sleep is a test seam; nil sleeps on a timer honoring ctx.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// ExhaustedError is the typed failure of a Do whose final attempt still
+// failed with a retryable error: the fault was transient-classified but
+// did not clear within the policy's budget. It wraps the last error.
+type ExhaustedError struct {
+	Attempts int
+	Err      error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("retry: %d attempts exhausted: %v", e.Attempts, e.Err)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// Do runs op up to p.Attempts times, sleeping the backoff schedule
+// between retryable failures. It returns nil on the first success; a
+// non-retryable error immediately and verbatim; ctx's error if the
+// context dies first; and an *ExhaustedError wrapping the last error
+// when the budget runs out.
+func (p Policy) Do(ctx context.Context, op func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	retryable := p.Retryable
+	if retryable == nil {
+		retryable = Transient
+	}
+	var rng *rand.Rand
+	if p.Jitter > 0 {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		if serr := p.sleep(ctx, p.backoff(i, rng)); serr != nil {
+			return serr
+		}
+	}
+	return &ExhaustedError{Attempts: attempts, Err: err}
+}
+
+// backoff computes the sleep after failed attempt i (0-based): Base<<i
+// capped at Max, with the jittered fraction drawn from rng.
+func (p Policy) backoff(i int, rng *rand.Rand) time.Duration {
+	base := p.Base
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	max := p.Max
+	if max <= 0 {
+		max = 32 * base
+	}
+	d := base
+	for k := 0; k < i && d < max; k++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if rng != nil {
+		fixed := float64(d) * (1 - p.Jitter)
+		d = time.Duration(fixed + float64(d)*p.Jitter*rng.Float64())
+	}
+	return d
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// transientErrnos are the errno classes a later attempt can plausibly
+// clear: device hiccups (EIO), interruption and contention (EINTR,
+// EAGAIN, EBUSY, ESTALE), descriptor-table pressure (EMFILE, ENFILE)
+// and disk pressure (ENOSPC, EDQUOT — a sweeper or TTL expiry may free
+// space between attempts). Permission errors, missing files and
+// corrupt data are deterministic and excluded: retrying them burns the
+// budget without changing the answer.
+var transientErrnos = []error{
+	syscall.EIO,
+	syscall.EINTR,
+	syscall.EAGAIN,
+	syscall.EBUSY,
+	syscall.ESTALE,
+	syscall.EMFILE,
+	syscall.ENFILE,
+	syscall.ENOSPC,
+	syscall.EDQUOT,
+}
+
+// Transient reports whether err is worth retrying under the shared
+// I/O-fault taxonomy. It unwraps through fs.PathError and fmt wrapping.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	// Context expiry is a deadline decision, never a fault to retry.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	for _, e := range transientErrnos {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}

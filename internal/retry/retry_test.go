@@ -1,0 +1,162 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// recordSleeps swaps the timer out for a recorder, so the backoff
+// schedule is asserted exactly instead of timed approximately.
+func recordSleeps(p *Policy) *[]time.Duration {
+	var slept []time.Duration
+	p.Sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	return &slept
+}
+
+func TestFirstSuccessNoSleep(t *testing.T) {
+	p := Policy{Attempts: 5, Base: time.Millisecond}
+	slept := recordSleeps(&p)
+	calls := 0
+	if err := p.Do(context.Background(), func() error { calls++; return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 1 || len(*slept) != 0 {
+		t.Fatalf("calls = %d, sleeps = %v; want one call and no sleeps", calls, *slept)
+	}
+}
+
+func TestBackoffScheduleExactDoubling(t *testing.T) {
+	p := Policy{Attempts: 5, Base: 10 * time.Millisecond, Max: 40 * time.Millisecond}
+	slept := recordSleeps(&p)
+	err := p.Do(context.Background(), func() error { return syscall.EIO })
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 5 {
+		t.Fatalf("err = %v, want ExhaustedError after 5 attempts", err)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("ExhaustedError does not unwrap to the last error: %v", err)
+	}
+	want := []time.Duration{10, 20, 40, 40} // ms: doubling, capped at Max
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if !reflect.DeepEqual(*slept, want) {
+		t.Fatalf("sleeps = %v, want %v", *slept, want)
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	sleepsFor := func(seed int64) []time.Duration {
+		p := Policy{Attempts: 4, Base: 8 * time.Millisecond, Jitter: 0.5, Seed: seed}
+		slept := recordSleeps(&p)
+		p.Do(context.Background(), func() error { return syscall.EIO }) //nolint:errcheck
+		return *slept
+	}
+	a, b := sleepsFor(42), sleepsFor(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different jitter: %v vs %v", a, b)
+	}
+	c := sleepsFor(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical jitter %v (astronomically unlikely unless the seed is ignored)", a)
+	}
+	// Jitter stays within [d*(1-J), d): never longer than the pure
+	// exponential, never below its fixed fraction.
+	p := Policy{Attempts: 4, Base: 8 * time.Millisecond, Jitter: 0.5, Seed: 7}
+	for i, d := range a {
+		pure := p.backoff(i, nil)
+		if d > pure || d < time.Duration(float64(pure)*0.5) {
+			t.Fatalf("sleep %d = %v outside [%v, %v]", i, d, time.Duration(float64(pure)*0.5), pure)
+		}
+	}
+}
+
+func TestNonRetryableSurfacesVerbatim(t *testing.T) {
+	p := Policy{Attempts: 5, Base: time.Millisecond}
+	slept := recordSleeps(&p)
+	sentinel := fmt.Errorf("wrap: %w", fs.ErrNotExist)
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return sentinel })
+	if err != sentinel {
+		t.Fatalf("err = %v, want the sentinel verbatim", err)
+	}
+	if calls != 1 || len(*slept) != 0 {
+		t.Fatalf("non-retryable error was retried: calls=%d sleeps=%v", calls, *slept)
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 10, Base: time.Millisecond}
+	calls := 0
+	p.Sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // the context dies while sleeping
+		return ctx.Err()
+	}
+	err := p.Do(ctx, func() error { calls++; return syscall.EIO })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no attempt after cancellation)", calls)
+	}
+}
+
+func TestZeroPolicyIsOneAttempt(t *testing.T) {
+	var p Policy
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return syscall.EIO })
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 1 || calls != 1 {
+		t.Fatalf("zero policy: err=%v calls=%d, want one attempt and ExhaustedError{1}", err, calls)
+	}
+}
+
+func TestTransientTaxonomy(t *testing.T) {
+	transient := []error{
+		syscall.EIO, syscall.EINTR, syscall.EAGAIN, syscall.EBUSY,
+		syscall.ESTALE, syscall.EMFILE, syscall.ENFILE, syscall.ENOSPC, syscall.EDQUOT,
+		&fs.PathError{Op: "write", Path: "x", Err: syscall.EIO},
+		fmt.Errorf("outer: %w", syscall.ENOSPC),
+	}
+	for _, err := range transient {
+		if !Transient(err) {
+			t.Errorf("Transient(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil, fs.ErrNotExist, fs.ErrPermission, errors.New("corrupt record"),
+		context.Canceled, context.DeadlineExceeded,
+		fmt.Errorf("deadline: %w", context.DeadlineExceeded),
+	}
+	for _, err := range permanent {
+		if Transient(err) {
+			t.Errorf("Transient(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestEventualSuccessAfterTransientFaults(t *testing.T) {
+	p := Policy{Attempts: 4, Base: time.Millisecond}
+	recordSleeps(&p)
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return syscall.ENOSPC
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on the 3rd attempt", err, calls)
+	}
+}

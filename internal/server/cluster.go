@@ -47,10 +47,14 @@ import (
 // registered on the embedded workers so a coordinator-only deployment
 // still executes delegated jobs itself.
 func (s *Server) openCluster() error {
-	st, err := cluster.Open(s.cfg.ClusterDir)
+	st, err := cluster.OpenStore(s.cfg.ClusterDir, cluster.StoreOptions{FS: s.cfg.FS})
 	if err != nil {
 		return err
 	}
+	// Three consecutive infrastructure failures open the breaker; while
+	// it cools down every delegable computation goes straight to the
+	// serial path instead of timing out against a sick cluster again.
+	s.breaker = &cluster.Breaker{Threshold: 3, Cooldown: 30 * time.Second}
 	c, err := cluster.NewCoordinator(st, cluster.CoordinatorOptions{
 		Node:     s.cfg.NodeID,
 		Workers:  s.cfg.ClusterWorkers,
@@ -137,8 +141,20 @@ func (s *Server) runJobViaCluster(ctx context.Context, rawSpec json.RawMessage, 
 	if body, ok := st.CachedResult(key); ok {
 		return body, nil, true
 	}
+	// An open breaker short-circuits delegation entirely: the serial
+	// fallback is byte-identical, so degrading costs latency, never
+	// correctness. Only infrastructure failures (the store refusing the
+	// upload or the enqueue) feed the breaker — an assessment that fails
+	// deterministically would fail identically on the serial path and
+	// says nothing about the cluster's health.
+	now := time.Now().UTC()
+	if !s.breaker.Allow(now) {
+		s.cfg.Log.Printf("randprivd: cluster delegation breaker open (running job locally)")
+		return nil, nil, false
+	}
 	digest, perr := st.PutFile(upload)
 	if perr != nil {
+		s.breaker.Failure(time.Now().UTC())
 		s.cfg.Log.Printf("randprivd: cluster store put: %v (running job locally)", perr)
 		return nil, nil, false
 	}
@@ -150,9 +166,11 @@ func (s *Server) runJobViaCluster(ctx context.Context, rawSpec json.RawMessage, 
 	}
 	task := cluster.NewAssessTask(rawSpec, digest)
 	if err := st.Enqueue(task); err != nil {
+		s.breaker.Failure(time.Now().UTC())
 		s.cfg.Log.Printf("randprivd: cluster enqueue: %v (running job locally)", err)
 		return nil, nil, false
 	}
+	s.breaker.Success()
 	bodies, aerr := s.cluster.Await(ctx, []string{task.ID})
 	if aerr != nil {
 		if ctx.Err() != nil {
@@ -169,23 +187,46 @@ func (s *Server) runJobViaCluster(ctx context.Context, rawSpec json.RawMessage, 
 // back to the serial sketch on any error. Both branches are bit-identical
 // to recon.SketchSource over the same chunk partition, so the report
 // bytes cannot depend on which one ran.
+//
+// The sharded attempt is deadline-bounded by ClusterDelegateTimeout and
+// gated by the delegation breaker: a cluster losing its workers mid-pass
+// costs one bounded wait, trips the breaker, and every following sketch
+// goes serial immediately until the cooldown expires. Every sharding
+// error feeds the breaker — unlike job delegation there is no ambiguity,
+// because the serial path computes the identical moments either way.
 func (s *Server) clusterSketch(ctx context.Context, path string, chunk int) core.SketchFn {
-	return func() (*stream.Moments, error) {
-		shards := s.cluster.AliveWorkers(time.Now().UTC())
-		if shards < 1 {
-			shards = 1
-		}
-		mo, err := s.cluster.ShardedSketch(ctx, path, chunk, shards)
-		if err == nil {
-			return mo, nil
-		}
-		s.cfg.Log.Printf("randprivd: cluster sketch fell back to serial: %v", err)
-		src, oerr := dataset.OpenCSVChunks(path, chunk)
-		if oerr != nil {
-			return nil, oerr
+	serial := func() (*stream.Moments, error) {
+		src, err := dataset.OpenCSVChunks(path, chunk)
+		if err != nil {
+			return nil, err
 		}
 		defer src.Close()
 		return recon.SketchSource(src)
+	}
+	return func() (*stream.Moments, error) {
+		now := time.Now().UTC()
+		if !s.breaker.Allow(now) {
+			return serial()
+		}
+		shards := s.cluster.AliveWorkers(now)
+		if shards < 1 {
+			shards = 1
+		}
+		sctx, cancel := context.WithTimeout(ctx, s.cfg.ClusterDelegateTimeout)
+		mo, err := s.cluster.ShardedSketch(sctx, path, chunk, shards)
+		cancel()
+		if err == nil {
+			s.breaker.Success()
+			return mo, nil
+		}
+		if ctx.Err() != nil {
+			// The request itself died; that is the caller's deadline, not
+			// the cluster's fault.
+			return nil, ctx.Err()
+		}
+		s.breaker.Failure(time.Now().UTC())
+		s.cfg.Log.Printf("randprivd: cluster sketch fell back to serial: %v", err)
+		return serial()
 	}
 }
 
@@ -203,11 +244,17 @@ type clusterNodeStatus struct {
 
 // clusterStatus is the /healthz cluster section.
 type clusterStatus struct {
-	Node         string              `json:"node"`
-	AliveWorkers int                 `json:"alive_workers"`
-	TasksPending int                 `json:"tasks_pending"`
-	TasksClaimed int                 `json:"tasks_claimed"`
-	TasksDone    int                 `json:"tasks_done"`
+	Node         string `json:"node"`
+	AliveWorkers int    `json:"alive_workers"`
+	TasksPending int    `json:"tasks_pending"`
+	TasksClaimed int    `json:"tasks_claimed"`
+	TasksDone    int    `json:"tasks_done"`
+	// Degraded is true while the delegation breaker is open: the node is
+	// serving everything through the byte-identical serial path because
+	// the cluster infrastructure kept failing. BreakerTrips counts how
+	// many times the breaker has opened since the server started.
+	Degraded     bool                `json:"degraded"`
+	BreakerTrips int64               `json:"breaker_trips"`
 	Nodes        []clusterNodeStatus `json:"nodes"`
 }
 
@@ -226,6 +273,8 @@ func (s *Server) clusterHealth() *clusterStatus {
 		TasksPending: pending,
 		TasksClaimed: claimed,
 		TasksDone:    done,
+		Degraded:     s.breaker.Open(now),
+		BreakerTrips: s.breaker.Trips(),
 	}
 	nodes, err := st.Nodes()
 	if err != nil {

@@ -262,7 +262,7 @@ func requestRNG(seed int64) *rand.Rand {
 // chunked source over it. On success the caller owns both and must
 // Close/Remove them.
 func (s *Server) spoolAndOpen(r *http.Request, chunk int) (*upload, *dataset.ChunkSource, error) {
-	up, err := spoolBody(s.cfg.SpoolDir, ctxReader{ctx: r.Context(), r: r.Body})
+	up, err := spoolBody(s.fs, s.cfg.SpoolDir, ctxReader{ctx: r.Context(), r: r.Body})
 	if err != nil {
 		return nil, nil, err // MaxBytesError surfaces here -> 413
 	}

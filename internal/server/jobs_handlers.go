@@ -180,6 +180,7 @@ func (s *Server) runSweepJob(ctx context.Context, sp jobSpec, upload string, ws 
 func (s *Server) jobError(w http.ResponseWriter, r *http.Request, err error) {
 	status := statusOf(err)
 	s.cfg.Log.Printf("randprivd: %s %s -> %d: %v", r.Method, r.URL.Path, status, err)
+	s.setRetryAfter(w, status)
 	writeError(w, status, err)
 }
 
@@ -254,7 +255,7 @@ func (s *Server) handleJobsCollection(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	up, err := spoolBody(s.cfg.SpoolDir, ctxReader{ctx: ctx, r: r.Body})
+	up, err := spoolBody(s.fs, s.cfg.SpoolDir, ctxReader{ctx: ctx, r: r.Body})
 	if err != nil {
 		s.jobError(w, r, err)
 		return
@@ -353,7 +354,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 				s.jobError(w, r, badRequest(fmt.Errorf("server: multipart part %q given twice", name)))
 				return
 			}
-			up, err = spoolBody(s.cfg.SpoolDir, ctxReader{ctx: ctx, r: part})
+			up, err = spoolBody(s.fs, s.cfg.SpoolDir, ctxReader{ctx: ctx, r: part})
 			if err != nil {
 				s.jobError(w, r, err)
 				return

@@ -35,10 +35,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"randpriv/internal/cluster"
+	"randpriv/internal/faultfs"
 	"randpriv/internal/jobs"
 	"randpriv/internal/mat"
 	"randpriv/internal/sweep"
@@ -100,6 +102,16 @@ type Config struct {
 	// ClusterLeaseTTL is how stale a node's heartbeat may grow before
 	// its task leases are reclaimed by other nodes (default: 5s).
 	ClusterLeaseTTL time.Duration
+	// ClusterDelegateTimeout bounds how long a streamed assessment's
+	// sketch pass may wait on cluster shards before falling back to the
+	// byte-identical serial pass (default: 15s). Assessment-job
+	// delegation is NOT bounded by it — a delegated job legitimately
+	// computes for as long as the job allows.
+	ClusterDelegateTimeout time.Duration
+	// FS is the filesystem handle the durable planes run on — the spool,
+	// the jobs state dir, and the cluster state dir. Nil uses the OS
+	// passthrough; the chaos suite injects storage faults through it.
+	FS faultfs.FS
 	// Log receives request-level diagnostics; nil uses log.Default().
 	Log *log.Logger
 }
@@ -172,6 +184,9 @@ func (c Config) withDefaults() Config {
 		if c.ClusterLeaseTTL <= 0 {
 			c.ClusterLeaseTTL = 5 * time.Second
 		}
+		if c.ClusterDelegateTimeout <= 0 {
+			c.ClusterDelegateTimeout = 15 * time.Second
+		}
 		// ClusterWorkers passes through: the coordinator reads 0 as "one
 		// embedded worker" and negative as "none".
 	}
@@ -185,11 +200,18 @@ func (c Config) withDefaults() Config {
 // ServeHTTP (it implements http.Handler), and Close when done.
 type Server struct {
 	cfg     Config
+	fs      faultfs.FS
 	pool    *workerPool
 	cache   *lruCache
 	jobs    *jobs.Manager
 	jobWS   sync.Pool // *mat.Workspace scratch arenas for job workers
 	cluster *cluster.Coordinator
+	// breaker is the delegation circuit breaker: consecutive cluster
+	// infrastructure failures open it, and while it is open every
+	// delegable computation takes the byte-identical serial path
+	// immediately instead of probing a sick cluster. /healthz reports
+	// the open state as degraded: true. Nil on single-process servers.
+	breaker *cluster.Breaker
 	mux     *http.ServeMux
 }
 
@@ -200,6 +222,7 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
+		fs:    faultfs.Default(cfg.FS),
 		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		cache: newLRUCache(cfg.CacheEntries),
 		mux:   http.NewServeMux(),
@@ -218,6 +241,7 @@ func New(cfg Config) (*Server, error) {
 		Workers:    cfg.JobWorkers,
 		QueueDepth: cfg.JobQueueDepth,
 		TTL:        cfg.JobTTL,
+		FS:         cfg.FS,
 		Log:        cfg.Log,
 	}, s.runJob)
 	if err != nil {
@@ -291,6 +315,7 @@ func (s *Server) post(fn func(http.ResponseWriter, *http.Request) error) http.Ha
 		// kicks in after the body is on disk, so a saturated service
 		// must refuse the upload work too, not just the compute.
 		if s.pool.Inflight() >= int64(s.cfg.Workers+s.cfg.QueueDepth) {
+			s.setRetryAfter(w, http.StatusTooManyRequests)
 			writeError(w, http.StatusTooManyRequests, ErrQueueFull)
 			return
 		}
@@ -316,6 +341,7 @@ func (s *Server) post(fn func(http.ResponseWriter, *http.Request) error) http.Ha
 				// never a complete-looking 200.
 				panic(http.ErrAbortHandler)
 			}
+			s.setRetryAfter(w, status)
 			writeError(w, status, err)
 		}
 	}
@@ -361,6 +387,35 @@ func statusOf(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// setRetryAfter advises shed clients when a retry is worth making: on a
+// 429 or 503 the header carries the current backlog (requests and jobs
+// queued ahead of the caller) divided by the drain lanes, clamped to
+// [1, 120] seconds. Other statuses are untouched.
+func (s *Server) setRetryAfter(w http.ResponseWriter, status int) {
+	if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+		return
+	}
+	queued := s.pool.Inflight() - int64(s.cfg.Workers)
+	if s.jobs != nil {
+		jobsQueued, _, _ := s.jobs.Stats()
+		if q := int64(jobsQueued); q > queued {
+			queued = q
+		}
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	workers := int64(s.cfg.Workers)
+	if workers < 1 {
+		workers = 1
+	}
+	secs := 1 + queued/workers
+	if secs > 120 {
+		secs = 120
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 // writeError emits the uniform JSON error envelope on a response that

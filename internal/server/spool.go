@@ -6,7 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
-	"os"
+
+	"randpriv/internal/faultfs"
 )
 
 // upload is a request body spooled to a temporary file. Spooling is what
@@ -18,12 +19,17 @@ import (
 type upload struct {
 	path   string
 	digest string // hex SHA-256 of the raw body bytes
+	fs     faultfs.FS
 }
 
 // spoolBody copies r to a temp file in dir, hashing as it goes. The
-// caller owns the returned upload and must Remove it.
-func spoolBody(dir string, r io.Reader) (*upload, error) {
-	f, err := os.CreateTemp(dir, "randprivd-*.csv")
+// caller owns the returned upload and must Remove it. A failed copy —
+// including an injected storage fault — removes the partial file and
+// surfaces a clean error before any response byte is written; there is
+// no retry because r is a one-shot network body.
+func spoolBody(fsys faultfs.FS, dir string, r io.Reader) (*upload, error) {
+	fsys = faultfs.Default(fsys)
+	f, err := fsys.CreateTemp(dir, "randprivd-*.csv")
 	if err != nil {
 		return nil, fmt.Errorf("server: spool upload: %w", err)
 	}
@@ -33,19 +39,20 @@ func spoolBody(dir string, r io.Reader) (*upload, error) {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(f.Name())
+		fsys.Remove(f.Name())
 		return nil, err
 	}
 	return &upload{
 		path:   f.Name(),
 		digest: hex.EncodeToString(h.Sum(nil)),
+		fs:     fsys,
 	}, nil
 }
 
 // Remove deletes the spool file.
 func (u *upload) Remove() {
 	if u != nil {
-		os.Remove(u.path)
+		faultfs.Default(u.fs).Remove(u.path)
 	}
 }
 

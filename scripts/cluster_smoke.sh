@@ -17,8 +17,25 @@ cd "$(dirname "$0")/.."
 WORK="$(mktemp -d)"
 PIDS=""
 cleanup() {
+    # Kill every daemon we started, wait for them to actually exit (so
+    # none is still writing into $WORK while we remove it), escalate to
+    # KILL for any that ignore TERM, then remove the temp state dir.
     # shellcheck disable=SC2086
-    [ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+    if [ -n "$PIDS" ]; then
+        kill $PIDS 2>/dev/null || true
+        i=0
+        while [ "$i" -lt 20 ]; do
+            alive=0
+            for pid in $PIDS; do
+                kill -0 "$pid" 2>/dev/null && alive=1
+            done
+            [ "$alive" -eq 0 ] && break
+            i=$((i + 1))
+            sleep 0.1
+        done
+        kill -9 $PIDS 2>/dev/null || true
+        wait $PIDS 2>/dev/null || true
+    fi
     rm -rf "$WORK"
 }
 trap cleanup EXIT INT TERM
