@@ -14,24 +14,28 @@
 //
 // With -cluster-dir, several randprivd processes sharing one state
 // directory form a cluster. The default -role coordinator serves the
-// full HTTP API and delegates plain assessment jobs (and the sketch
-// pass of large streamed assessments) to the shared task queue;
-// -role worker serves only /healthz and spends its capacity claiming
-// and executing tasks. Workers that crash mid-task lose their lease
-// after the heartbeat TTL and the work re-runs elsewhere, to
-// byte-identical results.
+// full HTTP API and delegates work to the shared task queue: plain
+// assessment jobs, the sketch and score passes of large streamed
+// assessments, and multipart sweeps partitioned at perturbation-group
+// boundaries so each worker runs one disguise pass end-to-end.
+// -role worker serves only /healthz and /v1/status and spends its
+// capacity claiming and executing tasks. Workers that crash mid-task
+// lose their lease after the heartbeat TTL and the work re-runs
+// elsewhere, to byte-identical results.
 //
-// Endpoints (see internal/server):
+// Endpoints (see docs/API.md for the full reference):
 //
 //	POST /v1/perturb?sigma=5&seed=1&scheme=additive|correlated   CSV -> CSV
 //	POST /v1/attack?sigma=5&attack=ndr|pcadr|bedr[&correlated=1] CSV -> CSV
 //	POST /v1/assess?sigma=5&seed=1&scheme=...[&stream=1]         CSV -> JSON
 //	POST   /v1/jobs?sigma=5&seed=1&scheme=...[&stream=1]         CSV -> job id
 //	POST   /v1/jobs  (multipart: spec + data)                    sweep -> job id
+//	GET    /v1/jobs[?state=...&limit=N&cursor=...]               listing JSON
 //	GET    /v1/jobs/{id}                                         status JSON
 //	GET    /v1/jobs/{id}/result                                  report JSON
 //	DELETE /v1/jobs/{id}                                         cancel/remove
-//	GET  /healthz
+//	GET  /healthz                                                liveness
+//	GET  /v1/status                                              gauges
 //	GET  /v1/schemes
 //
 // Jobs submitted to /v1/jobs persist their spec and upload under

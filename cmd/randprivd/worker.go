@@ -1,5 +1,6 @@
-// The -role worker process: no API surface beyond /healthz, all
-// capacity spent claiming and executing cluster tasks. A worker shares
+// The -role worker process: no API surface beyond /healthz liveness
+// and /v1/status gauges, all capacity spent claiming and executing
+// cluster tasks. A worker shares
 // the assessment code with the coordinator through server.Server — the
 // same runner computes a delegated job here and on a coordinator's
 // embedded claim loop, which is what makes results byte-identical no
@@ -84,6 +85,8 @@ func runWorker(addr, dir, node string, nWorkers, chunk int, spool string, timeou
 		}
 		w.Register(cluster.TaskSketch, cluster.SketchShardRunner)
 		w.Register(cluster.TaskAssess, srv.ClusterAssessRunner())
+		w.Register(cluster.TaskSweepGroup, srv.ClusterSweepGroupRunner())
+		w.Register(cluster.TaskScore, srv.ClusterScoreRunner())
 		if err := w.Start(); err != nil {
 			return err
 		}
@@ -92,7 +95,16 @@ func runWorker(addr, dir, node string, nWorkers, chunk int, spool string, timeou
 	}
 
 	mux := http.NewServeMux()
+	// Liveness only; the gauges live on /v1/status, mirroring the
+	// coordinator's API split.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Status string `json:"status"`
+			Role   string `json:"role"`
+		}{"ok", "worker"})
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		var claimed, done, failed int64
 		for _, wk := range workers {
 			c, d, f := wk.Stats()
@@ -101,17 +113,17 @@ func runWorker(addr, dir, node string, nWorkers, chunk int, spool string, timeou
 		pending, leased, resolved := st.QueueStats()
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(struct {
-			Status       string `json:"status"`
-			Node         string `json:"node"`
-			Role         string `json:"role"`
-			ClaimLoops   int    `json:"claim_loops"`
-			TasksClaimed int64  `json:"tasks_claimed"`
-			TasksDone    int64  `json:"tasks_done"`
-			TasksFailed  int64  `json:"tasks_failed"`
-			TasksPending int    `json:"tasks_pending"`
-			TasksLeased  int    `json:"tasks_leased"`
-			TasksDoneAll int    `json:"tasks_done_all"`
-		}{"ok", node, "worker", nWorkers, claimed, done, failed, pending, leased, resolved})
+			Node         string                       `json:"node"`
+			Role         string                       `json:"role"`
+			ClaimLoops   int                          `json:"claim_loops"`
+			TasksClaimed int64                        `json:"tasks_claimed"`
+			TasksDone    int64                        `json:"tasks_done"`
+			TasksFailed  int64                        `json:"tasks_failed"`
+			TasksPending int                          `json:"tasks_pending"`
+			TasksLeased  int                          `json:"tasks_leased"`
+			TasksDoneAll int                          `json:"tasks_done_all"`
+			TasksByKind  map[string]cluster.KindStats `json:"tasks_by_kind"`
+		}{node, "worker", nWorkers, claimed, done, failed, pending, leased, resolved, st.QueueStatsByKind()})
 	})
 	httpSrv := &http.Server{
 		Addr:              addr,

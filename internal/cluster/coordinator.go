@@ -124,6 +124,15 @@ func (c *Coordinator) Store() *Store { return c.store }
 // converge instead of hanging. The results come back in id order; the
 // first failed task (in slice order) fails the whole wait.
 func (c *Coordinator) Await(ctx context.Context, ids []string) ([][]byte, error) {
+	return c.AwaitFunc(ctx, ids, nil)
+}
+
+// AwaitFunc is Await with a completion hook: done (when non-nil) is
+// invoked once per task, in resolution order, with the task's index in
+// ids and its result bytes — the coordinator-side progress seam for
+// delegated sweeps. The hook runs on the polling goroutine, so it must
+// be cheap and must not block.
+func (c *Coordinator) AwaitFunc(ctx context.Context, ids []string, done func(i int, body []byte)) ([][]byte, error) {
 	results := make([][]byte, len(ids))
 	resolved := make([]bool, len(ids))
 	remaining := len(ids)
@@ -148,6 +157,9 @@ func (c *Coordinator) Await(ctx context.Context, ids []string) ([][]byte, error)
 			results[i] = body
 			resolved[i] = true
 			remaining--
+			if done != nil {
+				done(i, body)
+			}
 		}
 		if remaining == 0 {
 			break

@@ -394,6 +394,60 @@ func (s *Store) QueueStats() (pending, claimed, done int) {
 	return count(s.pendingDir()), count(s.claimedDir()), count(s.doneDir())
 }
 
+// KindStats counts one task kind's presence in each lifecycle
+// directory — the per-kind /v1/status gauges.
+type KindStats struct {
+	Pending int `json:"pending"`
+	Claimed int `json:"claimed"`
+	Done    int `json:"done"`
+}
+
+// QueueStatsByKind buckets the task files of every lifecycle directory
+// by task kind. It reads each file to learn its kind (pending/claimed
+// files carry the task JSON, done files the completion envelope), so it
+// is a status-endpoint operation, not a hot-path one. Unreadable or
+// unparseable files land in the "" bucket, which is dropped — the
+// aggregate QueueStats still counts them.
+func (s *Store) QueueStatsByKind() map[string]KindStats {
+	out := make(map[string]KindStats)
+	scan := func(dir string, kindOf func(body []byte) string, add func(st *KindStats)) {
+		entries, err := s.fs.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			body, err := s.fs.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				continue
+			}
+			kind := kindOf(body)
+			if kind == "" {
+				continue
+			}
+			st := out[kind]
+			add(&st)
+			out[kind] = st
+		}
+	}
+	taskKind := func(body []byte) string {
+		var t Task
+		if json.Unmarshal(body, &t) != nil {
+			return ""
+		}
+		return t.Type
+	}
+	scan(s.pendingDir(), taskKind, func(st *KindStats) { st.Pending++ })
+	scan(s.claimedDir(), taskKind, func(st *KindStats) { st.Claimed++ })
+	scan(s.doneDir(), func(body []byte) string {
+		var df doneFile
+		if json.Unmarshal(body, &df) != nil {
+			return ""
+		}
+		return df.Type
+	}, func(st *KindStats) { st.Done++ })
+	return out
+}
+
 // validNodeID restricts node identifiers to filename-safe bytes; node
 // ids become path components of heartbeat and claim files.
 func validNodeID(node string) error {

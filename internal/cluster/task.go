@@ -26,6 +26,15 @@ const (
 	// TaskAssess runs one full assessment (the server registers its
 	// runner; the cluster package only routes it).
 	TaskAssess = "assess"
+	// TaskSweepGroup executes one perturbation group of a compiled sweep
+	// plan end-to-end — perturb, shared sketch, every attack and utility
+	// of the group's points — against the content-addressed upload (the
+	// server registers its runner).
+	TaskSweepGroup = "sweepgroup"
+	// TaskScore runs one attack of a streamed assessment's scoring pass
+	// against the content-addressed original/disguised pair (the server
+	// registers its runner).
+	TaskScore = "score"
 )
 
 // Task is one unit of claimable work. The ID is derived from the task's
@@ -83,6 +92,32 @@ func NewAssessTask(spec json.RawMessage, digest string) Task {
 	}
 }
 
+// NewSweepGroupTask builds the task for one perturbation group of a
+// sweep plan. Like assess tasks, the server-interpreted spec bytes are
+// part of the identity (they name the group's points canonically), so a
+// restarted coordinator recomputes the same IDs and finds its earlier
+// done files, and identical groups across sweep jobs dedup.
+func NewSweepGroupTask(spec json.RawMessage, digest string) Task {
+	return Task{
+		ID:     taskID("sweepgroup", string(spec), digest),
+		Type:   TaskSweepGroup,
+		Spec:   append(json.RawMessage(nil), spec...),
+		Digest: digest,
+	}
+}
+
+// NewScoreTask builds the task for one attack of a streamed
+// assessment's scoring pass. The spec carries the attack selection and
+// the disguised copy's digest; Digest addresses the original upload.
+func NewScoreTask(spec json.RawMessage, digest string) Task {
+	return Task{
+		ID:     taskID("score", string(spec), digest),
+		Type:   TaskScore,
+		Spec:   append(json.RawMessage(nil), spec...),
+		Digest: digest,
+	}
+}
+
 // validate rejects tasks whose references could escape the state dir.
 func (t *Task) validate() error {
 	if !hexDigest(t.ID) {
@@ -102,6 +137,11 @@ func (t *Task) validate() error {
 // deterministically stays failed (re-running it would fail identically),
 // so failures are terminal results, not retries.
 type doneFile struct {
+	// Type is the completed task's kind, carried so the per-kind queue
+	// gauges can bucket done files without a task-file lookup. Duplicate
+	// completions copy it from the same task, so the envelope stays
+	// byte-identical.
+	Type   string `json:"type,omitempty"`
 	Error  string `json:"error,omitempty"`
 	Result []byte `json:"result,omitempty"` // base64 via encoding/json
 }
@@ -217,7 +257,7 @@ func (s *Store) Release(t *Task) error {
 // task finishing twice) are safe — deterministic runners produce
 // byte-identical envelopes and the rename just replaces like with like.
 func (s *Store) Complete(t *Task, result []byte, taskErr string) error {
-	body, err := json.Marshal(doneFile{Error: taskErr, Result: result})
+	body, err := json.Marshal(doneFile{Type: t.Type, Error: taskErr, Result: result})
 	if err != nil {
 		return fmt.Errorf("cluster: encode done file: %w", err)
 	}

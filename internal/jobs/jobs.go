@@ -67,6 +67,11 @@ type Progress struct {
 	ChunksTotal int64 `json:"chunks_total"`
 	PointsDone  int64 `json:"points_done,omitempty"`
 	PointsTotal int64 `json:"points_total,omitempty"`
+	// Group counters appear on delegated sweep jobs: the coordinator
+	// partitions the grid at perturbation-group boundaries and ticks one
+	// group per completed cluster task.
+	GroupsDone  int64 `json:"groups_done,omitempty"`
+	GroupsTotal int64 `json:"groups_total,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a job's public state.
@@ -460,6 +465,29 @@ func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
 }
 
 // Stats returns the queue gauges for /healthz.
+// List returns a snapshot of every job, newest first (creation time
+// descending, id descending as the tiebreak — a strict total order, so
+// cursor pagination over it never skips or repeats a job).
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, len(js))
+	for i, j := range js {
+		out[i] = j.snapshot()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Created.Equal(out[b].Created) {
+			return out[a].Created.After(out[b].Created)
+		}
+		return out[a].ID > out[b].ID
+	})
+	return out
+}
+
 func (m *Manager) Stats() (queued, running, terminal int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -548,6 +576,9 @@ func (m *Manager) runOne(j *job) {
 		}
 		if j.prog.PointsTotal == 0 {
 			j.prog.PointsTotal = j.prog.PointsDone
+		}
+		if j.prog.GroupsTotal == 0 {
+			j.prog.GroupsTotal = j.prog.GroupsDone
 		}
 	case errorIsContext(err) && m.baseCtx.Err() != nil:
 		// Shutdown, not failure (the base context only dies in Close,

@@ -74,8 +74,9 @@ func TestRetryAfterOn503(t *testing.T) {
 }
 
 // TestHealthzDegradedAfterBreakerTrips: three consecutive delegation
-// failures open the breaker, and /healthz reports the node degraded
-// (still 200 — the node serves everything serially) with the trip count.
+// failures open the breaker. /healthz reports the node degraded (still
+// 200 — the node serves everything serially), and /v1/status carries
+// the trip count in its cluster section.
 func TestHealthzDegradedAfterBreakerTrips(t *testing.T) {
 	s, ts := newTestServer(t, clusterConfig(t, 1))
 	now := time.Now()
@@ -92,23 +93,38 @@ func TestHealthzDegradedAfterBreakerTrips(t *testing.T) {
 		t.Fatalf("healthz status = %d, want 200 (degraded is not down)", resp.StatusCode)
 	}
 	var h struct {
-		Status  string `json:"status"`
+		Status   string `json:"status"`
+		Degraded bool   `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Degraded {
+		t.Error("healthz degraded = false after the breaker opened")
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st struct {
 		Cluster *struct {
 			Degraded     bool  `json:"degraded"`
 			BreakerTrips int64 `json:"breaker_trips"`
 		} `json:"cluster"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if h.Cluster == nil {
-		t.Fatal("healthz has no cluster section")
+	if st.Cluster == nil {
+		t.Fatal("/v1/status has no cluster section")
 	}
-	if !h.Cluster.Degraded {
+	if !st.Cluster.Degraded {
 		t.Error("cluster.degraded = false after the breaker opened")
 	}
-	if h.Cluster.BreakerTrips != 1 {
-		t.Errorf("cluster.breaker_trips = %d, want 1", h.Cluster.BreakerTrips)
+	if st.Cluster.BreakerTrips != 1 {
+		t.Errorf("cluster.breaker_trips = %d, want 1", st.Cluster.BreakerTrips)
 	}
 }
 

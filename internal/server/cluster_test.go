@@ -119,18 +119,17 @@ func TestClusterSharedResultCache(t *testing.T) {
 	}
 }
 
-// TestHealthzClusterSection asserts the per-node gauges surface: node
-// identity, alive worker count, queue depths and one heartbeat row per
-// node.
-func TestHealthzClusterSection(t *testing.T) {
+// TestStatusClusterSection asserts the per-node gauges surface on
+// GET /v1/status: node identity, alive worker count, queue depths and
+// one heartbeat row per node.
+func TestStatusClusterSection(t *testing.T) {
 	_, ts := newTestServer(t, clusterConfig(t, 2))
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/v1/status")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	var h struct {
-		Status  string `json:"status"`
 		Cluster *struct {
 			Node         string `json:"node"`
 			AliveWorkers int    `json:"alive_workers"`
@@ -146,7 +145,7 @@ func TestHealthzClusterSection(t *testing.T) {
 		t.Fatal(err)
 	}
 	if h.Cluster == nil {
-		t.Fatal("healthz has no cluster section on a cluster-mode server")
+		t.Fatal("/v1/status has no cluster section on a cluster-mode server")
 	}
 	if h.Cluster.Node != "test-node-2w" {
 		t.Errorf("cluster.node = %q", h.Cluster.Node)
@@ -166,7 +165,7 @@ func TestHealthzClusterSection(t *testing.T) {
 
 	// And absent without a cluster.
 	_, plain := newTestServer(t, Config{})
-	resp2, err := http.Get(plain.URL + "/healthz")
+	resp2, err := http.Get(plain.URL + "/v1/status")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,16 +177,16 @@ func TestHealthzClusterSection(t *testing.T) {
 		t.Fatal(err)
 	}
 	if h2.Cluster != nil {
-		t.Error("single-process healthz grew a cluster section")
+		t.Error("single-process /v1/status grew a cluster section")
 	}
 }
 
-// TestHealthzGaugeStorm hammers submit/poll/cancel from 32 goroutines
-// while reading /healthz: the job gauges must never go negative and
+// TestStatusGaugeStorm hammers submit/poll/cancel from 32 goroutines
+// while reading /v1/status: the job gauges must never go negative and
 // must never sum to more jobs than were ever submitted — the gauge
 // arithmetic is lock-protected counters, and this is the test that
 // catches a decrement-twice bug under contention.
-func TestHealthzGaugeStorm(t *testing.T) {
+func TestStatusGaugeStorm(t *testing.T) {
 	_, ts := newTestServer(t, Config{JobWorkers: 4, JobQueueDepth: 4096, CacheEntries: -1})
 	in := testCSV(t, 24, 3, 2, 5)
 	const goroutines = 32
@@ -205,7 +204,7 @@ func TestHealthzGaugeStorm(t *testing.T) {
 				return
 			default:
 			}
-			resp, err := http.Get(ts.URL + "/healthz")
+			resp, err := http.Get(ts.URL + "/v1/status")
 			if err != nil {
 				continue
 			}

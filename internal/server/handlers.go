@@ -12,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"randpriv/internal/core"
 	"randpriv/internal/dataset"
@@ -582,7 +583,7 @@ func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p 
 	chunk := int64(p.Chunk)
 	total = (rows + chunk - 1) / chunk * passesFor(p)
 	note()
-	rep, utilities, err := s.assess(ctx, orig, names, p, ws, wrap, shardable && progress == nil)
+	rep, utilities, err := s.assess(ctx, orig, src.Path(), names, p, ws, wrap, shardable && progress == nil)
 	if err != nil {
 		return nil, err
 	}
@@ -602,7 +603,10 @@ func (s *Server) runAssessment(ctx context.Context, src *dataset.ChunkSource, p 
 // runs the attack battery against it, in the requested mode. wrap
 // decorates every additional source the battery opens (the disguised
 // spool) with the caller's cancellation and progress accounting.
-func (s *Server) assess(ctx context.Context, orig stream.Source, names []string, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source, shardable bool) (*core.PrivacyReport, []core.UtilityResult, error) {
+// origPath is the original upload's backing file ("" for reader-backed
+// sources) — the handle a shardable streamed assessment uses to put the
+// original into the cluster's content-addressed store.
+func (s *Server) assess(ctx context.Context, orig stream.Source, origPath string, names []string, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source, shardable bool) (*core.PrivacyReport, []core.UtilityResult, error) {
 	bd, err := buildDefense(p, orig)
 	if err != nil {
 		return nil, nil, err
@@ -633,7 +637,7 @@ func (s *Server) assess(ctx context.Context, orig stream.Source, names []string,
 	}
 
 	if p.Stream {
-		rep, err := s.assessStream(ctx, orig, disgPath, bd, p, ws, wrap, shardable)
+		rep, err := s.assessStream(ctx, orig, origPath, disgPath, bd, p, ws, wrap, shardable)
 		return rep, nil, err
 	}
 	return s.assessMemory(ctx, orig, disgPath, bd, p, ws, wrap)
@@ -646,7 +650,13 @@ func (s *Server) assess(ctx context.Context, orig stream.Source, names []string,
 // (every attack runs its own pass 1) unless the cluster may shard it —
 // either way the attacks see bit-identical moments, so the report bytes
 // do not depend on the path taken.
-func (s *Server) assessStream(ctx context.Context, orig stream.Source, disgPath string, bd core.BuiltDefense, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source, shardable bool) (*core.PrivacyReport, error) {
+//
+// A shardable multi-attack battery first tries to delegate the whole
+// scoring pass: one score task per attack, merged through the canonical
+// result ordering. That too is byte-identical to the serial battery by
+// construction, and any failure falls through to the serial path (with
+// at most a sharded sketch).
+func (s *Server) assessStream(ctx context.Context, orig stream.Source, origPath, disgPath string, bd core.BuiltDefense, p requestParams, ws *mat.Workspace, wrap func(stream.Source) stream.Source, shardable bool) (*core.PrivacyReport, error) {
 	disgSrc, err := dataset.OpenCSVChunks(disgPath, p.Chunk)
 	if err != nil {
 		return nil, err
@@ -654,6 +664,9 @@ func (s *Server) assessStream(ctx context.Context, orig stream.Source, disgPath 
 	defer disgSrc.Close()
 	var sketch core.SketchFn
 	if shardable && s.cluster != nil {
+		if rep, ok := s.clusterScore(ctx, origPath, disgPath, bd, p); ok {
+			return rep, nil
+		}
 		sketch = s.clusterSketch(ctx, disgPath, p.Chunk)
 	}
 	env := sweep.Env{Reg: defaultRegistry, WS: ws}
@@ -699,14 +712,33 @@ func (s *Server) assessMemory(ctx context.Context, orig stream.Source, disgPath 
 	return env.EvaluateMemoryPoint(ctx, sweepParams(p), origData, disgData, bd)
 }
 
-// handleHealthz reports liveness plus the pool and cache gauges:
-// GET /healthz
+// handleHealthz reports liveness only: GET /healthz. "degraded" is true
+// while the cluster delegation breaker is open (everything is being
+// served through the byte-identical serial path) — the one operational
+// bit a load balancer or probe should act on. Every other gauge moved to
+// GET /v1/status; this release keeps /healthz itself at its old path so
+// existing probes keep working, but dashboards reading pool/cache/job
+// gauges from it must switch to /v1/status.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	degraded := false
+	if s.breaker != nil {
+		degraded = s.breaker.Open(time.Now().UTC())
+	}
+	writeJSON(w, struct {
+		Status   string `json:"status"`
+		Degraded bool   `json:"degraded"`
+	}{Status: "ok", Degraded: degraded})
+}
+
+// handleStatus reports the operational gauges: GET /v1/status. The
+// payload is the gauge section /healthz used to carry — pool depth,
+// cache counters, job and sweep totals, and (in cluster mode) per-node
+// heartbeats with task-queue depths per task kind.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.cache.Stats()
 	jobsQueued, jobsRunning, jobsTerminal := s.jobs.Stats()
 	pointsDone, pointsQueued := s.jobs.PointTotals()
 	resp := struct {
-		Status        string `json:"status"`
 		Workers       int    `json:"workers"`
 		QueueDepth    int    `json:"queue_depth"`
 		Inflight      int64  `json:"inflight"`
@@ -727,7 +759,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// depths; absent on single-process servers.
 		Cluster *clusterStatus `json:"cluster,omitempty"`
 	}{
-		Status:            "ok",
 		Workers:           s.cfg.Workers,
 		QueueDepth:        s.cfg.QueueDepth,
 		Inflight:          s.pool.Inflight(),

@@ -23,11 +23,13 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
 	"mime"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -154,6 +156,17 @@ func (s *Server) runSweepJob(ctx context.Context, sp jobSpec, upload string, ws 
 		return nil, err
 	}
 	defer src.Close()
+	// In cluster mode the plan is partitioned at perturbation-group
+	// boundaries and delegated to the task queue; any attached worker
+	// executes its groups end-to-end and the coordinator merges the
+	// envelopes in grid order. Delegation failing for infrastructure
+	// reasons falls back to the local executor — the merged body is
+	// byte-identical either way.
+	if s.cluster != nil {
+		if body, err, delegated := s.runSweepViaCluster(ctx, sp, plan, upload, len(src.Names()), progress); delegated {
+			return body, err
+		}
+	}
 	cfg := sweep.ExecConfig{
 		Env:    sweep.Env{Reg: defaultRegistry, WS: ws},
 		Digest: sp.Digest,
@@ -221,15 +234,16 @@ func toJobStatusJSON(snap jobs.Snapshot) jobStatusJSON {
 	return out
 }
 
-// handleJobsCollection serves POST /v1/jobs: validate the parameters
-// (the same allow-list as /v1/assess), spool the body through the
-// SHA-256 digest, and hand the job to the manager. The response is 202
-// with the queued job's status; the upload connection is released as
-// soon as the body is on disk, which is the whole point of the API.
+// handleJobsCollection serves /v1/jobs. GET lists jobs newest-first
+// with state filtering and cursor pagination. POST submits: validate
+// the parameters (the same allow-list as /v1/assess), spool the body
+// through the SHA-256 digest, and hand the job to the manager. The
+// response is 202 with the queued job's status; the upload connection
+// is released as soon as the body is on disk, which is the whole point
+// of the API.
 func (s *Server) handleJobsCollection(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: use POST"))
+	if r.Method == http.MethodGet {
+		s.handleJobsList(w, r)
 		return
 	}
 	if mediaType, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mediaType == "multipart/form-data" {
@@ -276,6 +290,125 @@ func (s *Server) handleJobsCollection(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJobAccepted(w, snap)
+}
+
+// Listing bounds: the page size must be small enough that one response
+// never serializes an unbounded job backlog.
+const (
+	defaultJobsPageLimit = 100
+	maxJobsPageLimit     = 1000
+)
+
+// jobListStates is the ?state= filter's allowed vocabulary — exactly
+// the states GET /v1/jobs/{id} can report.
+var jobListStates = map[string]bool{
+	string(jobs.StateQueued):   true,
+	string(jobs.StateRunning):  true,
+	string(jobs.StateDone):     true,
+	string(jobs.StateFailed):   true,
+	string(jobs.StateCanceled): true,
+}
+
+// jobsCursor encodes a page boundary as an opaque token. The listing
+// order is (created desc, id desc) — a strict total order, since ids
+// are unique — so "strictly after the cursor" identifies the next page
+// exactly even as new jobs arrive at the head of the list.
+func jobsCursor(snap jobs.Snapshot) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(fmt.Sprintf("%d|%s", snap.Created.UnixNano(), snap.ID)))
+}
+
+func parseJobsCursor(tok string) (createdNano int64, id string, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return 0, "", fmt.Errorf("server: parameter cursor=%q is not a valid cursor", tok)
+	}
+	sep := strings.IndexByte(string(raw), '|')
+	if sep < 1 {
+		return 0, "", fmt.Errorf("server: parameter cursor=%q is not a valid cursor", tok)
+	}
+	createdNano, perr := strconv.ParseInt(string(raw[:sep]), 10, 64)
+	if perr != nil {
+		return 0, "", fmt.Errorf("server: parameter cursor=%q is not a valid cursor", tok)
+	}
+	return createdNano, string(raw[sep+1:]), nil
+}
+
+// handleJobsList serves GET /v1/jobs: the job collection newest-first,
+// optionally filtered by ?state=, paginated by ?limit= (default 100,
+// max 1000) and the opaque ?cursor= token from the previous page's
+// next_cursor. A response without next_cursor is the last page.
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	for key, vals := range q {
+		switch key {
+		case "state", "limit", "cursor":
+		default:
+			s.jobError(w, r, badRequest(fmt.Errorf("server: parameter %q is not valid for this endpoint", key)))
+			return
+		}
+		if len(vals) != 1 {
+			s.jobError(w, r, badRequest(fmt.Errorf("server: parameter %q given %d times", key, len(vals))))
+			return
+		}
+	}
+	state := q.Get("state")
+	if state != "" && !jobListStates[state] {
+		s.jobError(w, r, badRequest(fmt.Errorf("server: parameter state=%q: want one of queued, running, done, failed, canceled", state)))
+		return
+	}
+	limit := defaultJobsPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxJobsPageLimit {
+			s.jobError(w, r, badRequest(fmt.Errorf("server: parameter limit=%q: want 1..%d", v, maxJobsPageLimit)))
+			return
+		}
+		limit = n
+	}
+	var afterNano int64
+	var afterID string
+	cursored := false
+	if tok := q.Get("cursor"); tok != "" {
+		var err error
+		afterNano, afterID, err = parseJobsCursor(tok)
+		if err != nil {
+			s.jobError(w, r, badRequest(err))
+			return
+		}
+		cursored = true
+	}
+
+	resp := struct {
+		Jobs       []jobStatusJSON `json:"jobs"`
+		NextCursor string          `json:"next_cursor,omitempty"`
+	}{Jobs: []jobStatusJSON{}}
+	for _, snap := range s.jobs.List() {
+		if state != "" && string(snap.State) != state {
+			continue
+		}
+		if cursored {
+			// Skip until strictly after the cursor position in the
+			// (created desc, id desc) order.
+			nano := snap.Created.UnixNano()
+			if nano > afterNano || (nano == afterNano && snap.ID >= afterID) {
+				continue
+			}
+		}
+		if len(resp.Jobs) == limit {
+			resp.NextCursor = jobsCursor(s.lastListed(resp.Jobs))
+			break
+		}
+		resp.Jobs = append(resp.Jobs, toJobStatusJSON(snap))
+	}
+	writeJSON(w, resp)
+}
+
+// lastListed recovers the cursor fields of the last page entry. The
+// status JSON carries Created verbatim, so the cursor round-trips.
+func (s *Server) lastListed(page []jobStatusJSON) jobs.Snapshot {
+	last := page[len(page)-1]
+	return jobs.Snapshot{ID: last.ID, Created: last.Created}
 }
 
 func (s *Server) writeJobAccepted(w http.ResponseWriter, snap jobs.Snapshot) {

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -192,13 +193,19 @@ func TestJobSubmitValidation(t *testing.T) {
 
 func TestJobEndpointMethodsAndPaths(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	get, err := http.Get(ts.URL + "/v1/jobs")
+	// GET on the collection is the listing endpoint (covered in
+	// TestJobsList); only genuinely unsupported methods 405 here.
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/jobs", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	get.Body.Close()
-	if get.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /v1/jobs = %d, want 405", get.StatusCode)
+	put, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put.Body.Close()
+	if put.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/jobs = %d, want 405", put.StatusCode)
 	}
 	if status, _, _ := post(t, ts, "/v1/jobs/someid", nil); status != http.StatusMethodNotAllowed {
 		t.Errorf("POST /v1/jobs/{id} = %d, want 405", status)
@@ -225,6 +232,154 @@ func TestJobEndpointMethodsAndPaths(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("GET with query = %d, want 400", resp.StatusCode)
 	}
+}
+
+// jobsPage decodes one GET /v1/jobs response page.
+type jobsPage struct {
+	Jobs       []jobStatus `json:"jobs"`
+	NextCursor string      `json:"next_cursor"`
+}
+
+func listJobs(t testing.TB, ts *httptest.Server, query string) (int, jobsPage, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+	if err != nil {
+		t.Fatalf("GET /v1/jobs%s: %v", query, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	var page jobsPage
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(out, &page); err != nil {
+			t.Fatalf("decode listing: %v (%s)", err, out)
+		}
+	}
+	return resp.StatusCode, page, out
+}
+
+// TestJobsList covers the collection listing: newest-first order, the
+// state filter, and limit+cursor pagination walking the full set
+// without duplicates or gaps.
+func TestJobsList(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobWorkers: 2})
+
+	// Empty store: an empty array, not null, and no cursor.
+	status, page, out := listJobs(t, ts, "")
+	if status != http.StatusOK {
+		t.Fatalf("empty listing status = %d (body %s)", status, out)
+	}
+	if page.Jobs == nil || len(page.Jobs) != 0 || page.NextCursor != "" {
+		t.Fatalf("empty listing = %s, want jobs:[] and no next_cursor", out)
+	}
+
+	in := testCSV(t, 24, 3, 2, 5)
+	ids := make([]string, 0, 5)
+	for seed := 1; seed <= 5; seed++ {
+		js := submitJob(t, ts, fmt.Sprintf("?sigma=5&seed=%d&chunk=8", seed), in)
+		ids = append(ids, js.ID)
+		waitJob(t, ts, js.ID)
+	}
+
+	status, page, out = listJobs(t, ts, "")
+	if status != http.StatusOK {
+		t.Fatalf("listing status = %d (body %s)", status, out)
+	}
+	if len(page.Jobs) != 5 || page.NextCursor != "" {
+		t.Fatalf("listing = %d jobs, cursor %q; want all 5 on one page", len(page.Jobs), page.NextCursor)
+	}
+	// Newest-first: the last submitted job leads.
+	if page.Jobs[0].ID != ids[4] || page.Jobs[4].ID != ids[0] {
+		t.Errorf("order = %v, want newest first (submitted %v)", pageIDs(page), ids)
+	}
+	for _, js := range page.Jobs {
+		if js.State != "done" {
+			t.Errorf("job %s state = %s in listing, want done", js.ID, js.State)
+		}
+	}
+
+	// State filter: everything is done, so running matches nothing and
+	// done matches all.
+	if _, p, _ := listJobs(t, ts, "?state=running"); len(p.Jobs) != 0 {
+		t.Errorf("state=running matched %d done jobs", len(p.Jobs))
+	}
+	if _, p, _ := listJobs(t, ts, "?state=done"); len(p.Jobs) != 5 {
+		t.Errorf("state=done matched %d jobs, want 5", len(p.Jobs))
+	}
+
+	// Pagination: limit=2 walks the set in three pages with no overlap.
+	var walked []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 3 {
+			t.Fatalf("pagination did not terminate; walked %v", walked)
+		}
+		q := "?limit=2"
+		if cursor != "" {
+			q += "&cursor=" + cursor
+		}
+		status, p, out := listJobs(t, ts, q)
+		if status != http.StatusOK {
+			t.Fatalf("page %d status = %d (body %s)", pages, status, out)
+		}
+		walked = append(walked, pageIDs(p)...)
+		if p.NextCursor == "" {
+			break
+		}
+		cursor = p.NextCursor
+	}
+	if len(walked) != 5 {
+		t.Fatalf("pagination walked %d jobs (%v), want 5", len(walked), walked)
+	}
+	seen := make(map[string]bool, len(walked))
+	for _, id := range walked {
+		if seen[id] {
+			t.Errorf("pagination returned job %s twice", id)
+		}
+		seen[id] = true
+	}
+	for i, id := range walked {
+		if want := ids[4-i]; id != want {
+			t.Errorf("walk position %d = %s, want %s (newest-first across pages)", i, id, want)
+		}
+	}
+}
+
+// TestJobsListValidation pins the 400 surface of the listing endpoint,
+// including the stable error code.
+func TestJobsListValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, q := range []string{
+		"?state=sideways",  // unknown state
+		"?limit=0",         // below minimum
+		"?limit=-3",        // negative
+		"?limit=abc",       // not a number
+		"?limit=1001",      // above maximum
+		"?cursor=%3F%3F",   // undecodable cursor
+		"?cursor=aGVsbG8",  // decodes, but not nano|id shaped
+		"?seed=7",          // unknown key
+		"?limit=2&limit=3", // repeated key
+	} {
+		status, _, out := listJobs(t, ts, q)
+		if status != http.StatusBadRequest {
+			t.Errorf("GET /v1/jobs%s = %d (body %s), want 400", q, status, out)
+			continue
+		}
+		var env struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.Unmarshal(out, &env); err != nil || env.Code != "param_invalid" || env.Error == "" {
+			t.Errorf("GET /v1/jobs%s envelope = %s (%v), want code param_invalid", q, out, err)
+		}
+	}
+}
+
+func pageIDs(p jobsPage) []string {
+	ids := make([]string, len(p.Jobs))
+	for i, js := range p.Jobs {
+		ids[i] = js.ID
+	}
+	return ids
 }
 
 // slowJobCSV is big enough (with chunk=4) that a streamed assessment
@@ -375,12 +530,12 @@ func TestJobsDoNotStarveInteractiveRequests(t *testing.T) {
 	}
 }
 
-// TestHealthzJobGauges: the health endpoint reports the job queue.
-func TestHealthzJobGauges(t *testing.T) {
+// TestStatusJobGauges: the status endpoint reports the job queue.
+func TestStatusJobGauges(t *testing.T) {
 	_, ts := newTestServer(t, Config{JobWorkers: 1})
 	js := submitJob(t, ts, "?sigma=5&seed=1&chunk=32", testCSV(t, 60, 3, 1, 4))
 	waitJob(t, ts, js.ID)
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/v1/status")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +548,7 @@ func TestHealthzJobGauges(t *testing.T) {
 		t.Fatal(err)
 	}
 	if h.JobWorkers != 1 || h.JobsFinished < 1 {
-		t.Errorf("healthz job gauges = %+v, want workers=1, finished>=1", h)
+		t.Errorf("/v1/status job gauges = %+v, want workers=1, finished>=1", h)
 	}
 }
 

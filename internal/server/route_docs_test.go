@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// docHeading matches the per-endpoint headings docs/API.md commits to:
+// one "### METHOD /path" per documented route.
+var docHeading = regexp.MustCompile(`(?m)^### (GET|POST|PUT|DELETE|PATCH) (/\S+)$`)
+
+// TestRouteInventoryMatchesDocs enumerates the registered route table
+// and holds docs/API.md to it, both directions: a route the docs miss
+// fails the build, and so does a documented endpoint the server no
+// longer registers. Adding a route means documenting it in the same
+// change.
+func TestRouteInventoryMatchesDocs(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document every route: %v", err)
+	}
+	documented := make(map[string]bool)
+	for _, m := range docHeading.FindAllStringSubmatch(string(raw), -1) {
+		heading := fmt.Sprintf("%s %s", m[1], m[2])
+		if documented[heading] {
+			t.Errorf("docs/API.md documents %q twice", heading)
+		}
+		documented[heading] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/API.md has no '### METHOD /path' endpoint headings; is it stale?")
+	}
+
+	s, err := New(Config{SpoolDir: t.TempDir(), JobsDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	registered := make(map[string]bool)
+	for _, rt := range s.routes() {
+		if len(rt.docs) == 0 {
+			t.Errorf("route %s has no docs entries in the route table", rt.pattern)
+		}
+		for _, d := range rt.docs {
+			registered[d] = true
+			if !documented[d] {
+				t.Errorf("registered endpoint %q is missing from docs/API.md (want a %q heading)", d, "### "+d)
+			}
+		}
+	}
+	for heading := range documented {
+		if !registered[heading] {
+			t.Errorf("docs/API.md documents %q but the server registers no such endpoint", heading)
+		}
+	}
+}

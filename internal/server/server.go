@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -252,14 +253,67 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.jobs = mgr
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/schemes", s.handleSchemes)
-	s.mux.HandleFunc("/v1/perturb", s.post(s.handlePerturb))
-	s.mux.HandleFunc("/v1/attack", s.post(s.handleAttack))
-	s.mux.HandleFunc("/v1/assess", s.post(s.handleAssess))
-	s.mux.HandleFunc("/v1/jobs", s.handleJobsCollection)
-	s.mux.HandleFunc("/v1/jobs/", s.handleJobsItem)
+	for _, rt := range s.routes() {
+		s.mux.HandleFunc(rt.pattern, allowMethods(rt.methods, rt.handler))
+	}
 	return s, nil
+}
+
+// route is one row of the server's declarative route table: the mux
+// pattern, the HTTP methods it accepts (the 405 Allow header is built
+// from them), the handler, and the operations it serves as they are
+// documented in docs/API.md — the inventory TestRouteInventoryMatchesDocs
+// checks against, so a route added without documentation (or documented
+// without a route) fails a test instead of drifting silently.
+type route struct {
+	pattern string
+	methods []string
+	handler http.HandlerFunc
+	docs    []string
+}
+
+// routes is the single source of truth for the v1 API surface. Patterns
+// with several sub-paths (/v1/jobs/) list every documented operation;
+// their handlers refine the method check per sub-path (DELETE is valid
+// on /v1/jobs/{id} but not on /v1/jobs/{id}/result).
+func (s *Server) routes() []route {
+	return []route{
+		{pattern: "/healthz", methods: []string{http.MethodGet}, handler: s.handleHealthz,
+			docs: []string{"GET /healthz"}},
+		{pattern: "/v1/status", methods: []string{http.MethodGet}, handler: s.handleStatus,
+			docs: []string{"GET /v1/status"}},
+		{pattern: "/v1/schemes", methods: []string{http.MethodGet}, handler: s.handleSchemes,
+			docs: []string{"GET /v1/schemes"}},
+		{pattern: "/v1/perturb", methods: []string{http.MethodPost}, handler: s.post(s.handlePerturb),
+			docs: []string{"POST /v1/perturb"}},
+		{pattern: "/v1/attack", methods: []string{http.MethodPost}, handler: s.post(s.handleAttack),
+			docs: []string{"POST /v1/attack"}},
+		{pattern: "/v1/assess", methods: []string{http.MethodPost}, handler: s.post(s.handleAssess),
+			docs: []string{"POST /v1/assess"}},
+		{pattern: "/v1/jobs", methods: []string{http.MethodGet, http.MethodPost}, handler: s.handleJobsCollection,
+			docs: []string{"GET /v1/jobs", "POST /v1/jobs"}},
+		{pattern: "/v1/jobs/", methods: []string{http.MethodGet, http.MethodDelete}, handler: s.handleJobsItem,
+			docs: []string{"GET /v1/jobs/{id}", "GET /v1/jobs/{id}/result", "DELETE /v1/jobs/{id}"}},
+	}
+}
+
+// allowMethods enforces a route's method set: anything else is a 405
+// with the Allow header and the uniform JSON error envelope, the same
+// shape every other error takes.
+func allowMethods(methods []string, h http.HandlerFunc) http.HandlerFunc {
+	allowed := strings.Join(methods, ", ")
+	set := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		set[m] = true
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !set[r.Method] {
+			w.Header().Set("Allow", allowed)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: method %s not allowed (use %s)", r.Method, allowed))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -300,17 +354,13 @@ func (t *trackingWriter) Write(p []byte) (int, error) {
 // Unwrap exposes the underlying writer to http.ResponseController.
 func (t *trackingWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
 
-// post wraps a handler with the method check, the overload pre-check,
-// the body size cap, and the per-request deadline shared by every
-// compute endpoint.
+// post wraps a compute handler with the overload pre-check, the body
+// size cap, and the per-request deadline shared by every compute
+// endpoint. The method check lives in the route table's allowMethods
+// wrapper.
 func (s *Server) post(fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(rw http.ResponseWriter, r *http.Request) {
 		w := &trackingWriter{ResponseWriter: rw}
-		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: use POST"))
-			return
-		}
 		// Shed load before spooling: admission control at the pool only
 		// kicks in after the body is on disk, so a saturated service
 		// must refuse the upload work too, not just the compute.
@@ -418,12 +468,39 @@ func (s *Server) setRetryAfter(w http.ResponseWriter, status int) {
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
+// errorCode maps an HTTP status onto its stable machine-readable code.
+// Clients branch on these strings (the human-readable message may be
+// reworded any time), so the mapping is append-only: a code, once
+// shipped, keeps its meaning.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "param_invalid"
+	case http.StatusNotFound:
+		return "job_not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "job_not_ready"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
 // writeError emits the uniform JSON error envelope on a response that
 // has not started yet (post aborts committed responses instead; the
 // handlers run a validation pass before the first byte precisely so
-// that mid-stream failures are rare).
+// that mid-stream failures are rare). The envelope carries both the
+// human-readable message ("error") and the stable machine-readable
+// "code" derived from the status.
 func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+	fmt.Fprintf(w, "{\"error\":%q,\"code\":%q}\n", err.Error(), errorCode(status))
 }

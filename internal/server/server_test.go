@@ -92,15 +92,36 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
 	var h struct {
-		Status     string `json:"status"`
-		Workers    int    `json:"workers"`
-		QueueDepth int    `json:"queue_depth"`
+		Status   string `json:"status"`
+		Degraded bool   `json:"degraded"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if h.Status != "ok" || h.Workers != 2 || h.QueueDepth != 4 {
-		t.Errorf("healthz = %+v, want ok/2/4", h)
+	if h.Status != "ok" || h.Degraded {
+		t.Errorf("healthz = %+v, want ok and not degraded", h)
+	}
+}
+
+func TestStatusGauges(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatalf("GET /v1/status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var h struct {
+		Workers    int `json:"workers"`
+		QueueDepth int `json:"queue_depth"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Workers != 2 || h.QueueDepth != 4 {
+		t.Errorf("/v1/status = %+v, want workers 2, queue depth 4", h)
 	}
 }
 
@@ -326,6 +347,17 @@ func TestBadParamsReturn400(t *testing.T) {
 		if status != http.StatusBadRequest {
 			t.Errorf("%s: status = %d (body %s), want 400", q, status, out)
 		}
+		// Every 400 carries the stable machine-readable code alongside
+		// the human-readable message.
+		var env struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.Unmarshal(out, &env); err != nil {
+			t.Errorf("%s: body %q is not the JSON error envelope: %v", q, out, err)
+		} else if env.Code != "param_invalid" || env.Error == "" {
+			t.Errorf("%s: envelope = %+v, want code param_invalid with a message", q, env)
+		}
 	}
 	if status, _, _ := post(t, ts, "/v1/attack?attack=udr", in); status != http.StatusBadRequest {
 		t.Errorf("attack=udr: status = %d, want 400 (not streamable)", status)
@@ -362,15 +394,49 @@ func TestOversizedBodyReturns413(t *testing.T) {
 	}
 }
 
+// TestMethodNotAllowed walks the whole route table: every registered
+// pattern must answer an unsupported method with 405, the correct Allow
+// header, and the JSON error envelope (code method_not_allowed).
 func TestMethodNotAllowed(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	resp, err := http.Get(ts.URL + "/v1/assess")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	s, ts := newTestServer(t, Config{})
+	for _, rt := range s.routes() {
+		allowed := make(map[string]bool, len(rt.methods))
+		for _, m := range rt.methods {
+			allowed[m] = true
+		}
+		wantAllow := strings.Join(rt.methods, ", ")
+		path := strings.ReplaceAll(rt.pattern, "{id}", "someid")
+		for _, method := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch} {
+			if allowed[method] {
+				continue
+			}
+			req, err := http.NewRequest(method, ts.URL+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status = %d (body %s), want 405", method, rt.pattern, resp.StatusCode, out)
+				continue
+			}
+			if got := resp.Header.Get("Allow"); got != wantAllow {
+				t.Errorf("%s %s: Allow = %q, want %q", method, rt.pattern, got, wantAllow)
+			}
+			var env struct {
+				Error string `json:"error"`
+				Code  string `json:"code"`
+			}
+			if err := json.Unmarshal(out, &env); err != nil {
+				t.Errorf("%s %s: body %q is not the JSON error envelope: %v", method, rt.pattern, out, err)
+			} else if env.Code != "method_not_allowed" || env.Error == "" {
+				t.Errorf("%s %s: envelope = %+v, want code method_not_allowed with a message", method, rt.pattern, env)
+			}
+		}
 	}
 }
 

@@ -268,9 +268,9 @@ func TestSweepJobLifecycle(t *testing.T) {
 	}
 }
 
-// TestHealthzSweepGauges: while a sweep runs, /healthz exposes its
+// TestStatusSweepGauges: while a sweep runs, /v1/status exposes its
 // outstanding grid points; after it finishes, the gauges return to zero.
-func TestHealthzSweepGauges(t *testing.T) {
+func TestStatusSweepGauges(t *testing.T) {
 	_, ts := newTestServer(t, Config{JobWorkers: 1})
 	// Big enough at chunk=4 that the run is observable mid-flight.
 	in := testCSV(t, 20000, 6, 2, 11)
@@ -286,7 +286,7 @@ func TestHealthzSweepGauges(t *testing.T) {
 
 	gauges := func() (queued, done int64) {
 		t.Helper()
-		resp, err := http.Get(ts.URL + "/healthz")
+		resp, err := http.Get(ts.URL + "/v1/status")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -117,6 +117,151 @@ func validateCollect(src stream.Source, cols int) (*mat.Dense, int64, error) {
 	return col.Data, rows, nil
 }
 
+// GroupOutcome is one point's result from evaluating a perturbation
+// group: the canonical report bytes (trailing newline included — the
+// exact standalone /v1/assess body), or the parameter rejection that
+// request would have gotten as a 400. Exactly one field is set.
+type GroupOutcome struct {
+	Body []byte
+	Err  string
+}
+
+// GroupExec evaluates perturbation groups against one resident upload.
+// Execute drives it group by group; the cluster's sweep-group task
+// runner drives it for a single delegated group. Both callers therefore
+// share one compute path, which is what keeps a delegated sweep
+// byte-identical to the single-process run.
+type GroupExec struct {
+	env      Env
+	digest   string
+	stream   bool
+	chunk    int
+	rows     int64
+	cols     int
+	origData *mat.Dense
+	wrap     func(stream.Source) stream.Source
+	sketches *stream.SketchCache
+}
+
+// NewGroupExec scans the upload once — validating every chunk and
+// collecting the rows resident, so no later pass re-reads the CSV — and
+// returns the group evaluator. wrap, when non-nil, decorates every
+// source the evaluator opens (the executor threads its cancellation and
+// pass counting through it).
+func NewGroupExec(env Env, digest string, streamMode bool, chunk, cols int, upload stream.Source, wrap func(stream.Source) stream.Source) (*GroupExec, error) {
+	if wrap == nil {
+		wrap = func(s stream.Source) stream.Source { return s }
+	}
+	origData, rows, err := validateCollect(wrap(upload), cols)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupExec{
+		env: env, digest: digest, stream: streamMode, chunk: chunk,
+		rows: rows, cols: cols, origData: origData, wrap: wrap,
+		sketches: stream.NewSketchCache(),
+	}, nil
+}
+
+// Rows returns the validated upload's row count.
+func (g *GroupExec) Rows() int64 { return g.rows }
+
+// SketchesBuilt returns how many distinct shared sketches have been
+// built so far (the original's plus one per evaluated stream group).
+func (g *GroupExec) SketchesBuilt() int { return g.sketches.Len() }
+
+func (g *GroupExec) origSrc() stream.Source {
+	return g.wrap(stream.NewMatrixSource(g.origData, g.chunk))
+}
+
+// origCov memoizes the original's covariance sketch across groups — a
+// covariance-hungry defense in every group still costs one pass total.
+func (g *GroupExec) origCov() (*mat.Dense, error) {
+	mo, err := g.sketches.Get("orig", func() (*stream.Moments, error) {
+		return stream.Accumulate(g.origSrc(), 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mo.Covariance(), nil
+}
+
+// Run evaluates one perturbation group — every point in pts shares one
+// PerturbKey, and key is that key (the shared-sketch cache slot). The
+// group's perturbation runs once, the NDR baseline and moment sketch
+// are shared across its points, and each point's report is marshaled to
+// its canonical bytes. Parameter rejections land in the outcome (the
+// sweep continues); data-plane failures (cancellation, I/O) abort with
+// an error, exactly as they would abort a standalone request.
+func (g *GroupExec) Run(ctx context.Context, key string, pts []Params) ([]GroupOutcome, error) {
+	out := make([]GroupOutcome, len(pts))
+	groupParams := pts[0]
+	bd, err := g.env.BuildDefense(groupParams, g.origCov)
+	if err != nil {
+		var pe *ParamError
+		if errors.As(err, &pe) {
+			// A calibration the registry rejects fails every point in
+			// the group the way a standalone request would 400.
+			for i := range out {
+				out[i].Err = err.Error()
+			}
+			return out, nil
+		}
+		return nil, err
+	}
+
+	var disg stream.Collector
+	if err := bd.Scheme.PerturbStream(g.origSrc(), &disg, PointRNG(groupParams.Seed)); err != nil {
+		return nil, err
+	}
+	disgSrc := func() stream.Source { return g.wrap(stream.NewMatrixSource(disg.Data, g.chunk)) }
+
+	var ndr float64
+	var sketch core.SketchFn
+	if g.stream {
+		ndr, err = core.StreamNDRBaseline(g.origSrc(), disgSrc())
+		if err != nil {
+			return nil, err
+		}
+		sketch = func() (*stream.Moments, error) {
+			return g.sketches.Get(key, func() (*stream.Moments, error) {
+				return recon.SketchSource(disgSrc())
+			})
+		}
+	}
+
+	for i, p := range pts {
+		var rep *core.PrivacyReport
+		var utilities []core.UtilityResult
+		if g.stream {
+			rep, err = g.env.EvaluateStreamPoint(p, g.origSrc(), disgSrc(), bd, &ndr, sketch)
+		} else {
+			rep, utilities, err = g.env.EvaluateMemoryPoint(ctx, p, g.origData, disg.Data, bd)
+		}
+		if err != nil {
+			var pe *ParamError
+			if errors.As(err, &pe) {
+				out[i].Err = err.Error()
+				continue
+			}
+			return nil, err
+		}
+		// A context that died mid-battery is absorbed by the evaluators
+		// into per-attack error fields; recording such a report would
+		// break byte-equality with the standalone path, which fails the
+		// whole request instead.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		body, err := MarshalReport(rep, utilities, p, g.rows, g.cols, g.digest)
+		if err != nil {
+			return nil, err
+		}
+		out[i].Body = body
+	}
+	return out, nil
+}
+
 // Execute runs a compiled plan over one upload. The upload is scanned
 // once; everything after that runs off the resident copy through
 // MatrixSource — which yields the same chunk partition as the CSV
@@ -150,25 +295,13 @@ func Execute(ctx context.Context, cfg ExecConfig, plan *Plan, upload stream.Sour
 	}
 	note()
 
-	origData, rows, err := validateCollect(wrap(upload), len(names))
+	chunk := plan.Points[0].Params.Chunk
+	ge, err := NewGroupExec(cfg.Env, cfg.Digest, plan.Stream, chunk, len(names), upload, wrap)
 	if err != nil {
 		return nil, err
 	}
-	res.Rows = rows
-	chunk := plan.Points[0].Params.Chunk
-	origSrc := func() stream.Source { return wrap(stream.NewMatrixSource(origData, chunk)) }
-
-	sketches := stream.NewSketchCache()
-	defer func() { res.SketchesBuilt = sketches.Len() }()
-	origCov := func() (*mat.Dense, error) {
-		mo, err := sketches.Get("orig", func() (*stream.Moments, error) {
-			return stream.Accumulate(origSrc(), 1)
-		})
-		if err != nil {
-			return nil, err
-		}
-		return mo.Covariance(), nil
-	}
+	res.Rows = ge.Rows()
+	defer func() { res.SketchesBuilt = ge.SketchesBuilt() }()
 
 	finish := func(i int, body []byte, cached bool) {
 		res.Points[i].Report = json.RawMessage(body[:len(body)-1]) // canonical body minus trailing newline
@@ -176,8 +309,8 @@ func Execute(ctx context.Context, cfg ExecConfig, plan *Plan, upload stream.Sour
 		done++
 		note()
 	}
-	reject := func(i int, err error) {
-		res.Points[i].Error = err.Error()
+	reject := func(i int, msg string) {
+		res.Points[i].Error = msg
 		done++
 		note()
 	}
@@ -201,77 +334,27 @@ func Execute(ctx context.Context, cfg ExecConfig, plan *Plan, upload stream.Sour
 			continue
 		}
 
-		groupParams := plan.Points[pending[0]].Params
-		bd, err := cfg.Env.BuildDefense(groupParams, origCov)
+		pts := make([]Params, len(pending))
+		for i, pi := range pending {
+			pts[i] = plan.Points[pi].Params
+		}
+		outcomes, err := ge.Run(ctx, g.Key, pts)
 		if err != nil {
-			var pe *ParamError
-			if errors.As(err, &pe) {
-				// A calibration the registry rejects fails every point in
-				// the group the way a standalone request would 400.
-				for _, pi := range pending {
-					reject(pi, err)
-				}
+			return nil, err
+		}
+		for i, oc := range outcomes {
+			pi := pending[i]
+			if oc.Err != "" {
+				reject(pi, oc.Err)
 				continue
 			}
-			return nil, err
-		}
-
-		var disg stream.Collector
-		if err := bd.Scheme.PerturbStream(origSrc(), &disg, PointRNG(groupParams.Seed)); err != nil {
-			return nil, err
-		}
-		disgSrc := func() stream.Source { return wrap(stream.NewMatrixSource(disg.Data, chunk)) }
-
-		var ndr float64
-		var sketch core.SketchFn
-		if plan.Stream {
-			ndr, err = core.StreamNDRBaseline(origSrc(), disgSrc())
-			if err != nil {
-				return nil, err
-			}
-			key := g.Key
-			sketch = func() (*stream.Moments, error) {
-				return sketches.Get(key, func() (*stream.Moments, error) {
-					return recon.SketchSource(disgSrc())
-				})
-			}
-		}
-
-		for _, pi := range pending {
-			p := plan.Points[pi].Params
-			var rep *core.PrivacyReport
-			var utilities []core.UtilityResult
-			if plan.Stream {
-				rep, err = cfg.Env.EvaluateStreamPoint(p, origSrc(), disgSrc(), bd, &ndr, sketch)
-			} else {
-				rep, utilities, err = cfg.Env.EvaluateMemoryPoint(ctx, p, origData, disg.Data, bd)
-			}
-			if err != nil {
-				var pe *ParamError
-				if errors.As(err, &pe) {
-					reject(pi, err)
-					continue
-				}
-				return nil, err
-			}
-			// A context that died mid-battery is absorbed by the
-			// evaluators into per-attack error fields; recording such a
-			// report would break byte-equality with the standalone path,
-			// which fails the whole request instead.
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			body, err := MarshalReport(rep, utilities, p, rows, len(names), cfg.Digest)
-			if err != nil {
-				return nil, err
-			}
 			if cfg.Cache != nil {
-				cfg.Cache.Add(CacheKey(p, cfg.Digest), body)
+				cfg.Cache.Add(CacheKey(pts[i], cfg.Digest), oc.Body)
 			}
-			finish(pi, body, false)
+			finish(pi, oc.Body, false)
 		}
 	}
-	res.SketchesBuilt = sketches.Len()
+	res.SketchesBuilt = ge.SketchesBuilt()
 	return res, nil
 }
 

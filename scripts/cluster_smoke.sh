@@ -1,11 +1,13 @@
 #!/bin/sh
 # cluster_smoke.sh — end-to-end smoke of the coordinator/worker cluster
-# with real processes: the same streamed assessment job must return
-# byte-identical results from a single-process server, a 1-worker
-# cluster and a 2-worker cluster. This is the process-level version of
-# the in-process identity tests (TestClusterAssessByteIdentity), run in
-# CI so the flag wiring, the worker role and the shared state dir are
-# exercised the way an operator would.
+# with real processes: the same streamed assessment job — and the same
+# multipart sweep, partitioned into perturbation-group tasks — must
+# return byte-identical results from a single-process server, a
+# 1-worker cluster and a 2-worker cluster. This is the process-level
+# version of the in-process identity tests
+# (TestClusterAssessByteIdentity, TestClusterSweepDelegationByteIdentity),
+# run in CI so the flag wiring, the worker role and the shared state
+# dir are exercised the way an operator would.
 #
 # Usage: scripts/cluster_smoke.sh
 #
@@ -46,6 +48,12 @@ go run ./cmd/randpriv gen -n 600 -m 6 -p 2 -seed 7 -out "$WORK/data.csv"
 
 QUERY='sigma=5&seed=11&stream=1&chunk=32'
 
+# A 6-point grid in 6 perturbation groups: enough fan-out that both
+# workers of cluster B carry delegated sweepgroup tasks.
+cat >"$WORK/grid.json" <<'EOF'
+{"defenses":[{"scheme":"additive","sigmas":[4,5]},{"scheme":"correlated","sigmas":[5]}],"seeds":[3,9],"chunk":32,"stream":true}
+EOF
+
 # wait_http URL — poll until the endpoint answers.
 wait_http() {
     i=0
@@ -78,6 +86,29 @@ run_job() {
     curl -sf "localhost:${port}/v1/jobs/${id}/result" >"$out"
 }
 
+# run_sweep PORT OUT — submit the multipart sweep, poll, store the
+# full-grid result.
+run_sweep() {
+    port="$1"; out="$2"
+    id="$(curl -sf -F "spec=@$WORK/grid.json" -F "data=@$WORK/data.csv" \
+        "localhost:${port}/v1/jobs" \
+        | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+    [ -n "$id" ] || { echo "sweep submit on :${port} returned no id" >&2; exit 1; }
+    i=0
+    while :; do
+        state="$(curl -sf "localhost:${port}/v1/jobs/${id}" \
+            | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+        case "$state" in
+        done) break ;;
+        failed | canceled) echo "sweep ${id} ended ${state}" >&2; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -ge 300 ] && { echo "timeout waiting for sweep ${id}" >&2; exit 1; }
+        sleep 0.2
+    done
+    curl -sf "localhost:${port}/v1/jobs/${id}/result" >"$out"
+}
+
 echo "baseline: single process, synchronous assess ..." >&2
 "$WORK/randprivd" -addr :18080 -spool "$WORK/spool0" -jobs-dir "$WORK/jobs0" &
 PIDS="$PIDS $!"
@@ -85,6 +116,7 @@ mkdir -p "$WORK/spool0"
 wait_http localhost:18080/healthz
 curl -sf --data-binary @"$WORK/data.csv" \
     "localhost:18080/v1/assess?${QUERY}" >"$WORK/base.json"
+run_sweep 18080 "$WORK/base_sweep.json"
 
 echo "cluster A: coordinator (no embedded execution) + 1 worker ..." >&2
 "$WORK/randprivd" -addr :18081 -cluster-dir "$WORK/clusterA" -node-id coord-a \
@@ -111,6 +143,15 @@ wait_http localhost:18084/healthz
 wait_http localhost:18085/healthz
 run_job 18083 "$WORK/two.json"
 
+echo "cluster B: delegated multipart sweep across 2 workers ..." >&2
+run_sweep 18083 "$WORK/two_sweep.json"
+# The coordinator embeds no claim loops, so a resolved sweepgroup queue
+# proves the workers executed the groups.
+curl -sf localhost:18083/v1/status | grep -q '"sweepgroup"' || {
+    echo "FAIL: coordinator /v1/status shows no sweepgroup tasks; sweep was not delegated" >&2
+    exit 1
+}
+
 cmp "$WORK/base.json" "$WORK/one.json" || {
     echo "FAIL: 1-worker cluster result differs from single-process baseline" >&2
     exit 1
@@ -119,4 +160,8 @@ cmp "$WORK/base.json" "$WORK/two.json" || {
     echo "FAIL: 2-worker cluster result differs from single-process baseline" >&2
     exit 1
 }
-echo "OK: single-process, 1-worker and 2-worker results are byte-identical" >&2
+cmp "$WORK/base_sweep.json" "$WORK/two_sweep.json" || {
+    echo "FAIL: delegated sweep result differs from single-process baseline" >&2
+    exit 1
+}
+echo "OK: single-process, 1-worker and 2-worker results (jobs and sweep) are byte-identical" >&2
